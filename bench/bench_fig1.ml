@@ -1,0 +1,82 @@
+(* Fig 1 (left): software- vs hardware-based IPC delivery.
+   Fig 1 (right): normalized preemption overhead on Shinjuku for
+   workloads of increasing dispersion, each at its best-tail-latency
+   time quantum. *)
+
+let us = Bench_util.us
+let ms = Bench_util.ms
+
+let left () =
+  Bench_util.header "Fig 1 (left): software vs hardware IPC delivery latency";
+  let signal = Ksim.Ipc.run_pingpong Ksim.Ipc.Signal_ipc ~n:100_000 in
+  let uintr = Ksim.Ipc.run_pingpong Ksim.Ipc.Uintrfd ~n:100_000 in
+  Format.printf "software (signal) : %6.3f us@." signal.Ksim.Ipc.avg_us;
+  Format.printf "hardware (UINTR)  : %6.3f us@." uintr.Ksim.Ipc.avg_us;
+  Format.printf "gap               : %6.1fx@."
+    (signal.Ksim.Ipc.avg_us /. uintr.Ksim.Ipc.avg_us)
+
+(* Dispersion ladder: squared coefficient of variation increases down
+   the list. *)
+let dispersion_ladder =
+  [
+    ("constant 5us", Workload.Service_dist.constant (us 5));
+    ("exponential 5us", Workload.Service_dist.workload_b);
+    ("lognormal 5us cv2", Workload.Service_dist.lognormal ~mean_ns:(us 5) ~std_ns:(us 10));
+    ("bimodal A2 (5/500)", Workload.Service_dist.workload_a2);
+    ("bimodal A1 (0.5/500)", Workload.Service_dist.workload_a1);
+  ]
+
+let shinjuku_run ~quantum ~dist ~rate =
+  let cfg = Baselines.Shinjuku.default_config ~n_workers:5 ~quantum_ns:quantum in
+  Baselines.Shinjuku.run ~warmup_ns:(ms 10) cfg
+    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+    ~source:(Bench_util.lc_source dist) ~duration_ns:(ms 80)
+
+let right () =
+  Bench_util.header
+    "Fig 1 (right): preemption overhead / lean execution on Shinjuku (best-tail quantum)";
+  Format.printf "%-22s %10s %12s %16s@." "workload (by dispersion)" "quantum" "p99(us)"
+    "preempt overhead";
+  let cfg0 = Baselines.Shinjuku.default_config ~n_workers:5 ~quantum_ns:1 in
+  let per_preempt_ns =
+    Hw.Params.default.Hw.Params.ipi_send_ns + Hw.Params.default.Hw.Params.ipi_delivery_ns
+    + cfg0.Baselines.Shinjuku.worker_preempt_cost_ns
+    + Ksim.Costs.default.Ksim.Costs.fcontext_swap_ns
+  in
+  List.iter
+    (fun (name, dist) ->
+      let mean = Workload.Service_dist.mean_ns dist ~now:0 in
+      let rate = 0.7 *. 5.0 *. 1e9 /. mean in
+      (* pick the quantum with the best p99 *)
+      let candidates = [ us 5; us 10; us 25; us 50; us 100; max_int ] in
+      let best_q, best =
+        List.fold_left
+          (fun (bq, br) q ->
+            let r = shinjuku_run ~quantum:q ~dist ~rate in
+            match br with
+            | None -> (q, Some r)
+            | Some prev ->
+              if
+                r.Preemptible.Server.all.Stat.Summary.p99
+                < prev.Preemptible.Server.all.Stat.Summary.p99
+              then (q, Some r)
+              else (bq, Some prev))
+          (0, None) candidates
+      in
+      let r = Option.get best in
+      let lean_ns = float_of_int r.Preemptible.Server.completed *. mean in
+      let overhead =
+        float_of_int (r.Preemptible.Server.preemptions * per_preempt_ns) /. lean_ns
+      in
+      Format.printf "%-22s %9s %11.1f %15.2f%%@." name
+        (if best_q = max_int then "none" else Printf.sprintf "%dus" (best_q / 1000))
+        (r.Preemptible.Server.all.Stat.Summary.p99 /. 1e3)
+        (100.0 *. overhead))
+    dispersion_ladder;
+  Format.printf
+    "(expected shape: overhead grows with workload dispersion — heavy tails need\n\
+    \ aggressive quanta, so more cycles go to preemption)@."
+
+let run () =
+  left ();
+  right ()

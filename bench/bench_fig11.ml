@@ -1,0 +1,36 @@
+(* Fig 11: scalability of timer interrupt delivery across strategies
+   (1000 interrupts per thread, 100us interval). *)
+
+module Ts = Baselines.Timer_strategies
+
+let run () =
+  Bench_util.header
+    "Fig 11: timer delivery overhead (us, mean) vs thread count; 1000 interrupts @ 100us";
+  let thread_counts = [ 1; 2; 4; 8; 16; 32 ] in
+  Format.printf "%-30s" "strategy \\ threads";
+  List.iter (fun n -> Format.printf "%9d" n) thread_counts;
+  Format.printf "@.";
+  let rows = ref [] in
+  List.iter
+    (fun strategy ->
+      Format.printf "%-30s" (Ts.name strategy);
+      List.iter
+        (fun threads ->
+          let r =
+            Ts.delivery_overhead strategy ~threads ~interval_ns:(Bench_util.us 100)
+              ~rounds:1000
+          in
+          rows :=
+            Printf.sprintf "%s,%d,%g,%g" (Ts.name strategy) threads r.Ts.mean_overhead_us
+              r.Ts.p99_overhead_us
+            :: !rows;
+          Format.printf "%9.2f" r.Ts.mean_overhead_us)
+        thread_counts;
+      Format.printf "@.")
+    Ts.all;
+  Bench_util.csv ~name:"fig11" ~header:"strategy,threads,mean_us,p99_us"
+    ~rows:(List.rev !rows);
+  Format.printf
+    "@.(expected: creation-time aligned timers superlinear — ~100us p99 at 32\n\
+    \ threads; staggering flattens it; chaining is linear in the chain position;\n\
+    \ LibUtimer stays in the low microseconds)@."

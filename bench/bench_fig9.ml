@@ -1,0 +1,97 @@
+(* Fig 9: SLO violations over time on workload C — adaptive time quanta
+   (Algorithm 1) against a static quantum.  The controller runs at the
+   stats-window boundary, off the critical path. *)
+
+let us = Bench_util.us
+let ms = Bench_util.ms
+
+let duration = ms 400
+let slo_ns = us 50
+let window = ms 40
+
+let arrival =
+  Workload.Arrival.piecewise
+    [
+      (duration / 2, Workload.Arrival.poisson ~rate_per_sec:900_000.0);
+      (duration, Workload.Arrival.poisson ~rate_per_sec:250_000.0);
+    ]
+
+let source duration_ns =
+  Bench_util.lc_source (Workload.Service_dist.workload_c ~duration_ns)
+
+let run_one policy =
+  let violations = Stat.Timeseries.create ~window_ns:window in
+  let totals = Stat.Timeseries.create ~window_ns:window in
+  let quanta = ref [] in
+  let probes =
+    {
+      Preemptible.Server.on_complete =
+        (fun ~now ~latency_ns ~cls:_ ->
+          Stat.Timeseries.mark totals ~time:now;
+          if latency_ns > slo_ns then Stat.Timeseries.mark violations ~time:now);
+      on_window =
+        (fun snapshot ~quantum_ns ->
+          quanta := (snapshot.Preemptible.Stats_window.window_start_ns, quantum_ns) :: !quanta);
+    }
+  in
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:4 ~policy
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let cfg = { cfg with Preemptible.Server.stats_window_ns = window } in
+  let r = Preemptible.Server.run ~probes cfg ~arrival ~source:(source duration) ~duration_ns:duration in
+  (r, Stat.Timeseries.points violations, Stat.Timeseries.points totals, List.rev !quanta)
+
+let print_run name (r, viol, totals, quanta) =
+  Format.printf "@.%s: overall p99=%.1fus preemptions=%d@." name
+    (r.Preemptible.Server.all.Stat.Summary.p99 /. 1e3)
+    r.Preemptible.Server.preemptions;
+  Format.printf "  %8s %12s %10s@." "window" "violations" "quantum";
+  let total_viol = ref 0 and total_n = ref 0 in
+  List.iter
+    (fun (p : Stat.Timeseries.point) ->
+      let t = p.Stat.Timeseries.t_start in
+      let v =
+        match
+          List.find_opt (fun (q : Stat.Timeseries.point) -> q.Stat.Timeseries.t_start = t) viol
+        with
+        | Some q -> q.Stat.Timeseries.count
+        | None -> 0
+      in
+      total_viol := !total_viol + v;
+      total_n := !total_n + p.Stat.Timeseries.count;
+      let q = try List.assoc t quanta with Not_found -> 0 in
+      Format.printf "  %6.0fms %11.2f%% %9s@." (Engine.Units.to_ms t)
+        (100.0 *. float_of_int v /. float_of_int (max p.Stat.Timeseries.count 1))
+        (if q = 0 then "-" else Printf.sprintf "%dus" (q / 1000)))
+    totals;
+  Format.printf "  total violation rate: %.2f%%@."
+    (100.0 *. float_of_int !total_viol /. float_of_int (max !total_n 1));
+  100.0 *. float_of_int !total_viol /. float_of_int (max !total_n 1)
+  |> fun rate -> rate
+
+let run () =
+  Bench_util.header "Fig 9: SLO (50us) violations on workload C, static vs adaptive quanta";
+  let static = run_one (Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 40)) in
+  let static_rate = print_run "static 40us" static in
+  let controller =
+    Preemptible.Quantum_controller.create
+      ~config:
+        {
+          Preemptible.Quantum_controller.default_config with
+          Preemptible.Quantum_controller.k1_ns = us 8;
+          k2_ns = us 8;
+          k3_ns = us 8;
+          t_max_ns = us 60;
+          l_high_fraction = 0.6;
+          l_low_fraction = 0.25;
+        }
+      ~max_load_per_s:1_300_000.0 ~initial_quantum_ns:(us 40) ()
+  in
+  let adaptive = run_one (Preemptible.Policy.adaptive controller) in
+  let adaptive_rate = print_run "adaptive (Algorithm 1)" adaptive in
+  Format.printf
+    "@.(expected: the controller tightens the quantum in the heavy-tailed phase —\n\
+    \ cutting violations vs static — and relaxes it in the light/low phase,\n\
+    \ saving preemption cycles; static %.2f%% vs adaptive %.2f%% here)@."
+    static_rate adaptive_rate

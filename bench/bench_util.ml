@@ -1,0 +1,145 @@
+(* Shared helpers for the reproduction harness. *)
+
+let us = Engine.Units.us
+let ms = Engine.Units.ms
+
+let lc_source dist =
+  Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical
+
+(* The paper's workload set (Sec V-A). Workload C needs the run length
+   to place its distribution shift. *)
+let named_workloads ~duration_ns =
+  [
+    ("A1", Workload.Service_dist.workload_a1);
+    ("A2", Workload.Service_dist.workload_a2);
+    ("B", Workload.Service_dist.workload_b);
+    ("C", Workload.Service_dist.workload_c ~duration_ns);
+  ]
+
+(* Peak sustainable rate of [workers] cores for a distribution (ignores
+   overheads; used to place load sweeps). For workload C use the
+   heavier first phase. *)
+let capacity_rps dist ~workers ~duration_ns =
+  (* A phased distribution (workload C) is as slow as its slowest
+     phase; size the sweep by the larger mean. *)
+  let mean_start = Workload.Service_dist.mean_ns dist ~now:0 in
+  let mean_end = Workload.Service_dist.mean_ns dist ~now:(max 0 (duration_ns - 1)) in
+  let mean = Float.max mean_start mean_end in
+  float_of_int workers *. 1e9 /. mean
+
+type system = {
+  sys_name : string;
+  run :
+    rate:float ->
+    dist:Workload.Service_dist.t ->
+    duration_ns:int ->
+    warmup_ns:int ->
+    Preemptible.Server.result;
+}
+
+(* The four systems of Fig 8.  Worker budget follows Sec V-A: six
+   hyperthreads total — 1 network + 5 workers for Shinjuku/Libinger,
+   1 network + 4 workers + 1 timer core for LibPreemptible. *)
+let libpreemptible ?(quantum = us 5) ?(adaptive = false) () =
+  {
+    sys_name =
+      (if adaptive then "LibPreemptible(adaptive)"
+       else Printf.sprintf "LibPreemptible(q=%dus)" (quantum / 1000));
+    run =
+      (fun ~rate ~dist ~duration_ns ~warmup_ns ->
+        let policy =
+          if adaptive then begin
+            let max_load = capacity_rps dist ~workers:4 ~duration_ns in
+            (* Hyperparameters per the paper's note (Sec III-F): the
+               heavy-tail rule reacts fast (k2), the high-load rule
+               gently (k1), so light-tailed workloads keep a lax
+               quantum. *)
+            Preemptible.Policy.adaptive
+              (Preemptible.Quantum_controller.create
+                 ~config:
+                   {
+                     Preemptible.Quantum_controller.default_config with
+                     Preemptible.Quantum_controller.k1_ns = us 2;
+                     k2_ns = us 10;
+                     k3_ns = us 8;
+                     l_high_fraction = 0.95;
+                   }
+                 ~max_load_per_s:max_load ~initial_quantum_ns:(us 20) ())
+          end
+          else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
+        in
+        let cfg =
+          Preemptible.Server.default_config ~n_workers:4 ~policy
+            ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+        in
+        let cfg = { cfg with Preemptible.Server.stats_window_ns = ms 10 } in
+        Preemptible.Server.run ~warmup_ns cfg
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source:(lc_source dist) ~duration_ns);
+  }
+
+let libpreemptible_nouintr ?(quantum = us 5) () =
+  {
+    sys_name = "LibPreemptible(no-UINTR)";
+    run =
+      (fun ~rate ~dist ~duration_ns ~warmup_ns ->
+        let cfg =
+          Preemptible.Server.default_config ~n_workers:4
+            ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
+            ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
+        in
+        Preemptible.Server.run ~warmup_ns cfg
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source:(lc_source dist) ~duration_ns);
+  }
+
+let shinjuku ?(quantum = us 5) () =
+  {
+    sys_name = Printf.sprintf "Shinjuku(q=%dus)" (quantum / 1000);
+    run =
+      (fun ~rate ~dist ~duration_ns ~warmup_ns ->
+        let cfg = Baselines.Shinjuku.default_config ~n_workers:5 ~quantum_ns:quantum in
+        Baselines.Shinjuku.run ~warmup_ns cfg
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source:(lc_source dist) ~duration_ns);
+  }
+
+let libinger ?(quantum = us 20) () =
+  {
+    sys_name = Printf.sprintf "Libinger(q=%dus)" (quantum / 1000);
+    run =
+      (fun ~rate ~dist ~duration_ns ~warmup_ns ->
+        let cfg = Baselines.Libinger.default_config ~n_workers:5 ~quantum_ns:quantum in
+        Baselines.Libinger.run ~warmup_ns cfg
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source:(lc_source dist) ~duration_ns);
+  }
+
+let no_preempt () =
+  {
+    sys_name = "no-preemption";
+    run =
+      (fun ~rate ~dist ~duration_ns ~warmup_ns ->
+        let cfg = Baselines.Nopreempt.default_config ~n_workers:5 in
+        Baselines.Nopreempt.run ~warmup_ns cfg
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source:(lc_source dist) ~duration_ns);
+  }
+
+(* CSV export: when LP_BENCH_CSV names a directory, figure benches also
+   dump their series there for external plotting. *)
+let csv ~name ~header ~rows =
+  match Sys.getenv_opt "LP_BENCH_CSV" with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+    output_string oc (header ^ "\n");
+    List.iter (fun row -> output_string oc (row ^ "\n")) rows;
+    close_out oc;
+    Format.printf "(csv: %s/%s.csv)@." dir name
+
+let header title =
+  Format.printf "@.==================================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "==================================================================@."

@@ -1,0 +1,50 @@
+(* Reproduction harness: regenerates every table and figure of the
+   LibPreemptible evaluation (plus ablations and micro-benchmarks).
+
+     dune exec bench/main.exe               runs everything
+     dune exec bench/main.exe -- --fig8     runs one element
+     dune exec bench/main.exe -- --list     lists elements *)
+
+let elements =
+  [
+    ("--table1", "Table I: thread oversubscription (source data)", Bench_tables.table1);
+    ("--fig1", "Fig 1: sw/hw IPC gap + preemption overhead vs dispersion", Bench_fig1.run);
+    ("--fig2", "Fig 2: p99 vs load across quanta (16 cores)", Bench_fig2.run);
+    ("--table23", "Tables II/III: integration effort (documented)", Bench_tables.table23);
+    ("--table4", "Table IV: IPC mechanism overheads", Bench_tables.table4);
+    ("--fig8", "Fig 8: latency vs throughput, 4 systems x 4 workloads", Bench_fig8.run);
+    ("--fig9", "Fig 9: SLO violations, static vs adaptive quanta", Bench_fig9.run);
+    ("--fig10", "Fig 10: deployment overhead", Bench_fig10.run);
+    ("--fig11", "Fig 11: timer delivery scalability", Bench_fig11.run);
+    ("--fig12", "Fig 12: timer precision", Bench_fig12.run);
+    ("--table5", "Table V: MICA / zlib solo latencies", Bench_tables.table5);
+    ("--fig13", "Fig 13: colocation, fixed/variable quantum", Bench_fig13.run);
+    ("--fig14", "Fig 14: bursty load, dynamic interval", Bench_fig14.run);
+    ("--ablation", "Ablations: wheel, controller, poll, disciplines, hw offload", Bench_ablation.run);
+    ("--security", "Sec VII: interrupt-storm DoS scenarios", Bench_security.run);
+    ("--micro", "Bechamel micro-benchmarks", Bench_micro.run);
+  ]
+
+let list_elements () =
+  Format.printf "available elements:@.";
+  List.iter (fun (flag, desc, _) -> Format.printf "  %-12s %s@." flag desc) elements
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    Format.printf "LibPreemptible reproduction harness - running all elements@.";
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, _, f) -> f ()) elements;
+    Format.printf "@.done in %.1fs@." (Unix.gettimeofday () -. t0)
+  | [ "--list" ] -> list_elements ()
+  | flags ->
+    List.iter
+      (fun flag ->
+        match List.find_opt (fun (f, _, _) -> f = flag) elements with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Format.printf "unknown element %s@." flag;
+          list_elements ();
+          exit 1)
+      flags

@@ -1,0 +1,261 @@
+(* lpctl: run LibPreemptible server simulations with custom parameters
+   from the command line.
+
+     lpctl serve --system lp --workload a1 --rate 800000 --quantum 5
+     lpctl ipc --n 100000
+     lpctl timer --strategy utimer --threads 32 *)
+
+open Cmdliner
+
+let us = Engine.Units.us
+let ms = Engine.Units.ms
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let workload_of_string duration_ns = function
+  | "a1" -> Ok Workload.Service_dist.workload_a1
+  | "a2" -> Ok Workload.Service_dist.workload_a2
+  | "b" -> Ok Workload.Service_dist.workload_b
+  | "c" -> Ok (Workload.Service_dist.workload_c ~duration_ns)
+  | s -> Error (`Msg (Printf.sprintf "unknown workload %S (a1|a2|b|c)" s))
+
+let pp_result r =
+  Format.printf "%a@." Preemptible.Server.pp_result r;
+  (match r.Preemptible.Server.lc with
+  | Some lc -> Format.printf "LC: %a@." Stat.Summary.pp_report_us lc
+  | None -> ());
+  match r.Preemptible.Server.be with
+  | Some be -> Format.printf "BE: %a@." Stat.Summary.pp_report_us be
+  | None -> ()
+
+let serve system workload rate quantum_us workers duration_ms adaptive seed =
+  let duration_ns = ms duration_ms in
+  match workload_of_string duration_ns workload with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    exit 1
+  | Ok dist ->
+    let arrival = Workload.Arrival.poisson ~rate_per_sec:rate in
+    let source =
+      Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical
+    in
+    let quantum = us quantum_us in
+    let result =
+      match system with
+      | "lp" ->
+        let policy =
+          if adaptive then
+            Preemptible.Policy.adaptive
+              (Preemptible.Quantum_controller.create
+                 ~max_load_per_s:
+                   (float_of_int workers *. 1e9
+                   /. Workload.Service_dist.mean_ns dist ~now:0)
+                 ~initial_quantum_ns:quantum ())
+          else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
+        in
+        let cfg =
+          Preemptible.Server.default_config ~n_workers:workers ~policy
+            ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+        in
+        Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
+          ~duration_ns
+      | "lp-nouintr" ->
+        let cfg =
+          Preemptible.Server.default_config ~n_workers:workers
+            ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
+            ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
+        in
+        Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
+          ~duration_ns
+      | "shinjuku" ->
+        let cfg = Baselines.Shinjuku.default_config ~n_workers:workers ~quantum_ns:quantum in
+        Baselines.Shinjuku.run { cfg with Baselines.Shinjuku.seed } ~arrival ~source
+          ~duration_ns
+      | "libinger" ->
+        let cfg = Baselines.Libinger.default_config ~n_workers:workers ~quantum_ns:quantum in
+        Baselines.Libinger.run { cfg with Baselines.Libinger.seed } ~arrival ~source
+          ~duration_ns
+      | "nopreempt" ->
+        let cfg = Baselines.Nopreempt.default_config ~n_workers:workers in
+        Baselines.Nopreempt.run { cfg with Baselines.Nopreempt.seed } ~arrival ~source
+          ~duration_ns
+      | "go" ->
+        let cfg = Baselines.Goruntime.default_config ~n_workers:workers in
+        Baselines.Goruntime.run { cfg with Baselines.Goruntime.seed } ~arrival ~source
+          ~duration_ns
+      | s ->
+        prerr_endline
+          (Printf.sprintf "unknown system %S (lp|lp-nouintr|shinjuku|libinger|nopreempt|go)" s);
+        exit 1
+    in
+    pp_result result
+
+let serve_cmd =
+  let system =
+    Arg.(value & opt string "lp" & info [ "system" ] ~doc:"lp|lp-nouintr|shinjuku|libinger|nopreempt|go")
+  in
+  let workload = Arg.(value & opt string "a1" & info [ "workload" ] ~doc:"a1|a2|b|c") in
+  let rate = Arg.(value & opt float 500_000.0 & info [ "rate" ] ~doc:"offered load, requests/s") in
+  let quantum = Arg.(value & opt int 5 & info [ "quantum" ] ~doc:"time quantum, us") in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"worker threads") in
+  let duration = Arg.(value & opt int 100 & info [ "duration" ] ~doc:"run length, ms") in
+  let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"use the Algorithm-1 controller") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"simulation seed") in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"simulate a request-serving system under load")
+    Term.(
+      const serve $ system $ workload $ rate $ quantum $ workers $ duration $ adaptive $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* ipc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ipc n =
+  List.iter
+    (fun mech -> Format.printf "%a@." Ksim.Ipc.pp_result (Ksim.Ipc.run_pingpong mech ~n))
+    Ksim.Ipc.all
+
+let ipc_cmd =
+  let n = Arg.(value & opt int 100_000 & info [ "n" ] ~doc:"ping-pong round trips") in
+  Cmd.v (Cmd.info "ipc" ~doc:"Table IV: IPC mechanism ping-pong") Term.(const ipc $ n)
+
+(* ------------------------------------------------------------------ *)
+(* timer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let timer strategy threads interval_us rounds =
+  let strat =
+    match strategy with
+    | "creation" -> Ok Baselines.Timer_strategies.Creation_time
+    | "staggered" -> Ok Baselines.Timer_strategies.Staggered
+    | "chained" -> Ok Baselines.Timer_strategies.Chained
+    | "utimer" -> Ok Baselines.Timer_strategies.Userspace_timer
+    | s -> Error s
+  in
+  match strat with
+  | Error s ->
+    prerr_endline (Printf.sprintf "unknown strategy %S (creation|staggered|chained|utimer)" s);
+    exit 1
+  | Ok strat ->
+    let r =
+      Baselines.Timer_strategies.delivery_overhead strat ~threads ~interval_ns:(us interval_us)
+        ~rounds
+    in
+    Format.printf "%s threads=%d mean=%.2fus p99=%.2fus max=%.2fus@."
+      r.Baselines.Timer_strategies.strategy threads r.Baselines.Timer_strategies.mean_overhead_us
+      r.Baselines.Timer_strategies.p99_overhead_us r.Baselines.Timer_strategies.max_overhead_us
+
+let timer_cmd =
+  let strategy =
+    Arg.(value & opt string "utimer" & info [ "strategy" ] ~doc:"creation|staggered|chained|utimer")
+  in
+  let threads = Arg.(value & opt int 16 & info [ "threads" ]) in
+  let interval = Arg.(value & opt int 100 & info [ "interval" ] ~doc:"us") in
+  let rounds = Arg.(value & opt int 1000 & info [ "rounds" ]) in
+  Cmd.v
+    (Cmd.info "timer" ~doc:"Fig 11: timer delivery overhead for one strategy")
+    Term.(const timer $ strategy $ threads $ interval $ rounds)
+
+(* ------------------------------------------------------------------ *)
+(* colocate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let colocate rate quantum_us be_fraction duration_ms =
+  let mica = Workload.Mica.create () in
+  let zlib = Workload.Zlib_be.create () in
+  let source =
+    Workload.Source.mix
+      [ (1.0 -. be_fraction, Workload.Mica.source mica); (be_fraction, Workload.Zlib_be.source zlib) ]
+  in
+  let policy =
+    if quantum_us = 0 then Preemptible.Policy.no_preempt
+    else Preemptible.Policy.fcfs_preempt ~quantum_ns:(us quantum_us)
+  in
+  let mechanism =
+    if quantum_us = 0 then Preemptible.Server.No_mechanism
+    else Preemptible.Server.Uintr_utimer Utimer.default_config
+  in
+  let cfg = Preemptible.Server.default_config ~n_workers:1 ~policy ~mechanism in
+  let r =
+    Preemptible.Server.run cfg
+      ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+      ~source ~duration_ns:(ms duration_ms)
+  in
+  pp_result r
+
+let colocate_cmd =
+  let rate = Arg.(value & opt float 55_000.0 & info [ "rate" ] ~doc:"requests/s") in
+  let quantum = Arg.(value & opt int 30 & info [ "quantum" ] ~doc:"us; 0 = no preemption") in
+  let be = Arg.(value & opt float 0.02 & info [ "be-fraction" ] ~doc:"best-effort share") in
+  let duration = Arg.(value & opt int 300 & info [ "duration" ] ~doc:"ms") in
+  Cmd.v
+    (Cmd.info "colocate" ~doc:"Sec V-C: MICA (LC) + zlib (BE) on one worker")
+    Term.(const colocate $ rate $ quantum $ be $ duration)
+
+(* ------------------------------------------------------------------ *)
+(* precision                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let precision source_s threads target_us samples =
+  let source =
+    match source_s with
+    | "kernel" -> `Kernel_timer
+    | "utimer" -> `Utimer
+    | s ->
+      prerr_endline (Printf.sprintf "unknown source %S (kernel|utimer)" s);
+      exit 1
+  in
+  let r =
+    Baselines.Timer_strategies.precision source ~threads ~target_ns:(us target_us) ~samples
+  in
+  Format.printf "%s target=%dus mean=%.2fus std=%.2fus p99=%.2fus rel.err=%.1f%%@."
+    r.Baselines.Timer_strategies.source target_us r.Baselines.Timer_strategies.mean_gap_us
+    r.Baselines.Timer_strategies.std_gap_us r.Baselines.Timer_strategies.p99_gap_us
+    (100.0 *. r.Baselines.Timer_strategies.rel_error)
+
+let precision_cmd =
+  let source = Arg.(value & opt string "utimer" & info [ "source" ] ~doc:"kernel|utimer") in
+  let threads = Arg.(value & opt int 26 & info [ "threads" ]) in
+  let target = Arg.(value & opt int 20 & info [ "target" ] ~doc:"us") in
+  let samples = Arg.(value & opt int 5000 & info [ "samples" ]) in
+  Cmd.v
+    (Cmd.info "precision" ~doc:"Fig 12: timer precision")
+    Term.(const precision $ source $ threads $ target $ samples)
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack scenario_s storm victim_rate duration_ms =
+  let scenario =
+    match scenario_s with
+    | "native" -> Baselines.Attack.Native_uintr_storm
+    | "libpreemptible" | "lp" -> Baselines.Attack.Libpreemptible_storm
+    | "apic" -> Baselines.Attack.Shinjuku_apic_storm
+    | s ->
+      prerr_endline (Printf.sprintf "unknown scenario %S (native|lp|apic)" s);
+      exit 1
+  in
+  let r =
+    Baselines.Attack.run scenario ~storm_per_sec:storm ~victim_rate
+      ~duration_ns:(ms duration_ms)
+  in
+  Format.printf "%a@." Baselines.Attack.pp_result r
+
+let attack_cmd =
+  let scenario = Arg.(value & opt string "native" & info [ "scenario" ] ~doc:"native|lp|apic") in
+  let storm = Arg.(value & opt float 1_000_000.0 & info [ "storm" ] ~doc:"interrupts/s") in
+  let victim = Arg.(value & opt float 300_000.0 & info [ "victim-rate" ] ~doc:"requests/s") in
+  let duration = Arg.(value & opt int 100 & info [ "duration" ] ~doc:"ms") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Sec VII: interrupt-storm DoS against a victim core")
+    Term.(const attack $ scenario $ storm $ victim $ duration)
+
+let () =
+  let doc = "LibPreemptible reproduction: custom simulation runs" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lpctl" ~doc)
+          [ serve_cmd; ipc_cmd; timer_cmd; colocate_cmd; precision_cmd; attack_cmd ]))

@@ -1,0 +1,152 @@
+type scenario = Native_uintr_storm | Libpreemptible_storm | Shinjuku_apic_storm
+
+let scenario_name = function
+  | Native_uintr_storm -> "native UINTR (shared uintr_fd)"
+  | Libpreemptible_storm -> "LibPreemptible (UITT restricted to timer)"
+  | Shinjuku_apic_storm -> "Shinjuku (mapped APIC)"
+
+type result = {
+  scenario : string;
+  storm_per_sec : float;
+  attempted : int;
+  delivered : int;
+  victim_throughput_rps : float;
+  victim_p99_us : float;
+  victim_busy_frac : float;
+}
+
+(* The victim: one worker core serving exponential(2us) requests from an
+   open-loop queue. Interrupt-handler time steals core cycles via
+   stalls; everything else is standard queueing. *)
+let run ?(seed = 29L) ?(hw = Hw.Params.default) scenario ~storm_per_sec ~victim_rate
+    ~duration_ns =
+  if storm_per_sec < 0.0 then invalid_arg "Attack.run: negative storm rate";
+  if duration_ns <= 0 then invalid_arg "Attack.run: non-positive duration";
+  let sim = Engine.Sim.create ~seed () in
+  let rng = Engine.Sim.fork_rng sim in
+  let core = Hw.Core.create sim ~id:0 in
+  let fabric = Hw.Uintr.create sim hw in
+  let queue = Queue.create () in
+  let latencies = Stat.Summary.create () in
+  let completed = ref 0 in
+  let attempted = ref 0 in
+  let delivered = ref 0 in
+  (* Victim work loop. *)
+  let rec maybe_start () =
+    if (not (Hw.Core.busy core)) && not (Queue.is_empty queue) then begin
+      let arrival, service = Queue.pop queue in
+      Hw.Core.begin_work core ~duration:service ~on_done:(fun () ->
+          incr completed;
+          Stat.Summary.record latencies (float_of_int (Engine.Sim.now sim - arrival));
+          maybe_start ())
+    end
+  in
+  let rec arrivals () =
+    let gap = max 1 (int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. victim_rate))) in
+    ignore
+      (Engine.Sim.after sim gap (fun () ->
+           if Engine.Sim.now sim < duration_ns then begin
+             let service =
+               max 1 (int_of_float (Engine.Rng.exponential rng ~mean:2_000.0))
+             in
+             Queue.push (Engine.Sim.now sim, service) queue;
+             maybe_start ();
+             arrivals ()
+           end))
+  in
+  arrivals ();
+  (* The victim's receiver: every delivered interrupt runs its handler,
+     stealing handler-entry + uiret cycles from the current request. *)
+  let handler_steal_ns =
+    hw.Hw.Params.uintr_handler_entry_ns + hw.Hw.Params.uintr_uiret_ns
+  in
+  let victim_receiver =
+    Hw.Uintr.register_receiver fabric ~name:"victim"
+      ~handler:(fun _ ~vector:_ ->
+        incr delivered;
+        if Hw.Core.busy core then Hw.Core.stall core handler_steal_ns)
+      ()
+  in
+  (* The attacker. *)
+  (match scenario with
+  | Native_uintr_storm ->
+    (* The eventfd trust model: anyone holding the uintr_fd may post the
+       vector; the attacker connects and floods. *)
+    let attacker = Hw.Uintr.create_sender fabric ~name:"attacker" () in
+    let idx = Hw.Uintr.connect attacker victim_receiver ~vector:5 in
+    if storm_per_sec > 0.0 then begin
+      let gap = max 1 (int_of_float (1e9 /. storm_per_sec)) in
+      let rec storm () =
+        ignore
+          (Engine.Sim.after sim gap (fun () ->
+               if Engine.Sim.now sim < duration_ns then begin
+                 incr attempted;
+                 Hw.Uintr.senduipi attacker idx;
+                 storm ()
+               end))
+      in
+      storm ()
+    end
+  | Libpreemptible_storm ->
+    (* LibPreemptible configures UITT entries only between the timer
+       core and its workers (Sec VII-B); an attacker in another trust
+       domain has no entry targeting the victim, so every SENDUIPI it
+       executes faults instead of posting. *)
+    let attacker = Hw.Uintr.create_sender fabric ~name:"attacker" () in
+    if storm_per_sec > 0.0 then begin
+      let gap = max 1 (int_of_float (1e9 /. storm_per_sec)) in
+      let rec storm () =
+        ignore
+          (Engine.Sim.after sim gap (fun () ->
+               if Engine.Sim.now sim < duration_ns then begin
+                 incr attempted;
+                 (try Hw.Uintr.senduipi attacker 0
+                  with Invalid_argument _ -> () (* no UITT entry: rejected *));
+                 storm ()
+               end))
+      in
+      storm ()
+    end
+  | Shinjuku_apic_storm ->
+    (* Shinjuku maps the physical APIC into the runtime; a buggy or
+       malicious runtime can IPI-flood any core, and each IPI costs a
+       full kernel interrupt path on the victim. *)
+    let ipi = Hw.Ipi.create sim hw in
+    let kernel_interrupt_ns = 1_000 in
+    let target =
+      Hw.Ipi.register ipi ~handler:(fun () ->
+          incr delivered;
+          if Hw.Core.busy core then Hw.Core.stall core kernel_interrupt_ns)
+    in
+    if storm_per_sec > 0.0 then begin
+      let gap = max 1 (int_of_float (1e9 /. storm_per_sec)) in
+      let rec storm () =
+        ignore
+          (Engine.Sim.after sim gap (fun () ->
+               if Engine.Sim.now sim < duration_ns then begin
+                 incr attempted;
+                 Hw.Ipi.send ipi target;
+                 storm ()
+               end))
+      in
+      storm ()
+    end);
+  Engine.Sim.run sim;
+  {
+    scenario = scenario_name scenario;
+    storm_per_sec;
+    attempted = !attempted;
+    delivered = !delivered;
+    victim_throughput_rps =
+      float_of_int !completed *. 1e9 /. float_of_int duration_ns;
+    victim_p99_us =
+      (if Stat.Summary.count latencies = 0 then nan
+       else (Stat.Summary.report latencies).Stat.Summary.p99 /. 1e3);
+    victim_busy_frac =
+      float_of_int (Hw.Core.busy_ns core) /. float_of_int duration_ns;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-42s storm=%8.0f/s attempted=%8d delivered=%8d tput=%8.0f/s p99=%8.2fus" r.scenario
+    r.storm_per_sec r.attempted r.delivered r.victim_throughput_rps r.victim_p99_us

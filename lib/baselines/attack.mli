@@ -1,0 +1,47 @@
+(** Interrupt-storm denial-of-service scenarios (Sec VII-A/B).
+
+    The paper argues LibPreemptible shrinks the attack surface of user
+    interrupts: native UINTR's eventfd-like trust model lets any holder
+    of a [uintr_fd] flood the receiver, and Shinjuku's directly-mapped
+    APIC lets a buggy runtime IPI-flood {e any} core, while
+    LibPreemptible configures UITT entries only between the timer core
+    and its workers, so an attacker's SENDUIPI has no entry to use.
+
+    These experiments measure a victim core's throughput and tail
+    latency under an interrupt storm in each trust model. *)
+
+type scenario =
+  | Native_uintr_storm
+      (** attacker holds the victim's uintr_fd and posts freely *)
+  | Libpreemptible_storm
+      (** attacker runs in another trust domain; its UITT has no entry
+          for the victim, so the storm never lands *)
+  | Shinjuku_apic_storm
+      (** attacker has the mapped APIC and IPI-floods the victim core;
+          each hit costs a full kernel interrupt path *)
+
+val scenario_name : scenario -> string
+
+type result = {
+  scenario : string;
+  storm_per_sec : float;
+  attempted : int;  (** interrupts the attacker tried to send *)
+  delivered : int;  (** interrupts that actually hit the victim *)
+  victim_throughput_rps : float;
+  victim_p99_us : float;
+  victim_busy_frac : float;
+}
+
+val run :
+  ?seed:int64 ->
+  ?hw:Hw.Params.t ->
+  scenario ->
+  storm_per_sec:float ->
+  victim_rate:float ->
+  duration_ns:int ->
+  result
+(** Simulate a victim core serving exponential(2 µs) requests at
+    [victim_rate] while the attacker generates [storm_per_sec]
+    interrupts. [storm_per_sec = 0] gives the unattacked baseline. *)
+
+val pp_result : Format.formatter -> result -> unit

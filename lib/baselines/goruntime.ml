@@ -1,0 +1,25 @@
+type config = {
+  n_workers : int;
+  quantum_ns : int;
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+}
+
+let default_config ~n_workers =
+  {
+    n_workers;
+    quantum_ns = Engine.Units.ms 10;
+    costs = Ksim.Costs.default;
+    hw = Hw.Params.default;
+    seed = 42L;
+  }
+
+let run ?probes ?warmup_ns c ~arrival ~source ~duration_ns =
+  let base =
+    Preemptible.Server.default_config ~n_workers:c.n_workers
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:c.quantum_ns)
+      ~mechanism:Preemptible.Server.Kernel_timer
+  in
+  let cfg = { base with Preemptible.Server.costs = c.costs; hw = c.hw; seed = c.seed } in
+  Preemptible.Server.run ?probes ?warmup_ns cfg ~arrival ~source ~duration_ns

@@ -1,0 +1,29 @@
+(** Go-style runtime preemption baseline.
+
+    The paper's introduction cites Go's asynchronous preemption — signal
+    (SIGURG) based, introduced to prevent starvation at a ~10 ms
+    granularity — as the state of practice for language runtimes.  At
+    microsecond request scales a 10 ms slice is three orders of
+    magnitude too coarse: short requests still wait behind whole long
+    requests, so the baseline behaves almost like run-to-completion.
+    Modeled as the server runtime with signal-based kernel timers and a
+    10 ms quantum. *)
+
+type config = {
+  n_workers : int;
+  quantum_ns : int;  (** default 10 ms *)
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+}
+
+val default_config : n_workers:int -> config
+
+val run :
+  ?probes:Preemptible.Server.probes ->
+  ?warmup_ns:int ->
+  config ->
+  arrival:Workload.Arrival.t ->
+  source:Workload.Source.t ->
+  duration_ns:int ->
+  Preemptible.Server.result

@@ -1,0 +1,24 @@
+type config = {
+  n_workers : int;
+  quantum_ns : int;
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+}
+
+let default_config ~n_workers ~quantum_ns =
+  { n_workers; quantum_ns; costs = Ksim.Costs.default; hw = Hw.Params.default; seed = 42L }
+
+let to_server_config c =
+  let base =
+    Preemptible.Server.default_config ~n_workers:c.n_workers
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:c.quantum_ns)
+      ~mechanism:Preemptible.Server.Kernel_timer
+  in
+  { base with Preemptible.Server.costs = c.costs; hw = c.hw; seed = c.seed }
+
+let run ?probes ?warmup_ns c ~arrival ~source ~duration_ns =
+  Preemptible.Server.run ?probes ?warmup_ns (to_server_config c) ~arrival ~source
+    ~duration_ns
+
+let effective_quantum_ns c = max c.quantum_ns c.costs.Ksim.Costs.ktimer_floor_ns

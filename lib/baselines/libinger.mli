@@ -1,0 +1,30 @@
+(** Libinger / libturquoise baseline (Boucher et al., ATC'20).
+
+    A general-purpose preemptive user-threading library built on
+    {e regular kernel timer interrupts}: every worker arms a POSIX timer
+    for its time slice and preemption arrives as a signal.  We model it
+    as the LibPreemptible runtime with the {!Preemptible.Server.Kernel_timer}
+    mechanism: per-launch timer syscalls, signal delivery through the
+    contended sighand lock, and the kernel timer granularity floor. *)
+
+type config = {
+  n_workers : int;
+  quantum_ns : int;
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+}
+
+val default_config : n_workers:int -> quantum_ns:int -> config
+
+val run :
+  ?probes:Preemptible.Server.probes ->
+  ?warmup_ns:int ->
+  config ->
+  arrival:Workload.Arrival.t ->
+  source:Workload.Source.t ->
+  duration_ns:int ->
+  Preemptible.Server.result
+
+val effective_quantum_ns : config -> int
+(** What slice the kernel will actually honour (granularity floor). *)

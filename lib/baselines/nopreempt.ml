@@ -1,0 +1,17 @@
+type config = {
+  n_workers : int;
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+}
+
+let default_config ~n_workers =
+  { n_workers; costs = Ksim.Costs.default; hw = Hw.Params.default; seed = 42L }
+
+let run ?probes ?warmup_ns c ~arrival ~source ~duration_ns =
+  let base =
+    Preemptible.Server.default_config ~n_workers:c.n_workers
+      ~policy:Preemptible.Policy.no_preempt ~mechanism:Preemptible.Server.No_mechanism
+  in
+  let cfg = { base with Preemptible.Server.costs = c.costs; hw = c.hw; seed = c.seed } in
+  Preemptible.Server.run ?probes ?warmup_ns cfg ~arrival ~source ~duration_ns

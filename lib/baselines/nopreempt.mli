@@ -1,0 +1,23 @@
+(** Run-to-completion c-FCFS baseline (no preemption).
+
+    What the latency-critical server looks like without any preemption
+    mechanism — short requests suffer head-of-line blocking behind long
+    ones, the motivating pathology of Sec II-A. *)
+
+type config = {
+  n_workers : int;
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+}
+
+val default_config : n_workers:int -> config
+
+val run :
+  ?probes:Preemptible.Server.probes ->
+  ?warmup_ns:int ->
+  config ->
+  arrival:Workload.Arrival.t ->
+  source:Workload.Source.t ->
+  duration_ns:int ->
+  Preemptible.Server.result

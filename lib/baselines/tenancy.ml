@@ -1,0 +1,133 @@
+type result = {
+  tenants : int;
+  per_tenant_rate : float;
+  mean_p99_us : float;
+  worst_p99_us : float;
+  timer_interrupts : int;
+  completed : int;
+}
+
+(* A minimal single-worker tenant: FIFO queue of (arrival, remaining)
+   requests, FCFS with preemption at [quantum] via the shared timer
+   core.  Kept deliberately lean — the full runtime features live in
+   {!Preemptible.Server}; here the object of study is the shared timer
+   core. *)
+type tenant = {
+  id : int;
+  core : Hw.Core.t;
+  queue : (int * int) Queue.t; (* arrival, remaining service *)
+  summary : Stat.Summary.t;
+  mutable slot : Utimer.slot option;
+  mutable current : (int * int) option;
+  mutable deadline : int;
+  mutable done_count : int;
+}
+
+let libpreemptible ?(seed = 31L) ?(quantum_ns = 10_000) ?(wheel = false) ~tenants
+    ~per_tenant_rate ~duration_ns () =
+  if tenants <= 0 then invalid_arg "Tenancy.libpreemptible: need at least one tenant";
+  let sim = Engine.Sim.create ~seed () in
+  let hw = { Hw.Params.default with Hw.Params.uitt_size = max 256 (2 * tenants) } in
+  let fabric = Hw.Uintr.create sim hw in
+  let config =
+    if wheel then { Utimer.default_config with Utimer.scan = Utimer.Wheel }
+    else Utimer.default_config
+  in
+  let ut = Utimer.create sim ~uintr:fabric ~config () in
+  let dist = Workload.Service_dist.workload_a1 in
+  let handler_cost = hw.Hw.Params.uintr_handler_entry_ns + hw.Hw.Params.uintr_uiret_ns in
+  let swap = Ksim.Costs.default.Ksim.Costs.fcontext_swap_ns in
+  let tenant_list =
+    List.init tenants (fun id ->
+        {
+          id;
+          core = Hw.Core.create sim ~id;
+          queue = Queue.create ();
+          summary = Stat.Summary.create ();
+          slot = None;
+          current = None;
+          deadline = max_int;
+          done_count = 0;
+        })
+  in
+  let rec schedule t =
+    if (not (Hw.Core.busy t.core)) && t.current = None && not (Queue.is_empty t.queue)
+    then begin
+      let arrival, remaining = Queue.pop t.queue in
+      t.current <- Some (arrival, remaining);
+      t.deadline <- Engine.Sim.now sim + quantum_ns;
+      (match t.slot with
+      | Some slot -> Utimer.arm_after slot ~ns:quantum_ns
+      | None -> ());
+      Hw.Core.begin_work t.core ~duration:remaining ~on_done:(fun () ->
+          (match t.slot with Some slot -> Utimer.disarm slot | None -> ());
+          t.current <- None;
+          t.deadline <- max_int;
+          t.done_count <- t.done_count + 1;
+          Stat.Summary.record t.summary (float_of_int (Engine.Sim.now sim - arrival));
+          schedule t)
+    end
+  in
+  let preempt t =
+    match t.current with
+    | Some (arrival, _) when Hw.Core.busy t.core && Engine.Sim.now sim >= t.deadline ->
+      let executed = Hw.Core.abort t.core in
+      let _, remaining = Option.get t.current in
+      t.current <- None;
+      t.deadline <- max_int;
+      Queue.push (arrival, remaining - executed) t.queue;
+      ignore
+        (Engine.Sim.after sim (handler_cost + swap) (fun () -> schedule t))
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun t ->
+      let receiver =
+        Hw.Uintr.register_receiver fabric
+          ~name:(Printf.sprintf "tenant-%d" t.id)
+          ~handler:(fun _ ~vector:_ -> preempt t)
+          ()
+      in
+      t.slot <- Some (Utimer.register ut ~receiver ~vector:0))
+    tenant_list;
+  Utimer.start ut;
+  (* Per-tenant open-loop arrivals. *)
+  List.iter
+    (fun t ->
+      let rng = Engine.Sim.fork_rng sim in
+      let rec arrivals () =
+        let gap =
+          max 1 (int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. per_tenant_rate)))
+        in
+        ignore
+          (Engine.Sim.after sim gap (fun () ->
+               if Engine.Sim.now sim < duration_ns then begin
+                 let service = Workload.Service_dist.sample dist rng ~now:(Engine.Sim.now sim) in
+                 Queue.push (Engine.Sim.now sim, service) t.queue;
+                 schedule t;
+                 arrivals ()
+               end))
+      in
+      arrivals ())
+    tenant_list;
+  Engine.Sim.run_until sim duration_ns;
+  Utimer.stop ut;
+  Engine.Sim.run sim;
+  let p99s =
+    List.filter_map
+      (fun t ->
+        if Stat.Summary.count t.summary = 0 then None
+        else Some (Stat.Summary.report t.summary).Stat.Summary.p99)
+      tenant_list
+  in
+  if p99s = [] then invalid_arg "Tenancy.libpreemptible: no completions";
+  {
+    tenants;
+    per_tenant_rate;
+    mean_p99_us = List.fold_left ( +. ) 0.0 p99s /. float_of_int (List.length p99s) /. 1e3;
+    worst_p99_us = List.fold_left Float.max 0.0 p99s /. 1e3;
+    timer_interrupts = Utimer.fired ut;
+    completed = List.fold_left (fun acc t -> acc + t.done_count) 0 tenant_list;
+  }
+
+let shinjuku_tenant_limit (hw : Hw.Params.t) = hw.Hw.Params.apic_max_cores

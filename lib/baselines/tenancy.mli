@@ -1,0 +1,38 @@
+(** Multi-tenant scalability (Sec V-B's closing claim).
+
+    Shinjuku's preemption needs the physical APIC mapped into the
+    runtime, which supports only a bounded number of logical cores and
+    cannot be shared across distrusting tenants.  LibUtimer's deadline
+    slots are just memory: one timer core serves many tenants' workers,
+    bounded only by its scan throughput (and the timing wheel extends
+    that).
+
+    This experiment packs N single-worker tenants — each with its own
+    request stream and scheduler — into one simulation sharing one
+    LibUtimer timer core, and reports how per-tenant tail latency holds
+    up as N grows. *)
+
+type result = {
+  tenants : int;
+  per_tenant_rate : float;
+  mean_p99_us : float;  (** average of the tenants' p99s *)
+  worst_p99_us : float;  (** worst tenant *)
+  timer_interrupts : int;
+  completed : int;
+}
+
+val libpreemptible :
+  ?seed:int64 ->
+  ?quantum_ns:int ->
+  ?wheel:bool ->
+  tenants:int ->
+  per_tenant_rate:float ->
+  duration_ns:int ->
+  unit ->
+  result
+(** All tenants serve workload A1 at [per_tenant_rate] through a shared
+    timer core (default quantum 10 µs; [wheel] switches the timer core
+    to the timing-wheel scan). *)
+
+val shinjuku_tenant_limit : Hw.Params.t -> int
+(** How many tenant workers Shinjuku's APIC mapping supports at all. *)

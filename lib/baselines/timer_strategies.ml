@@ -1,0 +1,236 @@
+type strategy = Creation_time | Staggered | Chained | Userspace_timer
+
+let all = [ Creation_time; Staggered; Chained; Userspace_timer ]
+
+let name = function
+  | Creation_time -> "per-thread (creation-time)"
+  | Staggered -> "per-thread (staggered)"
+  | Chained -> "per-process (chained)"
+  | Userspace_timer -> "per-thread (LibUtimer)"
+
+type overhead_result = {
+  strategy : string;
+  threads : int;
+  mean_overhead_us : float;
+  p99_overhead_us : float;
+  max_overhead_us : float;
+}
+
+type precision_result = {
+  source : string;
+  target_ns : int;
+  mean_gap_us : float;
+  std_gap_us : float;
+  p99_gap_us : float;
+  rel_error : float;
+  sample_gaps_us : float array;
+}
+
+let summarize_overhead strategy threads (s : Stat.Summary.t) =
+  let r = Stat.Summary.report s in
+  {
+    strategy = name strategy;
+    threads;
+    mean_overhead_us = r.Stat.Summary.mean /. 1e3;
+    p99_overhead_us = r.Stat.Summary.p99 /. 1e3;
+    max_overhead_us = r.Stat.Summary.max /. 1e3;
+  }
+
+(* Signal-based strategies: expiries land in the kernel at their
+   intended times; delivery then flows through the shared signal path
+   (sighand lock + dispatch + jitter). *)
+let signal_overhead strategy costs seed ~threads ~interval_ns ~rounds =
+  let sim = Engine.Sim.create ~seed () in
+  let signal = Ksim.Signal.create sim costs ~rng:(Engine.Sim.fork_rng sim) in
+  let stat = Stat.Summary.create () in
+  let record ~intended () =
+    Stat.Summary.record stat (float_of_int (Engine.Sim.now sim - intended))
+  in
+  (match strategy with
+  | Creation_time | Staggered ->
+    let phase i =
+      match strategy with
+      | Staggered -> i * interval_ns / threads
+      | Creation_time | Chained | Userspace_timer -> 0
+    in
+    for i = 0 to threads - 1 do
+      for k = 1 to rounds do
+        let intended = (k * interval_ns) + phase i in
+        ignore
+          (Engine.Sim.at sim intended (fun () ->
+               Ksim.Signal.deliver signal ~handler:(record ~intended) ()))
+      done
+    done
+  | Chained ->
+    (* One kernel timer; thread 0 receives the signal and forwards it
+       thread-to-thread.  Each hop is a tgkill to a thread known to be
+       running: the fast, contention-free signal path (the chain is
+       sequential, so the sighand lock is never contended) — about 2 µs
+       per hop. *)
+    let hop_ns =
+      costs.Ksim.Costs.syscall_ns + costs.Ksim.Costs.sighand_lock_hold_ns + 900
+    in
+    for k = 1 to rounds do
+      let intended = k * interval_ns in
+      let rec hop i () =
+        record ~intended ();
+        if i + 1 < threads then
+          ignore (Engine.Sim.after sim hop_ns (hop (i + 1)))
+      in
+      ignore
+        (Engine.Sim.at sim intended (fun () ->
+             Ksim.Signal.deliver signal ~handler:(hop 0) ()))
+    done
+  | Userspace_timer -> assert false);
+  Engine.Sim.run sim;
+  summarize_overhead strategy threads stat
+
+let utimer_overhead hw seed ~threads ~interval_ns ~rounds =
+  let sim = Engine.Sim.create ~seed () in
+  let fabric = Hw.Uintr.create sim hw in
+  let ut = Utimer.create sim ~uintr:fabric () in
+  let stat = Stat.Summary.create () in
+  let remaining = Array.make threads rounds in
+  let intended = Array.make threads 0 in
+  let slots = Array.make threads None in
+  for i = 0 to threads - 1 do
+    let receiver =
+      Hw.Uintr.register_receiver fabric
+        ~name:(Printf.sprintf "t%d" i)
+        ~handler:(fun _ ~vector:_ ->
+          Stat.Summary.record stat (float_of_int (Engine.Sim.now sim - intended.(i)));
+          remaining.(i) <- remaining.(i) - 1;
+          if remaining.(i) > 0 then begin
+            intended.(i) <- intended.(i) + interval_ns;
+            match slots.(i) with
+            | Some slot -> Utimer.arm_at slot ~time_ns:intended.(i)
+            | None -> ()
+          end)
+        ()
+    in
+    let slot = Utimer.register ut ~receiver ~vector:0 in
+    slots.(i) <- Some slot;
+    intended.(i) <- interval_ns;
+    Utimer.arm_at slot ~time_ns:interval_ns
+  done;
+  Utimer.start ut;
+  (* Stop the poll loop once every thread finished its rounds. *)
+  let rec watchdog () =
+    if Array.exists (fun r -> r > 0) remaining then
+      ignore (Engine.Sim.after sim interval_ns watchdog)
+    else Utimer.stop ut
+  in
+  watchdog ();
+  Engine.Sim.run sim;
+  summarize_overhead Userspace_timer threads stat
+
+let delivery_overhead ?(seed = 11L) ?(costs = Ksim.Costs.default) ?(hw = Hw.Params.default)
+    strategy ~threads ~interval_ns ~rounds =
+  if threads <= 0 || rounds <= 0 || interval_ns <= 0 then
+    invalid_arg "Timer_strategies.delivery_overhead: non-positive parameter";
+  match strategy with
+  | Userspace_timer -> utimer_overhead hw seed ~threads ~interval_ns ~rounds
+  | Creation_time | Staggered | Chained ->
+    signal_overhead strategy costs seed ~threads ~interval_ns ~rounds
+
+(* ------------------------------------------------------------------ *)
+(* Precision (Fig 12)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let subsample arr n =
+  let len = Array.length arr in
+  if len <= n then Array.copy arr
+  else Array.init n (fun i -> arr.(i * len / n))
+
+let finish_precision ~source ~target_ns gaps =
+  let stat = Stat.Summary.create () in
+  Array.iter (Stat.Summary.record stat) gaps;
+  let r = Stat.Summary.report stat in
+  {
+    source;
+    target_ns;
+    mean_gap_us = r.Stat.Summary.mean /. 1e3;
+    std_gap_us = r.Stat.Summary.stddev /. 1e3;
+    p99_gap_us = r.Stat.Summary.p99 /. 1e3;
+    rel_error = abs_float (r.Stat.Summary.mean -. float_of_int target_ns) /. float_of_int target_ns;
+    sample_gaps_us = Array.map (fun g -> g /. 1e3) (subsample gaps 500);
+  }
+
+let precision ?(seed = 13L) ?(costs = Ksim.Costs.default) ?(hw = Hw.Params.default) source
+    ~threads ~target_ns ~samples =
+  if threads <= 0 || target_ns <= 0 || samples <= 0 then
+    invalid_arg "Timer_strategies.precision: non-positive parameter";
+  match source with
+  | `Kernel_timer ->
+    let sim = Engine.Sim.create ~seed () in
+    let signal = Ksim.Signal.create sim costs ~rng:(Engine.Sim.fork_rng sim) in
+    let ktimer = Ksim.Ktimer.create sim costs ~rng:(Engine.Sim.fork_rng sim) ~signal in
+    let gaps = ref [] and count = ref 0 and last = ref 0 in
+    let timers =
+      Array.init threads (fun i ->
+          Ksim.Ktimer.arm_periodic ktimer ~interval_ns:target_ns ~handler:(fun () ->
+              if i = 0 then begin
+                let t = Engine.Sim.now sim in
+                if !last > 0 && !count < samples then begin
+                  gaps := float_of_int (t - !last) :: !gaps;
+                  incr count
+                end;
+                last := t
+              end))
+    in
+    (* Run until thread 0 has collected its samples, then cancel all. *)
+    let rec watchdog () =
+      if !count < samples then ignore (Engine.Sim.after sim target_ns watchdog)
+      else Array.iter Ksim.Ktimer.cancel timers
+    in
+    watchdog ();
+    Engine.Sim.run sim;
+    finish_precision ~source:"kernel-timer" ~target_ns
+      (Array.of_list (List.rev !gaps))
+  | `Utimer ->
+    let sim = Engine.Sim.create ~seed () in
+    let fabric = Hw.Uintr.create sim hw in
+    let config =
+      (* Background activity injected into the timer core (stress-ng). *)
+      { Utimer.default_config with contention_mean_ns = 2_000; contention_prob = 0.05 }
+    in
+    let ut = Utimer.create sim ~uintr:fabric ~config () in
+    let gaps = ref [] and count = ref 0 and last = ref 0 in
+    let slots = Array.make threads None in
+    let intended = Array.make threads target_ns in
+    for i = 0 to threads - 1 do
+      let receiver =
+        Hw.Uintr.register_receiver fabric
+          ~name:(Printf.sprintf "t%d" i)
+          ~handler:(fun _ ~vector:_ ->
+            let t = Engine.Sim.now sim in
+            if i = 0 then begin
+              if !last > 0 && !count < samples then begin
+                gaps := float_of_int (t - !last) :: !gaps;
+                incr count
+              end;
+              last := t
+            end;
+            if !count < samples then begin
+              (* Periodic semantics: the next deadline advances from the
+                 intended schedule, so delivery latency does not
+                 accumulate into the period. *)
+              intended.(i) <- intended.(i) + target_ns;
+              match slots.(i) with
+              | Some slot -> Utimer.arm_at slot ~time_ns:intended.(i)
+              | None -> ()
+            end)
+          ()
+      in
+      let slot = Utimer.register ut ~receiver ~vector:0 in
+      slots.(i) <- Some slot;
+      Utimer.arm_at slot ~time_ns:intended.(i)
+    done;
+    Utimer.start ut;
+    let rec watchdog () =
+      if !count < samples then ignore (Engine.Sim.after sim target_ns watchdog)
+      else Utimer.stop ut
+    in
+    watchdog ();
+    Engine.Sim.run sim;
+    finish_precision ~source:"LibUtimer" ~target_ns (Array.of_list (List.rev !gaps))

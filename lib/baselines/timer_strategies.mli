@@ -1,0 +1,78 @@
+(** Preemption-timer delivery strategies (Fig 11) and timer precision
+    (Fig 12).
+
+    Fig 11 compares four ways of delivering periodic preemption
+    interrupts to N threads:
+
+    - {e per-thread, creation-time}: every thread arms its own kernel
+      timer at thread-creation time, so all expiries align and collide
+      on the kernel sighand lock — delivery overhead grows
+      superlinearly with N;
+    - {e per-thread, staggered ("aligned")}: the same timers with their
+      phases explicitly spread across the interval, trading contention
+      for phase-alignment delay;
+    - {e per-process, chained} (Shiina et al.): one kernel timer; the
+      receiving thread forwards the event thread-to-thread with
+      signals — linear in N;
+    - {e per-thread, user-timer (LibUtimer)}: the dedicated timer core
+      scans deadline slots and issues SENDUIPI — near-flat in N.
+
+    Fig 12 measures the period a thread actually observes between
+    handler invocations against the requested quantum, for the kernel
+    timer (granularity floor + contention) and LibUtimer (with injected
+    background contention). *)
+
+type strategy =
+  | Creation_time
+  | Staggered
+  | Chained
+  | Userspace_timer
+
+val all : strategy list
+
+val name : strategy -> string
+
+type overhead_result = {
+  strategy : string;
+  threads : int;
+  mean_overhead_us : float;
+      (** mean delay from intended expiry to handler execution *)
+  p99_overhead_us : float;
+  max_overhead_us : float;
+}
+
+val delivery_overhead :
+  ?seed:int64 ->
+  ?costs:Ksim.Costs.t ->
+  ?hw:Hw.Params.t ->
+  strategy ->
+  threads:int ->
+  interval_ns:int ->
+  rounds:int ->
+  overhead_result
+(** Arm periodic preemption for [threads] threads at [interval_ns] and
+    measure delivery overhead over [rounds] expiries per thread
+    (the paper: 1000 interrupts at a 100 µs interval). *)
+
+type precision_result = {
+  source : string;
+  target_ns : int;
+  mean_gap_us : float;
+  std_gap_us : float;
+  p99_gap_us : float;
+  rel_error : float;  (** |mean gap − target| / target *)
+  sample_gaps_us : float array;  (** evenly-spaced subsample for plotting *)
+}
+
+val precision :
+  ?seed:int64 ->
+  ?costs:Ksim.Costs.t ->
+  ?hw:Hw.Params.t ->
+  [ `Kernel_timer | `Utimer ] ->
+  threads:int ->
+  target_ns:int ->
+  samples:int ->
+  precision_result
+(** Observe [samples] consecutive handler-to-handler gaps on one thread
+    while [threads] threads run the same periodic timer (the paper uses
+    26 threads, 5000 samples, with stress-ng background noise). *)

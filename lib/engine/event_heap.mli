@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    The backbone of the event queue: entries with equal timestamps pop in
+    insertion (sequence) order, which makes the simulator deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:int -> seq:int -> 'a -> unit
+(** Insert an entry. O(log n). *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** Smallest [(time, seq, value)] without removing it. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the smallest entry. O(log n). *)
+
+val clear : 'a t -> unit

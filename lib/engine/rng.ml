@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 step: David Stafford's mix13 finalizer. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (bits64 t)
+
+let float t =
+  (* 53 random bits scaled into [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let x = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = x mod n in
+    if x - r > max_int - n + 1 then draw () else r
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  let u = 1.0 -. float t in
+  -.mean *. log u
+
+let normal t ~mu ~sigma =
+  let u1 = 1.0 -. float t and u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let pareto t ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Rng.pareto: parameters must be positive";
+  let u = 1.0 -. float t in
+  scale /. (u ** (1.0 /. shape))

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    A self-contained SplitMix64 generator: fast, high quality for
+    simulation purposes, and fully reproducible from a seed.  Every
+    simulation object draws randomness from an explicit generator so runs
+    are deterministic and experiments are repeatable. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated component its own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> bool
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform float in [\[lo, hi)]. Requires [lo <= hi]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian sample (Box–Muller). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal sample; [mu]/[sigma] are the parameters of the
+    underlying normal. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto sample with minimum [scale] and tail index [shape].
+    Smaller [shape] means heavier tail. Requires both positive. *)

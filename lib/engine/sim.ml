@@ -1,0 +1,78 @@
+type event = { etime : int; mutable live : bool }
+
+type cell = { ev : event; fn : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  heap : cell Event_heap.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42L) () =
+  { clock = 0; seq = 0; heap = Event_heap.create (); root_rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+let fork_rng t = Rng.split t.root_rng
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %d is in the past (now %d)" time t.clock);
+  let ev = { etime = time; live = true } in
+  t.seq <- t.seq + 1;
+  Event_heap.add t.heap ~time ~seq:t.seq { ev; fn };
+  ev
+
+let after t d fn =
+  if d < 0 then invalid_arg "Sim.after: negative delay";
+  at t (t.clock + d) fn
+
+let cancel ev = ev.live <- false
+let is_pending ev = ev.live
+let time_of ev = ev.etime
+
+let pending t = Event_heap.size t.heap
+
+let step t =
+  let rec next () =
+    match Event_heap.pop t.heap with
+    | None -> false
+    | Some (time, _seq, { ev; fn }) ->
+      if not ev.live then next ()
+      else begin
+        t.clock <- time;
+        ev.live <- false;
+        fn ();
+        true
+      end
+  in
+  next ()
+
+let run ?max_events t =
+  match max_events with
+  | None -> while step t do () done
+  | Some n ->
+    let fired = ref 0 in
+    while !fired < n && step t do
+      incr fired
+    done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek t.heap with
+    | Some (time, _, _) when time <= limit -> begin
+        (* Pop directly so that skipping a cancelled head cannot run a
+           live event that lies beyond [limit]. *)
+        match Event_heap.pop t.heap with
+        | Some (time, _, { ev; fn }) when ev.live ->
+          t.clock <- time;
+          ev.live <- false;
+          fn ()
+        | Some _ | None -> ()
+      end
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < limit then t.clock <- limit

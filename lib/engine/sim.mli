@@ -1,0 +1,59 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded, deterministic event loop over integer-nanosecond
+    time.  Every simulated component (UINTR delivery, kernel locks, timer
+    cores, schedulers, workload generators) is expressed as callbacks
+    scheduled on one [Sim.t].
+
+    Determinism: events at equal timestamps fire in scheduling order, and
+    all randomness flows through the engine's seeded {!Rng.t}. *)
+
+type t
+
+type event
+(** A handle to a scheduled occurrence, usable for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh simulator at time 0. Default seed is 42. *)
+
+val now : t -> int
+(** Current simulation time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The simulator's root random stream. *)
+
+val fork_rng : t -> Rng.t
+(** An independent random stream derived from the root (give one to each
+    component that samples). *)
+
+val at : t -> int -> (unit -> unit) -> event
+(** [at t time f] schedules [f] to run when the clock reaches [time].
+    [time] must not be in the past. *)
+
+val after : t -> int -> (unit -> unit) -> event
+(** [after t d f] schedules [f] to run [d >= 0] nanoseconds from now. *)
+
+val cancel : event -> unit
+(** Cancel a scheduled event; cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val is_pending : event -> bool
+(** True if the event has neither fired nor been cancelled. *)
+
+val time_of : event -> int
+(** The time the event is (or was) scheduled for. *)
+
+val pending : t -> int
+(** Number of live events in the queue (cancelled events may be counted
+    until they are lazily discarded). *)
+
+val step : t -> bool
+(** Run the next event, advancing the clock. Returns [false] when the
+    queue is exhausted. *)
+
+val run : ?max_events:int -> t -> unit
+(** Run until no events remain, or until [max_events] have fired. *)
+
+val run_until : t -> int -> unit
+(** Run all events with timestamp [<= limit], then set the clock to
+    [limit] (if it is ahead of the last event). *)

@@ -1,0 +1,16 @@
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+let us_f x = int_of_float (Float.round (x *. 1e3))
+let ms_f x = int_of_float (Float.round (x *. 1e6))
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
+
+let pp_duration fmt t =
+  let a = abs t in
+  if a < 1_000 then Format.fprintf fmt "%dns" t
+  else if a < 1_000_000 then Format.fprintf fmt "%.1fus" (to_us t)
+  else if a < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_ms t)
+  else Format.fprintf fmt "%.2fs" (to_sec t)

@@ -1,0 +1,36 @@
+(** Time units for the simulation.
+
+    All simulation time is kept in integer nanoseconds.  These helpers
+    convert to and from the human-facing units used throughout the paper
+    (microseconds, milliseconds, seconds). *)
+
+val ns : int -> int
+(** [ns x] is [x] nanoseconds (identity; for symmetry in call sites). *)
+
+val us : int -> int
+(** [us x] is [x] microseconds in nanoseconds. *)
+
+val ms : int -> int
+(** [ms x] is [x] milliseconds in nanoseconds. *)
+
+val sec : int -> int
+(** [sec x] is [x] seconds in nanoseconds. *)
+
+val us_f : float -> int
+(** [us_f x] is [x] (fractional) microseconds, rounded to nanoseconds. *)
+
+val ms_f : float -> int
+(** [ms_f x] is [x] (fractional) milliseconds, rounded to nanoseconds. *)
+
+val to_us : int -> float
+(** [to_us t] converts [t] nanoseconds to fractional microseconds. *)
+
+val to_ms : int -> float
+(** [to_ms t] converts [t] nanoseconds to fractional milliseconds. *)
+
+val to_sec : int -> float
+(** [to_sec t] converts [t] nanoseconds to fractional seconds. *)
+
+val pp_duration : Format.formatter -> int -> unit
+(** Pretty-print a duration in the most natural unit
+    (e.g. ["3.0us"], ["1.5ms"]). *)

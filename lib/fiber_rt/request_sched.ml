@@ -1,0 +1,79 @@
+type request = {
+  body : unit -> unit;
+  quantum_ns : int option;
+  mutable fn : unit Fiber.fn option; (* set once launched *)
+}
+
+type t = {
+  rt : Fiber.t;
+  fresh : request Queue.t;
+  long : request Queue.t;
+  mutable n_completed : int;
+  mutable passes : int;
+  mutable max_fresh : int;
+  mutable max_long : int;
+}
+
+type stats = {
+  completed : int;
+  preemptions : int;
+  scheduler_passes : int;
+  max_fresh_queue : int;
+  max_long_queue : int;
+}
+
+let create rt =
+  {
+    rt;
+    fresh = Queue.create ();
+    long = Queue.create ();
+    n_completed = 0;
+    passes = 0;
+    max_fresh = 0;
+    max_long = 0;
+  }
+
+let submit t ?quantum_ns body =
+  let r = { body; quantum_ns; fn = None } in
+  Queue.push r t.fresh;
+  t.max_fresh <- max t.max_fresh (Queue.length t.fresh);
+  r
+
+let completed r = match r.fn with Some fn -> Fiber.fn_completed fn | None -> false
+let preempt_count r = match r.fn with Some fn -> Fiber.preempt_count fn | None -> 0
+
+let settle t r =
+  (* After a slice: finished requests are retired, preempted ones park
+     in the long queue with their state saved in the continuation. *)
+  match r.fn with
+  | Some fn when Fiber.fn_completed fn -> t.n_completed <- t.n_completed + 1
+  | Some _ | None ->
+    Queue.push r t.long;
+    t.max_long <- max t.max_long (Queue.length t.long)
+
+let run_until_idle t =
+  let total_preempts_before = Fiber.preemptions t.rt in
+  while (not (Queue.is_empty t.fresh)) || not (Queue.is_empty t.long) do
+    t.passes <- t.passes + 1;
+    (* Fresh requests get preemptive priority (short ones escape
+       head-of-line blocking behind parked long ones). *)
+    if not (Queue.is_empty t.fresh) then begin
+      let r = Queue.pop t.fresh in
+      r.fn <- Some (Fiber.fn_launch t.rt ?quantum_ns:r.quantum_ns r.body);
+      settle t r
+    end
+    else begin
+      let r = Queue.pop t.long in
+      (match r.fn with
+      | Some fn -> Fiber.fn_resume fn
+      | None -> invalid_arg "Request_sched: parked request was never launched");
+      settle t r
+    end
+  done;
+  {
+    completed = t.n_completed;
+    preemptions = Fiber.preemptions t.rt - total_preempts_before;
+    scheduler_passes = t.passes;
+    max_fresh_queue = t.max_fresh;
+    max_long_queue = t.max_long;
+  }

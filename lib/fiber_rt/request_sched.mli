@@ -1,0 +1,36 @@
+(** A centralized-FCFS-with-preemption request scheduler over the
+    Fiber API — the paper's Sec V-C policy #1, running {e real} code.
+
+    Incoming requests are preemptible functions; fresh requests have
+    preemptive priority, preempted ones park in a long queue and resume
+    when no fresh work is pending (exactly the scheduler the simulator's
+    {!Preemptible.Server} models, here executing actual OCaml under the
+    runtime's quantum). *)
+
+type t
+
+val create : Fiber.t -> t
+
+type request
+(** A submitted request. *)
+
+val submit : t -> ?quantum_ns:int -> (unit -> unit) -> request
+(** Enqueue work (runs when the scheduler reaches it; [quantum_ns]
+    overrides the runtime default for this request). *)
+
+val completed : request -> bool
+
+val preempt_count : request -> int
+
+type stats = {
+  completed : int;
+  preemptions : int;
+  scheduler_passes : int;
+  max_fresh_queue : int;
+  max_long_queue : int;
+}
+
+val run_until_idle : t -> stats
+(** Drive the scheduler until every submitted request completed.
+    Requests submitted from inside running requests are served too.
+    Cumulative across calls. *)

@@ -1,0 +1,21 @@
+type stats = { completed : int; rounds : int; preemptions : int }
+
+let run rt thunks =
+  (* fn_launch runs each thread until completion or first preemption —
+     exactly the Fig 7 loop structure. *)
+  let fns = List.map (fun f -> Fiber.fn_launch rt f) thunks in
+  let rounds = ref 0 in
+  let rec cycle () =
+    let pending = List.filter (fun fn -> not (Fiber.fn_completed fn)) fns in
+    if pending <> [] then begin
+      incr rounds;
+      List.iter (fun fn -> if not (Fiber.fn_completed fn) then Fiber.fn_resume fn) pending;
+      cycle ()
+    end
+  in
+  cycle ();
+  {
+    completed = List.length fns;
+    rounds = !rounds;
+    preemptions = List.fold_left (fun acc fn -> acc + Fiber.preempt_count fn) 0 fns;
+  }

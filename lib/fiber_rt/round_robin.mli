@@ -1,0 +1,13 @@
+(** The paper's Fig 7: a simple round-robin scheduler over N static
+    preemptible user-level threads, written against the public Fiber
+    API. *)
+
+type stats = {
+  completed : int;
+  rounds : int;  (** scheduler passes over the task list *)
+  preemptions : int;  (** involuntary yields observed *)
+}
+
+val run : Fiber.t -> (unit -> unit) list -> stats
+(** Launch every thunk as a preemptible function, then cycle through
+    the unfinished ones with [fn_resume] until all complete. *)

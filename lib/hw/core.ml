@@ -1,0 +1,103 @@
+type seg = {
+  duration : int;
+  on_done : unit -> unit;
+  mutable done_before : int; (* work finished before the current run/stall *)
+  mutable run_start : int; (* valid while progressing *)
+  mutable progressing : bool;
+  mutable resume_at : int; (* valid while stalled *)
+  mutable ev : Engine.Sim.event option; (* completion (progressing) or resume (stalled) *)
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  cid : int;
+  mutable seg : seg option;
+  mutable busy_total : int;
+  mutable stall_total : int;
+}
+
+let create sim ~id = { sim; cid = id; seg = None; busy_total = 0; stall_total = 0 }
+
+let id t = t.cid
+let busy t = t.seg <> None
+
+let cancel_ev seg =
+  match seg.ev with
+  | Some ev ->
+    Engine.Sim.cancel ev;
+    seg.ev <- None
+  | None -> ()
+
+let complete t seg () =
+  seg.ev <- None;
+  t.seg <- None;
+  t.busy_total <- t.busy_total + seg.duration;
+  seg.on_done ()
+
+let begin_work t ~duration ~on_done =
+  if duration < 0 then invalid_arg "Core.begin_work: negative duration";
+  if busy t then
+    invalid_arg (Printf.sprintf "Core.begin_work: core %d is busy" t.cid);
+  let seg =
+    {
+      duration;
+      on_done;
+      done_before = 0;
+      run_start = Engine.Sim.now t.sim;
+      progressing = true;
+      resume_at = 0;
+      ev = None;
+    }
+  in
+  t.seg <- Some seg;
+  seg.ev <- Some (Engine.Sim.after t.sim duration (fun () -> complete t seg ()))
+
+let consumed t =
+  match t.seg with
+  | None -> 0
+  | Some seg ->
+    if seg.progressing then seg.done_before + (Engine.Sim.now t.sim - seg.run_start)
+    else seg.done_before
+
+let remaining t =
+  match t.seg with None -> 0 | Some seg -> seg.duration - consumed t
+
+let resume t seg () =
+  seg.ev <- None;
+  seg.progressing <- true;
+  seg.run_start <- Engine.Sim.now t.sim;
+  let left = seg.duration - seg.done_before in
+  seg.ev <- Some (Engine.Sim.after t.sim left (fun () -> complete t seg ()))
+
+let stall t d =
+  if d < 0 then invalid_arg "Core.stall: negative duration";
+  match t.seg with
+  | None -> invalid_arg "Core.stall: core is idle"
+  | Some seg ->
+    t.stall_total <- t.stall_total + d;
+    let now = Engine.Sim.now t.sim in
+    if seg.progressing then begin
+      seg.done_before <- seg.done_before + (now - seg.run_start);
+      seg.progressing <- false;
+      cancel_ev seg;
+      seg.resume_at <- now + d;
+      seg.ev <- Some (Engine.Sim.at t.sim seg.resume_at (fun () -> resume t seg ()))
+    end
+    else begin
+      cancel_ev seg;
+      seg.resume_at <- seg.resume_at + d;
+      seg.ev <- Some (Engine.Sim.at t.sim seg.resume_at (fun () -> resume t seg ()))
+    end
+
+let abort t =
+  match t.seg with
+  | None -> invalid_arg "Core.abort: core is idle"
+  | Some seg ->
+    let work = consumed t in
+    cancel_ev seg;
+    t.seg <- None;
+    t.busy_total <- t.busy_total + work;
+    work
+
+let busy_ns t = t.busy_total + consumed t
+let stall_ns t = t.stall_total

@@ -1,0 +1,45 @@
+(** An interruptible CPU core.
+
+    Workers execute requests as {e work segments}.  A segment runs to
+    completion unless the worker is interrupted: an interrupt handler
+    {!stall}s the core (the request makes no progress while handler code
+    runs) and may then {!abort} the segment, learning how much service
+    time the request actually received — exactly the accounting a
+    preemptive scheduler needs. *)
+
+type t
+
+val create : Engine.Sim.t -> id:int -> t
+
+val id : t -> int
+
+val busy : t -> bool
+
+val begin_work : t -> duration:int -> on_done:(unit -> unit) -> unit
+(** Start a segment of [duration >= 0] ns. [on_done] fires when it
+    completes (not if aborted). Raises [Invalid_argument] if the core is
+    already busy. *)
+
+val consumed : t -> int
+(** Work-nanoseconds of the current segment executed so far (stall time
+    excluded). 0 when idle. *)
+
+val remaining : t -> int
+(** Work-nanoseconds left in the current segment. 0 when idle. *)
+
+val stall : t -> int -> unit
+(** [stall t d] suspends progress for [d >= 0] ns (interrupt handler,
+    context-switch cost, ...). Stalls nest by accumulating. Raises
+    [Invalid_argument] when idle. *)
+
+val abort : t -> int
+(** Cancel the current segment, returning the work completed. The core
+    becomes idle; [on_done] will not fire. Raises when idle. *)
+
+val busy_ns : t -> int
+(** Total work-nanoseconds this core has executed (completed or aborted
+    segments plus progress of the current one) — used for utilization
+    accounting. *)
+
+val stall_ns : t -> int
+(** Total nanoseconds spent stalled (overheads charged to this core). *)

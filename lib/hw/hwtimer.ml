@@ -1,0 +1,65 @@
+type slot = {
+  owner : t;
+  uitt_index : int;
+  mutable deadline_ns : int; (* max_int = disarmed *)
+  mutable ev : Engine.Sim.event option;
+}
+
+and t = {
+  sim : Engine.Sim.t;
+  uintr : Uintr.t;
+  sender : Uintr.sender;
+  mutable n_slots : int;
+  mutable n_fired : int;
+  lateness_stat : Stat.Summary.t;
+}
+
+let create sim uintr =
+  {
+    sim;
+    uintr;
+    sender = Uintr.create_sender uintr ~name:"hwtimer" ();
+    n_slots = 0;
+    n_fired = 0;
+    lateness_stat = Stat.Summary.create ();
+  }
+
+let register t ~receiver ~vector =
+  let uitt_index = Uintr.connect t.sender receiver ~vector in
+  t.n_slots <- t.n_slots + 1;
+  { owner = t; uitt_index; deadline_ns = max_int; ev = None }
+
+let disarm slot =
+  slot.deadline_ns <- max_int;
+  match slot.ev with
+  | Some ev ->
+    Engine.Sim.cancel ev;
+    slot.ev <- None
+  | None -> ()
+
+let fire slot () =
+  let t = slot.owner in
+  slot.ev <- None;
+  if slot.deadline_ns <> max_int then begin
+    t.n_fired <- t.n_fired + 1;
+    Stat.Summary.record t.lateness_stat
+      (float_of_int (Engine.Sim.now t.sim - slot.deadline_ns));
+    slot.deadline_ns <- max_int;
+    Uintr.senduipi t.sender slot.uitt_index
+  end
+
+let arm_at slot ~time_ns =
+  disarm slot;
+  let t = slot.owner in
+  slot.deadline_ns <- time_ns;
+  let at = max time_ns (Engine.Sim.now t.sim) in
+  slot.ev <- Some (Engine.Sim.at t.sim at (fire slot))
+
+let arm_after slot ~ns =
+  if ns < 0 then invalid_arg "Hwtimer.arm_after: negative delay";
+  arm_at slot ~time_ns:(Engine.Sim.now slot.owner.sim + ns)
+
+let is_armed slot = slot.deadline_ns <> max_int
+let fired t = t.n_fired
+let lateness t = t.lateness_stat
+let slot_count t = t.n_slots

@@ -1,0 +1,40 @@
+(** Hardware-offloaded deadline timers (Sec VII-C).
+
+    The paper's evaluation dedicates a core to LibUtimer, and notes that
+    "hardware vendors are exploring supporting this type of capability
+    using a dedicated hardware timer that can deliver an interrupt
+    directly to the application".  This models that future device: a
+    per-slot comparator watching the TSC; when a deadline passes the
+    hardware posts the user interrupt itself — no poll loop, no
+    SENDUIPI issue cost, no timer core at all.
+
+    The lateness of a hardware slot is just the delivery latency, and
+    the core the software timer would have burned is free to serve
+    requests (ablation AB5 quantifies both effects). *)
+
+type t
+
+val create : Engine.Sim.t -> Uintr.t -> t
+
+type slot
+
+val register : t -> receiver:Uintr.receiver -> vector:int -> slot
+(** Allocate a comparator wired to [receiver]. *)
+
+val arm_at : slot -> time_ns:int -> unit
+(** Program the comparator with an absolute deadline; re-arming
+    overwrites. A deadline in the past fires immediately. *)
+
+val arm_after : slot -> ns:int -> unit
+
+val disarm : slot -> unit
+
+val is_armed : slot -> bool
+
+val fired : t -> int
+
+val lateness : t -> Stat.Summary.t
+(** Firing time minus programmed deadline (≈ 0: comparators do not
+    poll). *)
+
+val slot_count : t -> int

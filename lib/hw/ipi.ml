@@ -1,0 +1,26 @@
+type t = {
+  sim : Engine.Sim.t;
+  p : Params.t;
+  mutable n_targets : int;
+  mutable n_sends : int;
+}
+
+type target = { handler : unit -> unit }
+
+let create sim p = { sim; p; n_targets = 0; n_sends = 0 }
+
+let register t ~handler =
+  if t.n_targets >= t.p.Params.apic_max_cores then
+    invalid_arg
+      (Printf.sprintf "Ipi.register: APIC mapping supports at most %d logical cores"
+         t.p.Params.apic_max_cores);
+  t.n_targets <- t.n_targets + 1;
+  { handler }
+
+let send t target =
+  t.n_sends <- t.n_sends + 1;
+  ignore (Engine.Sim.after t.sim t.p.Params.ipi_delivery_ns target.handler)
+
+let send_cost_ns t = t.p.Params.ipi_send_ns
+let sends t = t.n_sends
+let target_count t = t.n_targets

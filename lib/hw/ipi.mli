@@ -1,0 +1,30 @@
+(** Posted inter-processor interrupts via a directly-mapped APIC.
+
+    This is Shinjuku's preemption mechanism (Sec II, VII-B): the
+    dispatcher maps the local APIC of each worker core into its address
+    space and writes to it to trigger an IPI.  It is fast, but (a) the
+    APIC grants the sender the power to interrupt {e any} core — the DoS
+    surface the paper discusses — and (b) the approach supports only a
+    bounded number of logical cores. *)
+
+type t
+
+val create : Engine.Sim.t -> Params.t -> t
+
+type target
+
+val register : t -> handler:(unit -> unit) -> target
+(** Map one worker core's APIC. Raises [Invalid_argument] once
+    {!Params.t.apic_max_cores} targets exist — the scalability wall. *)
+
+val send : t -> target -> unit
+(** Post an IPI; the handler fires after the delivery latency. The
+    sender-side cost is returned by {!send_cost_ns} for the caller to
+    account. *)
+
+val send_cost_ns : t -> int
+
+val sends : t -> int
+(** Total IPIs posted. *)
+
+val target_count : t -> int

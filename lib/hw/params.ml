@@ -1,0 +1,37 @@
+type t = {
+  tsc_ghz : float;
+  senduipi_ns : int;
+  uintr_delivery_ns : int;
+  uintr_handler_entry_ns : int;
+  uintr_uiret_ns : int;
+  uintr_blocked_extra_ns : int;
+  uitt_size : int;
+  ipi_send_ns : int;
+  ipi_delivery_ns : int;
+  apic_max_cores : int;
+  cacheline_ns : int;
+}
+
+(* Decomposition of Table IV's uintrFd ping-pong latencies:
+   running receiver: 0.512us min round trip => 256ns one way
+     = senduipi (80) + delivery (120) + handler entry (40) + uiret (16);
+   blocked receiver: 2.048us min round trip => 1024ns one way
+     = running one-way cost + 768ns kernel assist
+       (ordinary interrupt + unblock + injection). *)
+let default =
+  {
+    tsc_ghz = 1.7;
+    senduipi_ns = 80;
+    uintr_delivery_ns = 120;
+    uintr_handler_entry_ns = 40;
+    uintr_uiret_ns = 16;
+    uintr_blocked_extra_ns = 768;
+    uitt_size = 256;
+    ipi_send_ns = 300;
+    ipi_delivery_ns = 1_200;
+    apic_max_cores = 32;
+    cacheline_ns = 60;
+  }
+
+let tsc_of_ns t ns = int_of_float (Float.round (float_of_int ns *. t.tsc_ghz))
+let ns_of_tsc t c = int_of_float (Float.round (float_of_int c /. t.tsc_ghz))

@@ -1,0 +1,50 @@
+(** Hardware latency parameters.
+
+    These constants are the *calibration inputs* of the model.  Each is
+    annotated with its provenance: either a measurement reported in the
+    LibPreemptible paper (mostly Table IV) or a widely reported
+    microarchitectural cost.  Everything else in the reproduction is
+    emergent from the simulation; only these numbers are taken from the
+    paper. *)
+
+type t = {
+  tsc_ghz : float;
+      (** TSC frequency. The paper pins cores at 1.7 GHz. *)
+  senduipi_ns : int;
+      (** Sender-side cost of one SENDUIPI instruction (microcoded store
+          to the UPID + notification). Decomposed from Table IV's 0.73 µs
+          user-IPC round trip. *)
+  uintr_delivery_ns : int;
+      (** Notification-to-handler latency for a *running* receiver. *)
+  uintr_handler_entry_ns : int;
+      (** Cost of the hardware stack switch + handler prologue. *)
+  uintr_uiret_ns : int;
+      (** Cost of UIRET returning to the interrupted context. *)
+  uintr_blocked_extra_ns : int;
+      (** Extra kernel-assisted cost when the receiver is blocked:
+          ordinary interrupt + unblock + inject (Table IV: 2.39 µs vs
+          0.73 µs when running). *)
+  uitt_size : int;
+      (** Maximum UITT entries per sender task (the kernel sizes the
+          table; vectors per receiver are limited to 64 separately). *)
+  ipi_send_ns : int;
+      (** Sender cost of a posted IPI via directly-mapped APIC
+          (Shinjuku's mechanism). *)
+  ipi_delivery_ns : int;
+      (** Posted-IPI delivery-to-handler latency, including the
+          receiver-side trampoline Shinjuku uses. *)
+  apic_max_cores : int;
+      (** Scalability limit of the directly-assigned APIC approach the
+          paper criticizes (logical-core bound). *)
+  cacheline_ns : int;
+      (** Cross-core cacheline transfer; cost of the timer core reading a
+          deadline slot written by a worker. *)
+}
+
+val default : t
+
+val tsc_of_ns : t -> int -> int
+(** Convert simulation nanoseconds to TSC cycles. *)
+
+val ns_of_tsc : t -> int -> int
+(** Convert TSC cycles to simulation nanoseconds (rounded). *)

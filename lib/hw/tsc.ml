@@ -1,0 +1,7 @@
+type t = { sim : Engine.Sim.t; params : Params.t }
+
+let create sim params = { sim; params }
+let rdtsc t = Params.tsc_of_ns t.params (Engine.Sim.now t.sim)
+let of_ns t ns = Params.tsc_of_ns t.params ns
+let to_ns t c = Params.ns_of_tsc t.params c
+let deadline_after t d_ns = rdtsc t + of_ns t d_ns

@@ -1,0 +1,22 @@
+(** Timestamp counter.
+
+    LibUtimer's deadline slots hold TSC values; the timer core compares
+    RDTSC against them (Sec IV-A).  This module maps simulation time to
+    TSC cycles at the configured frequency. *)
+
+type t
+
+val create : Engine.Sim.t -> Params.t -> t
+
+val rdtsc : t -> int
+(** Current TSC value. *)
+
+val of_ns : t -> int -> int
+(** Convert a duration in nanoseconds to cycles. *)
+
+val to_ns : t -> int -> int
+(** Convert cycles to nanoseconds. *)
+
+val deadline_after : t -> int -> int
+(** [deadline_after t d_ns] is the TSC value [d_ns] nanoseconds from
+    now — what a worker writes into its deadline slot. *)

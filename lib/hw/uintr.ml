@@ -1,0 +1,172 @@
+type receiver_state = Running | Blocked
+
+type stats = {
+  sends : int;
+  deliveries_running : int;
+  deliveries_blocked : int;
+  suppressed_posts : int;
+  coalesced : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  p : Params.t;
+  mutable sends : int;
+  mutable deliveries_running : int;
+  mutable deliveries_blocked : int;
+  mutable suppressed_posts : int;
+  mutable coalesced : int;
+}
+
+type receiver = {
+  fabric : t;
+  rname : string;
+  mutable rstate : receiver_state;
+  mutable pir : int64; (* posted interrupt requests, bit per vector *)
+  mutable on : bool; (* outstanding notification *)
+  mutable sn : bool; (* suppress notification *)
+  handler : receiver -> vector:int -> unit;
+}
+
+type uitt_entry = { target : receiver; vector : int }
+
+type sender = { sfabric : t; sname : string; mutable uitt : uitt_entry array; mutable uitt_len : int }
+
+let create sim p =
+  {
+    sim;
+    p;
+    sends = 0;
+    deliveries_running = 0;
+    deliveries_blocked = 0;
+    suppressed_posts = 0;
+    coalesced = 0;
+  }
+
+let params t = t.p
+
+let register_receiver t ?(name = "receiver") ~handler () =
+  {
+    fabric = t;
+    rname = name;
+    rstate = Running;
+    pir = 0L;
+    on = false;
+    sn = false;
+    handler;
+  }
+
+let receiver_name r = r.rname
+let state r = r.rstate
+let suppressed r = r.sn
+
+let pending_vectors r =
+  let rec collect v acc =
+    if v < 0 then List.rev acc
+    else if Int64.logand r.pir (Int64.shift_left 1L v) <> 0L then collect (v - 1) (v :: acc)
+    else collect (v - 1) acc
+  in
+  collect 63 []
+
+(* Delivery: recognize all posted vectors, highest first, and run the
+   handler once per vector — the model of the CPU moving PIR into the
+   user-interrupt request register and taking each interrupt. *)
+let deliver r =
+  r.on <- false;
+  let vectors = pending_vectors r in
+  r.pir <- 0L;
+  List.iter (fun vector -> r.handler r ~vector) vectors
+
+(* Send a notification for pending posted interrupts.  The path depends
+   on the receiver state *at delivery decision time*; a blocked receiver
+   is woken through the kernel (ordinary interrupt + inject), which both
+   costs more and leaves the receiver running. *)
+let notify r =
+  let t = r.fabric in
+  r.on <- true;
+  match r.rstate with
+  | Running ->
+    ignore
+      (Engine.Sim.after t.sim t.p.Params.uintr_delivery_ns (fun () ->
+           if r.on then begin
+             (* The receiver may have blocked between notification and
+                delivery; the kernel assist path then applies. *)
+             match r.rstate with
+             | Running ->
+               t.deliveries_running <- t.deliveries_running + 1;
+               deliver r
+             | Blocked ->
+               ignore
+                 (Engine.Sim.after t.sim t.p.Params.uintr_blocked_extra_ns (fun () ->
+                      if r.on then begin
+                        t.deliveries_blocked <- t.deliveries_blocked + 1;
+                        r.rstate <- Running;
+                        deliver r
+                      end))
+           end))
+  | Blocked ->
+    ignore
+      (Engine.Sim.after t.sim
+         (t.p.Params.uintr_delivery_ns + t.p.Params.uintr_blocked_extra_ns)
+         (fun () ->
+           if r.on then begin
+             t.deliveries_blocked <- t.deliveries_blocked + 1;
+             r.rstate <- Running;
+             deliver r
+           end))
+
+let post r ~vector =
+  let t = r.fabric in
+  let bit = Int64.shift_left 1L vector in
+  if Int64.logand r.pir bit <> 0L then t.coalesced <- t.coalesced + 1;
+  r.pir <- Int64.logor r.pir bit;
+  if r.sn then t.suppressed_posts <- t.suppressed_posts + 1
+  else if not r.on then notify r
+
+let set_state r s =
+  let was = r.rstate in
+  r.rstate <- s;
+  if was = Blocked && s = Running && r.pir <> 0L && (not r.on) && not r.sn then
+    notify r
+
+let set_suppressed r b =
+  let was = r.sn in
+  r.sn <- b;
+  if was && (not b) && r.pir <> 0L && not r.on then notify r
+
+let create_sender t ?(name = "sender") () =
+  { sfabric = t; sname = name; uitt = [||]; uitt_len = 0 }
+
+let connect s r ~vector =
+  if vector < 0 || vector > 63 then invalid_arg "Uintr.connect: vector out of range";
+  if s.uitt_len >= s.sfabric.p.Params.uitt_size then
+    invalid_arg
+      (Printf.sprintf "Uintr.connect: UITT of sender %s is full (%d entries)" s.sname
+         s.sfabric.p.Params.uitt_size);
+  if s.uitt_len = Array.length s.uitt then begin
+    let arr = Array.make (max 8 (2 * Array.length s.uitt)) { target = r; vector } in
+    Array.blit s.uitt 0 arr 0 s.uitt_len;
+    s.uitt <- arr
+  end;
+  s.uitt.(s.uitt_len) <- { target = r; vector };
+  s.uitt_len <- s.uitt_len + 1;
+  s.uitt_len - 1
+
+let senduipi s idx =
+  if idx < 0 || idx >= s.uitt_len then
+    invalid_arg (Printf.sprintf "Uintr.senduipi: invalid UITT index %d" idx);
+  let t = s.sfabric in
+  t.sends <- t.sends + 1;
+  let { target; vector } = s.uitt.(idx) in
+  post target ~vector
+
+let send_cost_ns t = t.p.Params.senduipi_ns
+
+let stats t =
+  {
+    sends = t.sends;
+    deliveries_running = t.deliveries_running;
+    deliveries_blocked = t.deliveries_blocked;
+    suppressed_posts = t.suppressed_posts;
+    coalesced = t.coalesced;
+  }

@@ -1,0 +1,80 @@
+(** Behavioural model of Intel user interrupts (UINTR).
+
+    Follows the architecture described in Sec III-A / Fig 3 of the paper:
+
+    - every {e receiver} owns a User Posted Interrupt Descriptor (UPID)
+      holding a 64-bit Posted Interrupt Requests bitmap (PIR), an
+      outstanding-notification bit (ON) and a suppress-notification bit
+      (SN);
+    - every {e sender} owns a User Interrupt Target Table (UITT) of at
+      most {!Params.t.uitt_size} entries, each naming a target UPID and a
+      vector;
+    - [SENDUIPI idx] posts the vector into the target PIR and, unless
+      suppressed or already notified, sends a notification that results
+      in user-interrupt delivery — directly if the receiver is running,
+      or through a kernel-assisted unblock if it is blocked.
+
+    Latencies come from {!Params.t}; the sender-side instruction cost is
+    returned to the caller so components that model their own CPU time
+    (e.g. the LibUtimer poll loop) can account for it. *)
+
+type t
+
+val create : Engine.Sim.t -> Params.t -> t
+
+val params : t -> Params.t
+
+type receiver
+
+type receiver_state = Running | Blocked
+
+val register_receiver :
+  t -> ?name:string -> handler:(receiver -> vector:int -> unit) -> unit -> receiver
+(** Register a receiver (the kernel-mediated setup phase; it returns the
+    object standing for the task's UPID + handler). The handler runs at
+    delivery time, once per pending vector, highest vector first. *)
+
+val receiver_name : receiver -> string
+
+val state : receiver -> receiver_state
+
+val set_state : receiver -> receiver_state -> unit
+(** Transition the receiver between running and blocked. Unblocking with
+    pending vectors triggers delivery, as the hardware re-evaluates
+    posted interrupts when the thread is scheduled back in. *)
+
+val set_suppressed : receiver -> bool -> unit
+(** Set/clear the SN bit. Clearing it with pending vectors triggers a
+    notification. *)
+
+val suppressed : receiver -> bool
+
+val pending_vectors : receiver -> int list
+(** Vectors currently posted in the PIR, descending. *)
+
+type sender
+
+val create_sender : t -> ?name:string -> unit -> sender
+
+val connect : sender -> receiver -> vector:int -> int
+(** Allocate a UITT entry targeting [receiver] with [vector]
+    (0–63); returns the UIPI index to pass to {!senduipi}.
+    Raises [Invalid_argument] if the vector is out of range or the UITT
+    is full. *)
+
+val senduipi : sender -> int -> unit
+(** Execute SENDUIPI on a UITT index. Raises [Invalid_argument] on an
+    unallocated index. The sender-side cost is NOT advanced here: the
+    caller models its own CPU time using {!send_cost_ns}. *)
+
+val send_cost_ns : t -> int
+
+type stats = {
+  sends : int;  (** SENDUIPI executions *)
+  deliveries_running : int;  (** direct user-interrupt deliveries *)
+  deliveries_blocked : int;  (** kernel-assisted deliveries *)
+  suppressed_posts : int;  (** posts absorbed by SN *)
+  coalesced : int;  (** posts whose vector bit was already set *)
+}
+
+val stats : t -> stats

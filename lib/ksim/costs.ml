@@ -1,0 +1,47 @@
+type t = {
+  syscall_ns : int;
+  signal_base_ns : int;
+  sighand_lock_hold_ns : int;
+  sighand_wake_ns : int;
+  signal_dispatch_ns : int;
+  signal_noise_mean_ns : int;
+  ktimer_floor_ns : int;
+  ktimer_jitter_mean_ns : int;
+  kernel_cs_ns : int;
+  fcontext_swap_ns : int;
+  mq_min_ns : int;
+  mq_extra_mean_ns : int;
+  mq_extra_std_ns : int;
+  pipe_min_ns : int;
+  pipe_extra_mean_ns : int;
+  pipe_extra_std_ns : int;
+  eventfd_min_ns : int;
+  eventfd_extra_mean_ns : int;
+  eventfd_extra_std_ns : int;
+}
+
+(* Signal decomposition targets Table IV: min 3.584us, avg 15.325us,
+   std 3.478us. min = syscall + base + lock + dispatch; the lognormal
+   noise term carries the remaining mean/std. *)
+let default =
+  {
+    syscall_ns = 500;
+    signal_base_ns = 1_500;
+    sighand_lock_hold_ns = 600;
+    sighand_wake_ns = 2_000;
+    signal_dispatch_ns = 1_000;
+    signal_noise_mean_ns = 11_700;
+    ktimer_floor_ns = 60_000;
+    ktimer_jitter_mean_ns = 6_000;
+    kernel_cs_ns = 1_200;
+    fcontext_swap_ns = 40;
+    mq_min_ns = 8_960;
+    mq_extra_mean_ns = 1_508;
+    mq_extra_std_ns = 2_017;
+    pipe_min_ns = 10_240;
+    pipe_extra_mean_ns = 7_521;
+    pipe_extra_std_ns = 4_304;
+    eventfd_min_ns = 2_816;
+    eventfd_extra_mean_ns = 26_872;
+    eventfd_extra_std_ns = 13_612;
+  }

@@ -1,0 +1,47 @@
+(** Kernel-path cost parameters.
+
+    Like {!Hw.Params}, these are calibration inputs with provenance:
+    the signal / IPC costs derive from Table IV of the paper, the
+    kernel-timer behaviour from Fig 12, and the context-switch costs
+    from the systems literature the paper builds on (fcontext swaps are
+    tens of ns; kernel thread switches are ~1–2 µs). *)
+
+type t = {
+  syscall_ns : int;  (** bare syscall entry/exit *)
+  signal_base_ns : int;
+      (** fixed kernel work to generate + dequeue a signal, excluding
+          the sighand lock (Table IV: signal min 3.58 µs total) *)
+  sighand_lock_hold_ns : int;
+      (** time the kernel holds the per-process sighand lock per
+          delivery — the contention point behind Fig 11's superlinear
+          per-thread timer scaling *)
+  sighand_wake_ns : int;
+      (** extra serialized cost when the lock was contended (futex
+          sleep/wake + scheduler hop) *)
+  signal_dispatch_ns : int;
+      (** frame setup + handler entry + sigreturn on the receiver *)
+  signal_noise_mean_ns : int;
+      (** mean of the heavy-tailed kernel jitter added per delivery
+          (scheduling, softirq interference); brings the signal average
+          to Table IV's 15.3 µs *)
+  ktimer_floor_ns : int;
+      (** smallest effective period a kernel timer honours (Fig 12
+          shows a ~60 µs line when 20 µs was requested) *)
+  ktimer_jitter_mean_ns : int;
+      (** mean absolute jitter of kernel timer expiries *)
+  kernel_cs_ns : int;  (** kernel thread context switch *)
+  fcontext_swap_ns : int;  (** user-level fcontext swap (Sec IV-B) *)
+  (* One-way latency models for the remaining Table IV mechanisms:
+     [`min` + lognormal] with the given mean/std of the extra part. *)
+  mq_min_ns : int;
+  mq_extra_mean_ns : int;
+  mq_extra_std_ns : int;
+  pipe_min_ns : int;
+  pipe_extra_mean_ns : int;
+  pipe_extra_std_ns : int;
+  eventfd_min_ns : int;
+  eventfd_extra_mean_ns : int;
+  eventfd_extra_std_ns : int;
+}
+
+val default : t

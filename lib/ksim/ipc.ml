@@ -1,0 +1,166 @@
+type mechanism = Signal_ipc | Mq | Pipe | Eventfd | Uintrfd | Uintrfd_blocked
+
+let all = [ Signal_ipc; Mq; Pipe; Eventfd; Uintrfd; Uintrfd_blocked ]
+
+let name = function
+  | Signal_ipc -> "signal"
+  | Mq -> "mq"
+  | Pipe -> "pipe"
+  | Eventfd -> "eventFD"
+  | Uintrfd -> "uintrFd"
+  | Uintrfd_blocked -> "uintrFd (blocked)"
+
+type result = {
+  mechanism : string;
+  avg_us : float;
+  min_us : float;
+  std_us : float;
+  rate_msg_per_s : float;
+}
+
+(* Application-side turnaround between receiving a message and sending
+   the next one (loop + store). *)
+let app_gap_ns = 50
+
+let summarize mech w total_ns n =
+  {
+    mechanism = name mech;
+    avg_us = Stat.Welford.mean w /. 1e3;
+    min_us = Stat.Welford.min_value w /. 1e3;
+    std_us = Stat.Welford.stddev w /. 1e3;
+    rate_msg_per_s = float_of_int n /. (float_of_int total_ns /. 1e9);
+  }
+
+(* Closed-form mechanisms: each round trip costs the calibrated
+   [min + lognormal extra]; no event machinery needed. *)
+let run_distribution mech rng ~min_ns ~extra_mean_ns ~extra_std_ns ~n =
+  let w = Stat.Welford.create () in
+  let clock = ref 0 in
+  for _ = 1 to n do
+    let lat =
+      float_of_int min_ns
+      +. Lognorm.sample rng ~mean:(float_of_int extra_mean_ns)
+           ~std:(float_of_int extra_std_ns)
+    in
+    Stat.Welford.add w lat;
+    clock := !clock + int_of_float lat + app_gap_ns
+  done;
+  summarize mech w !clock n
+
+let run_signal costs rng ~n =
+  let sim = Engine.Sim.create () in
+  let signal = Signal.create sim costs ~rng in
+  let w = Stat.Welford.create () in
+  let remaining = ref n in
+  let rec iteration () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let t0 = Engine.Sim.now sim in
+      Signal.deliver signal
+        ~handler:(fun () ->
+          Stat.Welford.add w (float_of_int (Engine.Sim.now sim - t0));
+          ignore (Engine.Sim.after sim app_gap_ns iteration))
+        ()
+    end
+  in
+  iteration ();
+  Engine.Sim.run sim;
+  summarize Signal_ipc w (Engine.Sim.now sim) n
+
+(* User-interrupt ping-pong on the real fabric.  Each leg:
+   SENDUIPI (sender cost) -> fabric delivery -> handler entry; the
+   receiver replies after uiret.  For the blocked variant the responder
+   blocks in the kernel between messages, exercising the kernel-assist
+   path. *)
+let run_uintr hw costs rng ~blocked ~n =
+  ignore costs;
+  let sim = Engine.Sim.create () in
+  let fabric = Hw.Uintr.create sim hw in
+  let w = Stat.Welford.create () in
+  let remaining = ref n in
+  let t0 = ref 0 in
+  (* Noise beyond the deterministic pipeline: cache effects, pipeline
+     drain. Calibrated so Table IV's avg/std are matched. *)
+  let noise_mean, noise_std = if blocked then (345, 212) else (222, 698) in
+  let leg_noise () = Lognorm.sample_ns rng ~mean_ns:(noise_mean / 2) ~std_ns:(noise_std * 7 / 10) in
+  let entry_exit_ns =
+    hw.Hw.Params.uintr_handler_entry_ns + hw.Hw.Params.uintr_uiret_ns
+  in
+  (* Forward references for the two endpoints. *)
+  let send_to_b = ref (fun () -> ()) in
+  let send_to_a = ref (fun () -> ()) in
+  let block_a = ref (fun () -> ()) in
+  let start_iteration () =
+    if !remaining > 0 then begin
+      decr remaining;
+      t0 := Engine.Sim.now sim;
+      !send_to_b ();
+      (* In the blocked variant each side waits for the reply blocked in
+         the kernel, so both legs take the kernel-assist path. *)
+      if blocked then !block_a ()
+    end
+  in
+  let a =
+    Hw.Uintr.register_receiver fabric ~name:"ping"
+      ~handler:(fun _ ~vector:_ ->
+        (* Reply received: handler entry + uiret complete the RTT. *)
+        ignore
+          (Engine.Sim.after sim (entry_exit_ns + leg_noise ()) (fun () ->
+               Stat.Welford.add w (float_of_int (Engine.Sim.now sim - !t0));
+               ignore (Engine.Sim.after sim app_gap_ns start_iteration))))
+      ()
+  in
+  let b =
+    Hw.Uintr.register_receiver fabric ~name:"pong"
+      ~handler:(fun r ~vector:_ ->
+        ignore
+          (Engine.Sim.after sim (entry_exit_ns + leg_noise ()) (fun () ->
+               !send_to_a ();
+               if blocked then Hw.Uintr.set_state r Hw.Uintr.Blocked)))
+      ()
+  in
+  if blocked then Hw.Uintr.set_state b Hw.Uintr.Blocked;
+  (block_a := fun () -> Hw.Uintr.set_state a Hw.Uintr.Blocked);
+  let sender_a = Hw.Uintr.create_sender fabric ~name:"ping-tx" () in
+  let sender_b = Hw.Uintr.create_sender fabric ~name:"pong-tx" () in
+  let idx_ab = Hw.Uintr.connect sender_a b ~vector:1 in
+  let idx_ba = Hw.Uintr.connect sender_b a ~vector:1 in
+  (send_to_b :=
+     fun () ->
+       ignore
+         (Engine.Sim.after sim
+            (Hw.Uintr.send_cost_ns fabric)
+            (fun () -> Hw.Uintr.senduipi sender_a idx_ab)));
+  (send_to_a :=
+     fun () ->
+       ignore
+         (Engine.Sim.after sim
+            (Hw.Uintr.send_cost_ns fabric)
+            (fun () -> Hw.Uintr.senduipi sender_b idx_ba)));
+  start_iteration ();
+  Engine.Sim.run sim;
+  summarize (if blocked then Uintrfd_blocked else Uintrfd) w (Engine.Sim.now sim) n
+
+let run_pingpong ?(seed = 1L) ?(costs = Costs.default) ?(hw = Hw.Params.default) mech ~n =
+  if n <= 0 then invalid_arg "Ipc.run_pingpong: n must be positive";
+  let rng = Engine.Rng.create seed in
+  match mech with
+  | Signal_ipc -> run_signal costs rng ~n
+  | Mq ->
+    run_distribution Mq rng ~min_ns:costs.Costs.mq_min_ns
+      ~extra_mean_ns:costs.Costs.mq_extra_mean_ns ~extra_std_ns:costs.Costs.mq_extra_std_ns
+      ~n
+  | Pipe ->
+    run_distribution Pipe rng ~min_ns:costs.Costs.pipe_min_ns
+      ~extra_mean_ns:costs.Costs.pipe_extra_mean_ns
+      ~extra_std_ns:costs.Costs.pipe_extra_std_ns ~n
+  | Eventfd ->
+    run_distribution Eventfd rng ~min_ns:costs.Costs.eventfd_min_ns
+      ~extra_mean_ns:costs.Costs.eventfd_extra_mean_ns
+      ~extra_std_ns:costs.Costs.eventfd_extra_std_ns ~n
+  | Uintrfd -> run_uintr hw costs rng ~blocked:false ~n
+  | Uintrfd_blocked -> run_uintr hw costs rng ~blocked:true ~n
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-18s avg=%6.3fus min=%6.3fus std=%6.3fus rate=%.0f msg/s" r.mechanism
+    r.avg_us r.min_us r.std_us r.rate_msg_per_s

@@ -1,0 +1,36 @@
+(** Ping-pong IPC micro-benchmark (Table IV).
+
+    Reproduces the paper's comparison of event-notification mechanisms:
+    two tasks bounce a 1-byte notification back and forth; we report the
+    per-message latency statistics and the sustained message rate.
+
+    The [Uintrfd] variants run on the real {!Hw.Uintr} fabric model (so
+    the UPID/UITT semantics are exercised); the kernel mechanisms are
+    cost models calibrated from Table IV (see {!Costs}). *)
+
+type mechanism =
+  | Signal_ipc  (** POSIX signal between processes *)
+  | Mq  (** POSIX message queue *)
+  | Pipe
+  | Eventfd
+  | Uintrfd  (** user interrupt, receiver running *)
+  | Uintrfd_blocked  (** user interrupt, receiver blocked in the kernel *)
+
+val all : mechanism list
+(** In Table IV's row order. *)
+
+val name : mechanism -> string
+
+type result = {
+  mechanism : string;
+  avg_us : float;
+  min_us : float;
+  std_us : float;
+  rate_msg_per_s : float;
+}
+
+val run_pingpong :
+  ?seed:int64 -> ?costs:Costs.t -> ?hw:Hw.Params.t -> mechanism -> n:int -> result
+(** Run [n] round trips and summarize. *)
+
+val pp_result : Format.formatter -> result -> unit

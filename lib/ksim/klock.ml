@@ -1,0 +1,47 @@
+type waiter = { hold_ns : int; k : unit -> unit; enq_at : int }
+
+type t = {
+  sim : Engine.Sim.t;
+  contended_wake_ns : int;
+  waiting : waiter Queue.t;
+  mutable held : bool;
+  mutable n_acquisitions : int;
+  mutable n_contended : int;
+  mutable wait_ns : int;
+}
+
+let create ?(contended_wake_ns = 0) sim =
+  {
+    sim;
+    contended_wake_ns;
+    waiting = Queue.create ();
+    held = false;
+    n_acquisitions = 0;
+    n_contended = 0;
+    wait_ns = 0;
+  }
+
+let rec grant t w =
+  t.held <- true;
+  t.n_acquisitions <- t.n_acquisitions + 1;
+  let waited = Engine.Sim.now t.sim - w.enq_at in
+  if waited > 0 then t.n_contended <- t.n_contended + 1;
+  t.wait_ns <- t.wait_ns + waited;
+  let hold = w.hold_ns + (if waited > 0 then t.contended_wake_ns else 0) in
+  ignore
+    (Engine.Sim.after t.sim hold (fun () ->
+         t.held <- false;
+         w.k ();
+         if (not t.held) && not (Queue.is_empty t.waiting) then
+           grant t (Queue.pop t.waiting)))
+
+let acquire t ~hold_ns k =
+  if hold_ns < 0 then invalid_arg "Klock.acquire: negative hold";
+  let w = { hold_ns; k; enq_at = Engine.Sim.now t.sim } in
+  if t.held then Queue.push w t.waiting else grant t w
+
+let busy t = t.held
+let queue_length t = Queue.length t.waiting
+let acquisitions t = t.n_acquisitions
+let contended_acquisitions t = t.n_contended
+let total_wait_ns t = t.wait_ns

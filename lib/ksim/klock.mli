@@ -1,0 +1,31 @@
+(** A contended kernel lock, modeled as a FIFO queueing resource.
+
+    Linux takes the per-process [sighand] lock on every signal delivery;
+    when many timer signals expire at the same instant the deliveries
+    serialize on this lock.  That queueing — not any scripted curve — is
+    what produces the superlinear per-thread timer overhead of Fig 11 in
+    this reproduction. *)
+
+type t
+
+val create : ?contended_wake_ns:int -> Engine.Sim.t -> t
+(** [contended_wake_ns] (default 0): extra serialized cost paid by an
+    acquirer that had to sleep on the lock (futex wake + scheduler
+    hop) — this is what makes aligned timer signals superlinear. *)
+
+val acquire : t -> hold_ns:int -> (unit -> unit) -> unit
+(** Request the lock; once granted, hold it for [hold_ns] and run the
+    continuation at release time. Requests are served FIFO. *)
+
+val busy : t -> bool
+
+val queue_length : t -> int
+(** Waiters not yet granted (excludes the current holder). *)
+
+val acquisitions : t -> int
+
+val contended_acquisitions : t -> int
+(** Acquisitions that had to wait. *)
+
+val total_wait_ns : t -> int
+(** Cumulative time spent waiting for the lock. *)

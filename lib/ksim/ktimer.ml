@@ -1,0 +1,52 @@
+type t = {
+  sim : Engine.Sim.t;
+  c : Costs.t;
+  rng : Engine.Rng.t;
+  signal : Signal.t;
+  mutable n_expirations : int;
+}
+
+type timer = { mutable live : bool }
+
+let create sim c ~rng ~signal = { sim; c; rng; signal; n_expirations = 0 }
+
+let effective_interval t interval = max interval t.c.Costs.ktimer_floor_ns
+
+let jitter t =
+  int_of_float (Engine.Rng.exponential t.rng ~mean:(float_of_int t.c.Costs.ktimer_jitter_mean_ns))
+
+let expire t tm handler =
+  if tm.live then begin
+    t.n_expirations <- t.n_expirations + 1;
+    Signal.deliver t.signal ~handler ()
+  end
+
+let arm_oneshot t ~delay_ns ~handler =
+  if delay_ns < 0 then invalid_arg "Ktimer.arm_oneshot: negative delay";
+  let tm = { live = true } in
+  let d = effective_interval t delay_ns + jitter t in
+  ignore (Engine.Sim.after t.sim d (fun () -> expire t tm handler));
+  tm
+
+let arm_periodic t ~interval_ns ~handler =
+  if interval_ns <= 0 then invalid_arg "Ktimer.arm_periodic: non-positive interval";
+  let tm = { live = true } in
+  let period = effective_interval t interval_ns in
+  (* Concurrent arm_periodic calls do not land on the same nanosecond in
+     practice; a random phase keeps unrelated timers from aliasing. *)
+  let phase = Engine.Rng.int t.rng period in
+  let rec schedule first =
+    let d = (if first then phase else period) + jitter t in
+    ignore
+      (Engine.Sim.after t.sim d (fun () ->
+           if tm.live then begin
+             expire t tm handler;
+             schedule false
+           end))
+  in
+  schedule true;
+  tm
+
+let cancel tm = tm.live <- false
+let arm_cost_ns t = t.c.Costs.syscall_ns
+let expirations t = t.n_expirations

@@ -1,0 +1,32 @@
+(** Kernel (POSIX) timers.
+
+    The baseline preemption clock: expiries are quantized to the
+    kernel's effective granularity floor, jittered, and delivered to the
+    application through the signal path (therefore subject to sighand
+    lock contention).  Fig 12's behaviour — a requested 20 µs period
+    flooring at ~60 µs with high variance — is reproduced by these two
+    effects. *)
+
+type t
+
+val create : Engine.Sim.t -> Costs.t -> rng:Engine.Rng.t -> signal:Signal.t -> t
+
+type timer
+
+val arm_oneshot : t -> delay_ns:int -> handler:(unit -> unit) -> timer
+(** One expiry after [max delay floor] plus jitter. *)
+
+val arm_periodic : t -> interval_ns:int -> handler:(unit -> unit) -> timer
+(** Fires repeatedly with effective period
+    [max interval_ns (effective_floor t)], each expiry jittered and
+    delivered as a signal. *)
+
+val cancel : timer -> unit
+
+val effective_interval : t -> int -> int
+(** What period the kernel will actually honour for a request. *)
+
+val arm_cost_ns : t -> int
+(** Syscall cost of (re)arming, charged to the caller. *)
+
+val expirations : t -> int

@@ -1,0 +1,10 @@
+let sample rng ~mean ~std =
+  if mean <= 0.0 then 0.0
+  else begin
+    let sigma2 = log (1.0 +. (std *. std /. (mean *. mean))) in
+    let mu = log mean -. (sigma2 /. 2.0) in
+    Engine.Rng.lognormal rng ~mu ~sigma:(sqrt sigma2)
+  end
+
+let sample_ns rng ~mean_ns ~std_ns =
+  int_of_float (sample rng ~mean:(float_of_int mean_ns) ~std:(float_of_int std_ns))

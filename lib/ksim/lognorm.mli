@@ -1,0 +1,10 @@
+(** Lognormal noise terms parameterized by target mean / standard
+    deviation — the shape used for kernel-path jitter throughout the
+    kernel model (heavy-ish right tail, strictly positive). *)
+
+val sample : Engine.Rng.t -> mean:float -> std:float -> float
+(** A lognormal sample whose distribution has the given mean and
+    standard deviation. Returns 0.0 when [mean <= 0]. *)
+
+val sample_ns : Engine.Rng.t -> mean_ns:int -> std_ns:int -> int
+(** Integer-nanosecond convenience wrapper. *)

@@ -1,0 +1,47 @@
+type t = {
+  sim : Engine.Sim.t;
+  c : Costs.t;
+  rng : Engine.Rng.t;
+  klock : Klock.t;
+  mutable n_delivered : int;
+}
+
+let create sim c ~rng =
+  {
+    sim;
+    c;
+    rng;
+    klock = Klock.create ~contended_wake_ns:c.Costs.sighand_wake_ns sim;
+    n_delivered = 0;
+  }
+
+let deliver t ?(jitter = true) ~handler () =
+  let c = t.c in
+  (* Sender: kernel entry + signal generation. *)
+  ignore
+    (Engine.Sim.after t.sim
+       (c.Costs.syscall_ns + c.Costs.signal_base_ns)
+       (fun () ->
+         (* Kernel: serialize on the sighand lock. *)
+         Klock.acquire t.klock ~hold_ns:c.Costs.sighand_lock_hold_ns (fun () ->
+             (* Receiver: dispatch + optional kernel jitter. *)
+             let noise =
+               if jitter then
+                 Lognorm.sample_ns t.rng ~mean_ns:c.Costs.signal_noise_mean_ns
+                   ~std_ns:(c.Costs.signal_noise_mean_ns * 3 / 10)
+               else 0
+             in
+             ignore
+               (Engine.Sim.after t.sim
+                  (c.Costs.signal_dispatch_ns + noise)
+                  (fun () ->
+                    t.n_delivered <- t.n_delivered + 1;
+                    handler ())))))
+
+let lock t = t.klock
+
+let min_latency_ns t =
+  t.c.Costs.syscall_ns + t.c.Costs.signal_base_ns + t.c.Costs.sighand_lock_hold_ns
+  + t.c.Costs.signal_dispatch_ns
+
+let delivered t = t.n_delivered

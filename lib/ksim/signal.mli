@@ -1,0 +1,26 @@
+(** Kernel signal delivery.
+
+    The software preemption path the paper compares against: the sender
+    enters the kernel, the kernel generates the signal while holding the
+    target process's sighand lock (a shared {!Klock.t}, so concurrent
+    deliveries serialize), and the receiver pays frame setup + handler
+    dispatch, plus heavy-tailed kernel jitter. *)
+
+type t
+
+val create : Engine.Sim.t -> Costs.t -> rng:Engine.Rng.t -> t
+
+val deliver : t -> ?jitter:bool -> handler:(unit -> unit) -> unit -> unit
+(** Deliver one signal; [handler] runs when the receiver's signal
+    handler is entered. [jitter] (default true) adds the lognormal
+    kernel-noise term; disable it to measure the deterministic floor. *)
+
+val lock : t -> Klock.t
+(** The sighand lock (shared by all deliveries through this instance:
+    one instance models one process). *)
+
+val min_latency_ns : t -> int
+(** The deterministic part of a delivery: syscall + signal generation +
+    lock hold + dispatch — Table IV's "min" row. *)
+
+val delivered : t -> int

@@ -1,0 +1,55 @@
+type state = Free | Active | Preempted
+
+type ctx = { id : int; mutable cstate : state }
+
+let ctx_id c = c.id
+let state c = c.cstate
+
+type t = {
+  pool_capacity : int;
+  pool_stack_kb : int;
+  free_list : ctx Stack.t;
+  mutable used : int;
+  mutable max_used : int;
+}
+
+exception Pool_exhausted
+
+let create_pool ~capacity ~stack_kb =
+  if capacity <= 0 then invalid_arg "Context.create_pool: capacity must be positive";
+  if stack_kb <= 0 then invalid_arg "Context.create_pool: stack size must be positive";
+  let free_list = Stack.create () in
+  for i = capacity - 1 downto 0 do
+    Stack.push { id = i; cstate = Free } free_list
+  done;
+  { pool_capacity = capacity; pool_stack_kb = stack_kb; free_list; used = 0; max_used = 0 }
+
+let capacity t = t.pool_capacity
+let stack_kb t = t.pool_stack_kb
+
+let alloc t =
+  match Stack.pop_opt t.free_list with
+  | None -> raise Pool_exhausted
+  | Some c ->
+    c.cstate <- Active;
+    t.used <- t.used + 1;
+    if t.used > t.max_used then t.max_used <- t.used;
+    c
+
+let release t c =
+  if c.cstate = Free then invalid_arg "Context.release: context already free";
+  c.cstate <- Free;
+  t.used <- t.used - 1;
+  Stack.push c t.free_list
+
+let mark_preempted c =
+  if c.cstate <> Active then invalid_arg "Context.mark_preempted: context not active";
+  c.cstate <- Preempted
+
+let mark_active c =
+  if c.cstate <> Preempted then invalid_arg "Context.mark_active: context not preempted";
+  c.cstate <- Active
+
+let free_count t = t.pool_capacity - t.used
+let in_use t = t.used
+let high_water t = t.max_used

@@ -1,0 +1,56 @@
+type status = Created | Running | Preempted | Completed
+
+type t = {
+  req : Workload.Request.t;
+  ctx : Context.ctx;
+  mutable st : status;
+  mutable remaining : int;
+  mutable deadline : int;
+  mutable preemptions : int;
+}
+
+let create req ~ctx =
+  { req; ctx; st = Created; remaining = req.Workload.Request.service_ns; deadline = max_int; preemptions = 0 }
+
+let request t = t.req
+let context t = t.ctx
+let status t = t.st
+let remaining_ns t = t.remaining
+let deadline_ns t = t.deadline
+let preempt_count t = t.preemptions
+
+let set_deadline t ~now ~quantum_ns =
+  t.deadline <- (if quantum_ns = max_int then max_int else now + quantum_ns)
+
+let launch t ~now ~quantum_ns =
+  if t.st <> Created then invalid_arg "Fn.launch: function already launched";
+  t.st <- Running;
+  set_deadline t ~now ~quantum_ns
+
+let resume t ~now ~quantum_ns =
+  if t.st <> Preempted then invalid_arg "Fn.resume: function not preempted";
+  Context.mark_active t.ctx;
+  t.st <- Running;
+  set_deadline t ~now ~quantum_ns
+
+let note_progress t ~executed_ns =
+  if executed_ns < 0 then invalid_arg "Fn.note_progress: negative progress";
+  if executed_ns > t.remaining then invalid_arg "Fn.note_progress: progress exceeds remaining work";
+  t.remaining <- t.remaining - executed_ns
+
+let preempt t =
+  if t.st <> Running then invalid_arg "Fn.preempt: function not running";
+  Context.mark_preempted t.ctx;
+  t.st <- Preempted;
+  t.deadline <- max_int;
+  t.preemptions <- t.preemptions + 1
+
+let complete t =
+  if t.st <> Running then invalid_arg "Fn.complete: function not running";
+  if t.remaining <> 0 then invalid_arg "Fn.complete: work remains";
+  t.st <- Completed;
+  t.deadline <- max_int
+
+let completed t = t.st = Completed
+
+let sojourn_ns t ~now = now - t.req.Workload.Request.arrival_ns

@@ -1,0 +1,54 @@
+(** Preemptible functions — the scheduler-facing unit of execution
+    (Sec III-D / IV-C).
+
+    A function thread [Fn] pairs a request with a {!Context.ctx} and a
+    deadline.  [fn_launch] starts it; control returns to the caller when
+    it completes or its time slice expires; [fn_resume] continues a
+    preempted function; [fn_completed] tests for completion.  In the
+    simulation the actual CPU time is driven by {!Hw.Core}; this module
+    owns the bookkeeping (remaining work, deadline, status, per-request
+    accounting). *)
+
+type status = Created | Running | Preempted | Completed
+
+type t
+
+val create : Workload.Request.t -> ctx:Context.ctx -> t
+
+val request : t -> Workload.Request.t
+
+val context : t -> Context.ctx
+
+val status : t -> status
+
+val remaining_ns : t -> int
+
+val deadline_ns : t -> int
+(** Absolute deadline set by the last launch/resume; [max_int] when
+    none. *)
+
+val preempt_count : t -> int
+
+val launch : t -> now:int -> quantum_ns:int -> unit
+(** [fn_launch]: mark running with deadline [now + quantum]. Raises if
+    not in [Created] state. *)
+
+val resume : t -> now:int -> quantum_ns:int -> unit
+(** [fn_resume]: continue a preempted function. Raises if not
+    [Preempted]. *)
+
+val note_progress : t -> executed_ns:int -> unit
+(** Account [executed_ns] of service received (on preemption or
+    completion). Raises if it exceeds the remaining work. *)
+
+val preempt : t -> unit
+(** Mark preempted (after {!note_progress}). Raises if not running. *)
+
+val complete : t -> unit
+(** Mark completed. Raises if work remains or not running. *)
+
+val completed : t -> bool
+(** [fn_completed]. *)
+
+val sojourn_ns : t -> now:int -> int
+(** Time since arrival. *)

@@ -1,0 +1,133 @@
+type tick_source = {
+  set_handler : (unit -> unit) -> unit;
+  arm_at : time_ns:int -> unit;
+  cancel : unit -> unit;
+}
+
+let utimer_source ut ~uintr =
+  let handler = ref (fun () -> ()) in
+  let receiver =
+    Hw.Uintr.register_receiver uintr ~name:"pacer"
+      ~handler:(fun _ ~vector:_ -> !handler ())
+      ()
+  in
+  let slot = Utimer.register ut ~receiver ~vector:0 in
+  {
+    set_handler = (fun f -> handler := f);
+    arm_at = (fun ~time_ns -> Utimer.arm_at slot ~time_ns);
+    cancel = (fun () -> Utimer.disarm slot);
+  }
+
+let hwtimer_source hwt ~uintr =
+  let handler = ref (fun () -> ()) in
+  let receiver =
+    Hw.Uintr.register_receiver uintr ~name:"pacer"
+      ~handler:(fun _ ~vector:_ -> !handler ())
+      ()
+  in
+  let slot = Hw.Hwtimer.register hwt ~receiver ~vector:0 in
+  {
+    set_handler = (fun f -> handler := f);
+    arm_at = (fun ~time_ns -> Hw.Hwtimer.arm_at slot ~time_ns);
+    cancel = (fun () -> Hw.Hwtimer.disarm slot);
+  }
+
+let ktimer_source sim kt =
+  let handler = ref (fun () -> ()) in
+  let live = ref None in
+  {
+    set_handler = (fun f -> handler := f);
+    arm_at =
+      (fun ~time_ns ->
+        (match !live with Some tm -> Ksim.Ktimer.cancel tm | None -> ());
+        (* POSIX one-shot relative to now; the subsystem applies its
+           granularity floor and jitter. *)
+        let delay_ns = max 0 (time_ns - Engine.Sim.now sim) in
+        live :=
+          Some (Ksim.Ktimer.arm_oneshot kt ~delay_ns ~handler:(fun () -> !handler ())));
+    cancel =
+      (fun () -> match !live with Some tm -> Ksim.Ktimer.cancel tm | None -> ());
+  }
+
+type t = {
+  sim : Engine.Sim.t;
+  interval_ns : float;
+  rate : float;
+  source : tick_source;
+  send : now:int -> unit;
+  gaps : Stat.Welford.t;
+  mutable running : bool;
+  mutable k : int; (* sends so far; ideal schedule anchor *)
+  mutable t0 : int;
+  mutable last_send : int;
+}
+
+let create sim ~rate_per_sec ~source ~send =
+  if rate_per_sec <= 0.0 then invalid_arg "Pacer.create: rate must be positive";
+  {
+    sim;
+    interval_ns = 1e9 /. rate_per_sec;
+    rate = rate_per_sec;
+    source;
+    send;
+    gaps = Stat.Welford.create ();
+    running = false;
+    k = 0;
+    t0 = 0;
+    last_send = -1;
+  }
+
+let ideal t k = t.t0 + int_of_float (float_of_int k *. t.interval_ns)
+
+let arm_next t =
+  if t.running then begin
+    (* Absolute schedule: drift does not accumulate. The ktimer source
+       interprets the argument relative to now, which is exactly the
+       imprecision being measured. *)
+    let next = ideal t (t.k + 1) in
+    t.source.arm_at ~time_ns:next
+  end
+
+let on_tick t () =
+  if t.running then begin
+    let now = Engine.Sim.now t.sim in
+    t.k <- t.k + 1;
+    t.send ~now;
+    if t.last_send >= 0 then Stat.Welford.add t.gaps (float_of_int (now - t.last_send));
+    t.last_send <- now;
+    arm_next t
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    t.t0 <- Engine.Sim.now t.sim;
+    t.k <- 0;
+    t.last_send <- -1;
+    t.source.set_handler (on_tick t);
+    arm_next t
+  end
+
+let stop t =
+  t.running <- false;
+  t.source.cancel ()
+
+type stats = {
+  sends : int;
+  mean_gap_us : float;
+  std_gap_us : float;
+  achieved_rate_per_s : float;
+  rate_error : float;
+}
+
+let stats t =
+  if Stat.Welford.count t.gaps < 1 then invalid_arg "Pacer.stats: too few sends";
+  let mean = Stat.Welford.mean t.gaps in
+  let achieved = 1e9 /. mean in
+  {
+    sends = t.k;
+    mean_gap_us = mean /. 1e3;
+    std_gap_us = Stat.Welford.stddev t.gaps /. 1e3;
+    achieved_rate_per_s = achieved;
+    rate_error = abs_float (achieved -. t.rate) /. t.rate;
+  }

@@ -1,0 +1,53 @@
+(** Precise traffic pacing (Sec VII-C).
+
+    The paper names traffic shaping as a use case whose performance
+    hinges on the accuracy of timed actions.  A pacer emits sends on an
+    absolute schedule (one every [1/rate]); what limits its fidelity is
+    the timer that wakes it.  This module paces over any {!tick_source}
+    so the same policy can be driven by LibUtimer (µs-accurate), the
+    future hardware comparators, or a kernel timer (floored at tens of
+    µs) — the comparison the `traffic_pacing` example draws. *)
+
+type tick_source = {
+  set_handler : (unit -> unit) -> unit;
+      (** install the fire callback (once, before any arm) *)
+  arm_at : time_ns:int -> unit;  (** schedule the next tick *)
+  cancel : unit -> unit;
+}
+
+val utimer_source :
+  Utimer.t -> uintr:Hw.Uintr.t -> tick_source
+(** A LibUtimer deadline slot drives the ticks (registers a receiver +
+    slot on first use). *)
+
+val hwtimer_source : Hw.Hwtimer.t -> uintr:Hw.Uintr.t -> tick_source
+(** A hardware comparator drives the ticks. *)
+
+val ktimer_source : Engine.Sim.t -> Ksim.Ktimer.t -> tick_source
+(** A POSIX timer drives the ticks (granularity floor applies). *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  rate_per_sec:float ->
+  source:tick_source ->
+  send:(now:int -> unit) ->
+  t
+(** Pace [send] at [rate_per_sec] on the absolute schedule
+    [k / rate]. Raises on a non-positive rate. *)
+
+val start : t -> unit
+
+val stop : t -> unit
+
+type stats = {
+  sends : int;
+  mean_gap_us : float;
+  std_gap_us : float;
+  achieved_rate_per_s : float;
+  rate_error : float;  (** |achieved − target| / target *)
+}
+
+val stats : t -> stats
+(** Raises if fewer than two sends happened. *)

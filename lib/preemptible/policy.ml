@@ -1,0 +1,60 @@
+type pick = Run_new | Resume_preempted
+
+type t = {
+  name : string;
+  pick : new_ready:int -> preempted_ready:int -> pick;
+  quantum_ns : now:int -> cls:Workload.Request.cls -> int;
+  on_window : Stats_window.snapshot -> unit;
+}
+
+let new_first ~new_ready:_ ~preempted_ready:_ = Run_new
+
+let no_preempt =
+  {
+    name = "no-preempt";
+    pick = new_first;
+    quantum_ns = (fun ~now:_ ~cls:_ -> max_int);
+    on_window = ignore;
+  }
+
+let fcfs_preempt ~quantum_ns =
+  if quantum_ns <= 0 then invalid_arg "Policy.fcfs_preempt: quantum must be positive";
+  {
+    name = Printf.sprintf "fcfs-preempt(%dus)" (quantum_ns / 1000);
+    pick = new_first;
+    quantum_ns = (fun ~now:_ ~cls:_ -> quantum_ns);
+    on_window = ignore;
+  }
+
+let processor_sharing ~quantum_ns =
+  if quantum_ns <= 0 then invalid_arg "Policy.processor_sharing: quantum must be positive";
+  let flip = ref false in
+  {
+    name = Printf.sprintf "ps(%dus)" (quantum_ns / 1000);
+    pick =
+      (fun ~new_ready:_ ~preempted_ready:_ ->
+        flip := not !flip;
+        if !flip then Run_new else Resume_preempted);
+    quantum_ns = (fun ~now:_ ~cls:_ -> quantum_ns);
+    on_window = ignore;
+  }
+
+let adaptive controller =
+  {
+    name = "fcfs-preempt-adaptive";
+    pick = new_first;
+    quantum_ns = (fun ~now:_ ~cls:_ -> Quantum_controller.quantum_ns controller);
+    on_window = (fun s -> ignore (Quantum_controller.observe controller s));
+  }
+
+let with_be_quantum base ~be_quantum_ns =
+  if be_quantum_ns <= 0 then invalid_arg "Policy.with_be_quantum: quantum must be positive";
+  {
+    base with
+    name = Printf.sprintf "%s+be(%dus)" base.name (be_quantum_ns / 1000);
+    quantum_ns =
+      (fun ~now ~cls ->
+        match cls with
+        | Workload.Request.Best_effort -> be_quantum_ns
+        | Workload.Request.Latency_critical -> base.quantum_ns ~now ~cls);
+  }

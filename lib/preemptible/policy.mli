@@ -1,0 +1,48 @@
+(** Scheduling policies (mechanism/policy separation, Sec III-C).
+
+    A policy tells a worker two things:
+    - what to pick when it becomes idle: a fresh request from its local
+      queue, or a preempted function from the global long queue;
+    - what time quantum to give the function it is about to run.
+
+    Policies are plain values, so applications express their own in a
+    few lines (the paper's Sec V-C policies #1 and #2 are
+    {!fcfs_preempt} and {!adaptive}). *)
+
+type pick = Run_new | Resume_preempted
+(** What a worker should run next, given both options exist. When only
+    one queue is non-empty the worker takes what is available; [pick]
+    breaks the tie. *)
+
+type t = {
+  name : string;
+  pick : new_ready:int -> preempted_ready:int -> pick;
+      (** tie-break given the two queue occupancies (both > 0) *)
+  quantum_ns : now:int -> cls:Workload.Request.cls -> int;
+      (** time slice for the function about to run; [max_int] means run
+          to completion *)
+  on_window : Stats_window.snapshot -> unit;
+      (** called at every statistics-window boundary (controller hook;
+          no-op for static policies) *)
+}
+
+val no_preempt : t
+(** Run-to-completion c-FCFS: the non-preemptive baseline. *)
+
+val fcfs_preempt : quantum_ns:int -> t
+(** Sec V-C policy #1: centralized FCFS with preemption at a fixed time
+    quantum; new requests get preemptive priority over preempted long
+    requests. *)
+
+val processor_sharing : quantum_ns:int -> t
+(** PS approximation: round-robins between fresh and preempted work at
+    the given quantum. *)
+
+val adaptive : Quantum_controller.t -> t
+(** Sec V-C policy #2 / Algorithm 1: FCFS with preemption whose quantum
+    the controller adjusts at every window boundary. *)
+
+val with_be_quantum : t -> be_quantum_ns:int -> t
+(** Derive a policy that gives best-effort requests their own (usually
+    larger) quantum while latency-critical requests keep the base
+    policy's. *)

@@ -1,0 +1,64 @@
+type config = {
+  l_high_fraction : float;
+  l_low_fraction : float;
+  k1_ns : int;
+  k2_ns : int;
+  k3_ns : int;
+  q_threshold : int;
+  t_min_ns : int;
+  t_max_ns : int;
+}
+
+let default_config =
+  {
+    l_high_fraction = 0.9;
+    l_low_fraction = 0.1;
+    k1_ns = 10_000;
+    k2_ns = 10_000;
+    k3_ns = 10_000;
+    q_threshold = 32;
+    t_min_ns = 3_000;
+    t_max_ns = 100_000;
+  }
+
+type t = {
+  c : config;
+  max_load_per_s : float;
+  mutable tq : int;
+  mutable n_steps : int;
+}
+
+let create ?(config = default_config) ~max_load_per_s ~initial_quantum_ns () =
+  if max_load_per_s <= 0.0 then
+    invalid_arg "Quantum_controller.create: max load must be positive";
+  if initial_quantum_ns < config.t_min_ns || initial_quantum_ns > config.t_max_ns then
+    invalid_arg "Quantum_controller.create: initial quantum outside [t_min, t_max]";
+  { c = config; max_load_per_s; tq = initial_quantum_ns; n_steps = 0 }
+
+let quantum_ns t = t.tq
+let config t = t.c
+let steps t = t.n_steps
+
+let tail_index_of (s : Stats_window.snapshot) =
+  if s.Stats_window.completions = 0 then None
+  else begin
+    let median = s.Stats_window.service_median_ns
+    and tail = s.Stats_window.service_p99_ns in
+    if median <= 0.0 || tail <= median then None
+    else Some (Stat.Tail_index.ratio_proxy ~median ~tail)
+  end
+
+let observe t (s : Stats_window.snapshot) =
+  t.n_steps <- t.n_steps + 1;
+  let c = t.c in
+  let mu = s.Stats_window.arrival_rate_per_s in
+  let l_high = c.l_high_fraction *. t.max_load_per_s in
+  let l_low = c.l_low_fraction *. t.max_load_per_s in
+  if mu > l_high then t.tq <- max (t.tq - c.k1_ns) c.t_min_ns;
+  let heavy =
+    match tail_index_of s with Some alpha -> Stat.Tail_index.is_heavy alpha | None -> false
+  in
+  if s.Stats_window.max_qlen > c.q_threshold || heavy then
+    t.tq <- max (t.tq - c.k2_ns) c.t_min_ns;
+  if mu < l_low then t.tq <- min (t.tq + c.k3_ns) c.t_max_ns;
+  t.tq

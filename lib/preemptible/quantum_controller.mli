@@ -1,0 +1,60 @@
+(** Adaptive time-quantum controller — Algorithm 1.
+
+    Periodically adjusts the scheduling time quantum TQ from windowed
+    statistics:
+
+    {v
+      alpha <- f(past median and tail latencies)      (tail-index fit)
+      if mu > L_high              then TQ <- max(TQ - k1, T_min)
+      if qlen > Q_threshold
+         or alpha is heavy-tailed then TQ <- max(TQ - k2, T_min)
+      if mu < L_low               then TQ <- min(TQ + k3, T_max)
+    v}
+
+    Two notes versus the paper's pseudo-code: its lines 7/10 write
+    [min{TQ - k, T_min}] where a lower bound is clearly intended (that
+    would drive TQ to T_min permanently on first trigger), and line 13
+    writes [max{TQ + k3, T_max}] where an upper bound is intended.  We
+    implement the evident intent ([max] for the floor, [min] for the
+    ceiling).
+
+    Defaults follow Sec III-F: L_high = 90% of max load, L_low = 10%,
+    and T_min = 3 µs (the LibUtimer minimum time slice). *)
+
+type config = {
+  l_high_fraction : float;  (** of max load; paper: 0.9 *)
+  l_low_fraction : float;  (** paper: 0.1 *)
+  k1_ns : int;  (** decrement under high load *)
+  k2_ns : int;  (** decrement under queueing / heavy tail *)
+  k3_ns : int;  (** increment under low load *)
+  q_threshold : int;
+  t_min_ns : int;  (** paper: 3 µs *)
+  t_max_ns : int;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> max_load_per_s:float -> initial_quantum_ns:int -> unit -> t
+(** Raises [Invalid_argument] for non-positive [max_load_per_s] or an
+    initial quantum outside [t_min, t_max]. *)
+
+val quantum_ns : t -> int
+(** The current TQ. *)
+
+val config : t -> config
+
+val observe : t -> Stats_window.snapshot -> int
+(** Run one controller step on a window snapshot; returns (and adopts)
+    the updated TQ. *)
+
+val tail_index_of : Stats_window.snapshot -> float option
+(** The alpha the controller fits for a snapshot, from the window's
+    {e service-time} median/p99 — queueing delay inflates sojourn tails
+    even for light-tailed service, so sojourn statistics would
+    misclassify loaded light-tailed workloads as heavy. [None] when the
+    window lacks data (tail <= median or no completions). *)
+
+val steps : t -> int
+(** Controller invocations so far. *)

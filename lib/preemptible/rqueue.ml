@@ -1,0 +1,63 @@
+type 'a t = {
+  qname : string;
+  q : ('a * int) Queue.t;
+  mutable hwm : int;
+  mutable pushed : int;
+  wait : Stat.Welford.t;
+}
+
+let create ~name = { qname = name; q = Queue.create (); hwm = 0; pushed = 0; wait = Stat.Welford.create () }
+
+let name t = t.qname
+
+let push t ~now x =
+  ignore now;
+  Queue.push (x, now) t.q;
+  t.pushed <- t.pushed + 1;
+  let len = Queue.length t.q in
+  if len > t.hwm then t.hwm <- len
+
+let pop t ~now =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some (x, enq_at) ->
+    Stat.Welford.add t.wait (float_of_int (now - enq_at));
+    Some x
+
+let pop_by t ~now ~key =
+  if Queue.is_empty t.q then None
+  else begin
+    let best = ref None in
+    Queue.iter
+      (fun (x, _) ->
+        match !best with
+        | Some b when key b <= key x -> ()
+        | Some _ | None -> best := Some x)
+      t.q;
+    match !best with
+    | None -> None
+    | Some chosen ->
+      (* Rebuild without the chosen element (first occurrence). *)
+      let keep = Queue.create () in
+      let removed = ref false in
+      let wait_ns = ref 0 in
+      Queue.iter
+        (fun (x, enq_at) ->
+          if (not !removed) && x == chosen then begin
+            removed := true;
+            wait_ns := now - enq_at
+          end
+          else Queue.push (x, enq_at) keep)
+        t.q;
+      Queue.clear t.q;
+      Queue.transfer keep t.q;
+      Stat.Welford.add t.wait (float_of_int !wait_ns);
+      Some chosen
+  end
+
+let peek t = Option.map fst (Queue.peek_opt t.q)
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let max_length t = t.hwm
+let total_pushed t = t.pushed
+let mean_wait_ns t = Stat.Welford.mean t.wait

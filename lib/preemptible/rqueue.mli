@@ -1,0 +1,35 @@
+(** Instrumented request queues (Fig 6).
+
+    The runtime uses three kinds of queues: the dispatch queue feeding
+    the dispatcher, per-worker local FIFO queues, and the global "long"
+    queue of preempted functions.  All are FIFO; this wrapper adds the
+    occupancy statistics the controller and experiments need. *)
+
+type 'a t
+
+val create : name:string -> 'a t
+
+val name : 'a t -> string
+
+val push : 'a t -> now:int -> 'a -> unit
+
+val pop : 'a t -> now:int -> 'a option
+
+val pop_by : 'a t -> now:int -> key:('a -> int) -> 'a option
+(** Remove the element minimizing [key] (FIFO among ties). O(n) — the
+    discipline queues are short in practice; the simulator favours
+    clarity over a heap here. *)
+
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val max_length : 'a t -> int
+(** High-water occupancy. *)
+
+val total_pushed : 'a t -> int
+
+val mean_wait_ns : 'a t -> float
+(** Average time popped elements spent queued. *)

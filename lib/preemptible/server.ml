@@ -1,0 +1,651 @@
+type mechanism =
+  | Uintr_utimer of Utimer.config
+  | Uintr_hw_offload
+  | Signal_utimer of { poll_ns : int }
+  | Kernel_timer
+  | No_mechanism
+
+type discipline = Fifo | Srpt_oracle | Edf of int
+
+type config = {
+  n_workers : int;
+  policy : Policy.t;
+  mechanism : mechanism;
+  discipline : discipline;
+  cancel_after_slo : int option;
+  dispatch_cost_ns : int;
+  launch_cost_ns : int;
+  complete_cost_ns : int;
+  ctx_pool_capacity : int;
+  stack_kb : int;
+  stats_window_ns : int;
+  work_stealing : bool;
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+  max_events : int;
+}
+
+let default_config ~n_workers ~policy ~mechanism =
+  {
+    n_workers;
+    policy;
+    mechanism;
+    discipline = Fifo;
+    cancel_after_slo = None;
+    dispatch_cost_ns = 250;
+    launch_cost_ns = 80;
+    complete_cost_ns = 40;
+    ctx_pool_capacity = 8192;
+    stack_kb = 16;
+    stats_window_ns = Engine.Units.ms 100;
+    work_stealing = true;
+    costs = Ksim.Costs.default;
+    hw = Hw.Params.default;
+    seed = 42L;
+    max_events = 400_000_000;
+  }
+
+type probes = {
+  on_complete : now:int -> latency_ns:int -> cls:Workload.Request.cls -> unit;
+  on_window : Stats_window.snapshot -> quantum_ns:int -> unit;
+}
+
+let no_probes =
+  { on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ()); on_window = (fun _ ~quantum_ns:_ -> ()) }
+
+type result = {
+  duration_ns : int;
+  measured_ns : int;
+  offered : int;
+  completed : int;
+  cancelled : int;
+  dropped : int;
+  all : Stat.Summary.report;
+  lc : Stat.Summary.report option;
+  be : Stat.Summary.report option;
+  throughput_rps : float;
+  offered_rps : float;
+  preemptions : int;
+  timer_interrupts : int;
+  spurious_interrupts : int;
+  ctx_high_water : int;
+  worker_busy_frac : float;
+  long_queue_hwm : int;
+  dispatch_queue_hwm : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Internal state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  wid : int;
+  core : Hw.Core.t;
+  local : Workload.Request.t Rqueue.t;
+  mutable current : Fn.t option;
+  mutable cur_deadline : int;
+  mutable transition : bool; (* paying a switch overhead; do not schedule *)
+}
+
+type mech_ops = {
+  mech_arm : int -> quantum_ns:int -> unit;
+  mech_disarm : int -> unit;
+  arm_cost_ns : int;
+  disarm_cost_ns : int;
+  entry_cost_ns : int;
+  exit_cost_ns : int;
+  mech_shutdown : unit -> unit;
+  mech_fired : unit -> int;
+}
+
+type st = {
+  sim : Engine.Sim.t;
+  cfg : config;
+  arrival_rng : Engine.Rng.t;
+  service_rng : Engine.Rng.t;
+  workers : worker array;
+  long_q : Fn.t Rqueue.t;
+  dispatch_q : Workload.Request.t Rqueue.t;
+  dispatcher : Hw.Core.t;
+  pool : Context.t;
+  window : Stats_window.t;
+  sum_all : Stat.Summary.t;
+  sum_lc : Stat.Summary.t;
+  sum_be : Stat.Summary.t;
+  probes : probes;
+  warmup_ns : int;
+  duration_ns : int;
+  mutable mech : mech_ops;
+  mutable outstanding : int;
+  mutable arrivals_done : bool;
+  mutable drained : bool;
+  mutable measured_offered : int;
+  mutable measured_completed : int;
+  mutable completed_in_window : int;
+  mutable cancelled_measured : int;
+  mutable preemptions : int;
+  mutable spurious : int;
+  mutable next_id : int;
+  mutable window_ev : Engine.Sim.event option;
+}
+
+let now st = Engine.Sim.now st.sim
+
+let total_qlen st =
+  Rqueue.length st.dispatch_q
+  + Rqueue.length st.long_q
+  + Array.fold_left (fun acc w -> acc + Rqueue.length w.local) 0 st.workers
+
+let measured st (req : Workload.Request.t) = req.Workload.Request.arrival_ns >= st.warmup_ns
+
+(* ------------------------------------------------------------------ *)
+(* Worker scheduling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_segment st w fn quantum_ns =
+  w.cur_deadline <- Fn.deadline_ns fn;
+  if quantum_ns <> max_int then st.mech.mech_arm w.wid ~quantum_ns;
+  Hw.Core.begin_work w.core ~duration:(Fn.remaining_ns fn) ~on_done:(fun () ->
+      complete_current st w fn)
+
+and complete_current st w fn =
+  let t = now st in
+  st.mech.mech_disarm w.wid;
+  Fn.note_progress fn ~executed_ns:(Fn.remaining_ns fn);
+  Fn.complete fn;
+  Context.release st.pool (Fn.context fn);
+  st.outstanding <- st.outstanding - 1;
+  let req = Fn.request fn in
+  let latency = t - req.Workload.Request.arrival_ns in
+  Stats_window.note_completion st.window ~now:t ~latency_ns:latency
+    ~service_ns:req.Workload.Request.service_ns;
+  if measured st req then begin
+    st.measured_completed <- st.measured_completed + 1;
+    if t <= st.duration_ns then st.completed_in_window <- st.completed_in_window + 1;
+    Stat.Summary.record st.sum_all (float_of_int latency);
+    (match req.Workload.Request.cls with
+    | Workload.Request.Latency_critical -> Stat.Summary.record st.sum_lc (float_of_int latency)
+    | Workload.Request.Best_effort -> Stat.Summary.record st.sum_be (float_of_int latency));
+    st.probes.on_complete ~now:t ~latency_ns:latency ~cls:req.Workload.Request.cls
+  end;
+  w.current <- None;
+  w.cur_deadline <- max_int;
+  after_transition st w (st.cfg.complete_cost_ns + st.mech.disarm_cost_ns);
+  (* A freed context may unblock other idle workers that had new
+     requests queued but no context to run them on. *)
+  wake_idle st;
+  check_drain st
+
+and after_transition st w cost =
+  w.transition <- true;
+  ignore
+    (Engine.Sim.after st.sim cost (fun () ->
+         w.transition <- false;
+         schedule_next st w))
+
+and wake_idle st =
+  Array.iter
+    (fun w -> if w.current = None && not w.transition then schedule_next st w)
+    st.workers
+
+and schedule_next st w =
+  if w.current = None && not w.transition then begin
+    let new_ready = Rqueue.length w.local in
+    let pre_ready = Rqueue.length st.long_q in
+    if new_ready > 0 || pre_ready > 0 then begin
+      let choice =
+        if new_ready = 0 then Policy.Resume_preempted
+        else if pre_ready = 0 then Policy.Run_new
+        else st.cfg.policy.Policy.pick ~new_ready ~preempted_ready:pre_ready
+      in
+      match choice with
+      | Policy.Run_new ->
+        if Context.free_count st.pool > 0 then launch_new st w ~from:w
+        else if pre_ready > 0 then resume_preempted st w
+      | Policy.Resume_preempted -> resume_preempted st w
+    end
+    else if st.cfg.work_stealing then begin
+      (* Both queues empty: steal a fresh request from the most loaded
+         sibling (the centralized lists plus stealing give the load
+         balancing the paper attributes to the design). *)
+      let victim = ref None in
+      Array.iter
+        (fun w' ->
+          let len = Rqueue.length w'.local in
+          if len >= 1 && w'.wid <> w.wid then
+            match !victim with
+            | Some v when Rqueue.length v.local >= len -> ()
+            | Some _ | None -> victim := Some w')
+        st.workers;
+      match !victim with
+      | Some v when Context.free_count st.pool > 0 -> launch_new st w ~from:v
+      | Some _ | None -> ()
+    end
+  end
+
+and pop_new st (q : Workload.Request.t Rqueue.t) =
+  let t = now st in
+  match st.cfg.discipline with
+  | Fifo -> Rqueue.pop q ~now:t
+  | Srpt_oracle -> Rqueue.pop_by q ~now:t ~key:(fun r -> r.Workload.Request.service_ns)
+  | Edf slo ->
+    Rqueue.pop_by q ~now:t ~key:(fun r -> r.Workload.Request.arrival_ns + slo)
+
+and launch_new st w ~from =
+  match pop_new st from.local with
+  | None -> ()
+  | Some req ->
+    let ctx = Context.alloc st.pool in
+    let fn = Fn.create req ~ctx in
+    w.current <- Some fn;
+    (* Stealing pays an extra cross-core cacheline transfer. *)
+    let steal_cost = if from.wid = w.wid then 0 else st.cfg.hw.Hw.Params.cacheline_ns in
+    let cost = st.cfg.launch_cost_ns + st.mech.arm_cost_ns + steal_cost in
+    ignore
+      (Engine.Sim.after st.sim cost (fun () ->
+           let t = now st in
+           let quantum_ns =
+             st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
+           in
+           Fn.launch fn ~now:t ~quantum_ns;
+           start_segment st w fn quantum_ns))
+
+and resume_preempted st w =
+  match Rqueue.pop st.long_q ~now:(now st) with
+  | None -> ()
+  | Some fn ->
+    w.current <- Some fn;
+    let cost = st.cfg.costs.Ksim.Costs.fcontext_swap_ns + st.mech.arm_cost_ns in
+    ignore
+      (Engine.Sim.after st.sim cost (fun () ->
+           let t = now st in
+           let req = Fn.request fn in
+           let quantum_ns =
+             st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
+           in
+           Fn.resume fn ~now:t ~quantum_ns;
+           start_segment st w fn quantum_ns))
+
+and check_drain st =
+  if st.arrivals_done && st.outstanding = 0 && not st.drained then begin
+    st.drained <- true;
+    st.mech.mech_shutdown ();
+    match st.window_ev with
+    | Some ev -> Engine.Sim.cancel ev
+    | None -> ()
+  end
+
+(* Preemption interrupt landing on worker [i]. *)
+let on_interrupt st i =
+  let w = st.workers.(i) in
+  let t = now st in
+  match w.current with
+  | Some fn when Hw.Core.busy w.core && t >= w.cur_deadline ->
+    st.preemptions <- st.preemptions + 1;
+    let executed = Hw.Core.abort w.core in
+    Fn.note_progress fn ~executed_ns:executed;
+    Fn.preempt fn;
+    let doomed =
+      match st.cfg.cancel_after_slo with
+      | Some slo -> Fn.sojourn_ns fn ~now:t > slo
+      | None -> false
+    in
+    if doomed then begin
+      (* Sec III-B: the request already blew its SLO; cancel it and
+         release its resources instead of letting it consume more. *)
+      Context.release st.pool (Fn.context fn);
+      st.outstanding <- st.outstanding - 1;
+      let req = Fn.request fn in
+      if measured st req then st.cancelled_measured <- st.cancelled_measured + 1;
+      check_drain st
+    end
+    else Rqueue.push st.long_q ~now:t fn;
+    w.current <- None;
+    w.cur_deadline <- max_int;
+    let overhead =
+      st.mech.entry_cost_ns + st.cfg.costs.Ksim.Costs.fcontext_swap_ns
+      + st.mech.exit_cost_ns
+    in
+    after_transition st w overhead;
+    wake_idle st
+  | Some _ when Hw.Core.busy w.core ->
+    (* Stale interrupt (the function it was armed for already left the
+       core): the handler still runs and steals cycles. *)
+    st.spurious <- st.spurious + 1;
+    Hw.Core.stall w.core (st.mech.entry_cost_ns + st.mech.exit_cost_ns)
+  | Some _ | None -> st.spurious <- st.spurious + 1
+
+(* ------------------------------------------------------------------ *)
+(* Preemption mechanisms                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_mech st =
+  let sim = st.sim and cfg = st.cfg in
+  match cfg.mechanism with
+  | No_mechanism ->
+    {
+      mech_arm = (fun _ ~quantum_ns:_ -> ());
+      mech_disarm = (fun _ -> ());
+      arm_cost_ns = 0;
+      disarm_cost_ns = 0;
+      entry_cost_ns = 0;
+      exit_cost_ns = 0;
+      mech_shutdown = (fun () -> ());
+      mech_fired = (fun () -> 0);
+    }
+  | Uintr_utimer ucfg ->
+    let fabric = Hw.Uintr.create sim cfg.hw in
+    let ut = Utimer.create sim ~uintr:fabric ~config:ucfg () in
+    let slots =
+      Array.init cfg.n_workers (fun i ->
+          let receiver =
+            Hw.Uintr.register_receiver fabric
+              ~name:(Printf.sprintf "worker-%d" i)
+              ~handler:(fun _ ~vector:_ -> on_interrupt st i)
+              ()
+          in
+          Utimer.register ut ~receiver ~vector:0)
+    in
+    Utimer.start ut;
+    {
+      mech_arm = (fun i ~quantum_ns -> Utimer.arm_after slots.(i) ~ns:quantum_ns);
+      mech_disarm = (fun i -> Utimer.disarm slots.(i));
+      (* utimer_arm_deadline is one cache-aligned store *)
+      arm_cost_ns = 4;
+      disarm_cost_ns = 4;
+      entry_cost_ns = cfg.hw.Hw.Params.uintr_handler_entry_ns;
+      exit_cost_ns = cfg.hw.Hw.Params.uintr_uiret_ns;
+      mech_shutdown = (fun () -> Utimer.stop ut);
+      mech_fired = (fun () -> Utimer.fired ut);
+    }
+  | Uintr_hw_offload ->
+    let fabric = Hw.Uintr.create sim cfg.hw in
+    let hwt = Hw.Hwtimer.create sim fabric in
+    let slots =
+      Array.init cfg.n_workers (fun i ->
+          let receiver =
+            Hw.Uintr.register_receiver fabric
+              ~name:(Printf.sprintf "worker-%d" i)
+              ~handler:(fun _ ~vector:_ -> on_interrupt st i)
+              ()
+          in
+          Hw.Hwtimer.register hwt ~receiver ~vector:0)
+    in
+    {
+      mech_arm = (fun i ~quantum_ns -> Hw.Hwtimer.arm_after slots.(i) ~ns:quantum_ns);
+      mech_disarm = (fun i -> Hw.Hwtimer.disarm slots.(i));
+      (* programming the comparator is one register write *)
+      arm_cost_ns = 4;
+      disarm_cost_ns = 4;
+      entry_cost_ns = cfg.hw.Hw.Params.uintr_handler_entry_ns;
+      exit_cost_ns = cfg.hw.Hw.Params.uintr_uiret_ns;
+      mech_shutdown = (fun () -> Array.iter Hw.Hwtimer.disarm slots);
+      mech_fired = (fun () -> Hw.Hwtimer.fired hwt);
+    }
+  | Signal_utimer { poll_ns } ->
+    if poll_ns <= 0 then invalid_arg "Server: Signal_utimer poll must be positive";
+    let signal = Ksim.Signal.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) in
+    let deadlines = Array.make cfg.n_workers max_int in
+    let fired = ref 0 in
+    let running = ref true in
+    let rec loop () =
+      if !running then begin
+        let t = Engine.Sim.now sim in
+        let cost = ref (30 + (cfg.n_workers * 8)) in
+        Array.iteri
+          (fun i d ->
+            if d <= t then begin
+              deadlines.(i) <- max_int;
+              incr fired;
+              (* pthread_kill from the timer thread: a syscall per fire *)
+              cost := !cost + cfg.costs.Ksim.Costs.syscall_ns;
+              ignore
+                (Engine.Sim.after sim !cost (fun () ->
+                     Ksim.Signal.deliver signal ~handler:(fun () -> on_interrupt st i) ()))
+            end)
+          deadlines;
+        ignore (Engine.Sim.after sim (max poll_ns !cost) loop)
+      end
+    in
+    loop ();
+    {
+      mech_arm =
+        (fun i ~quantum_ns -> deadlines.(i) <- Engine.Sim.now sim + quantum_ns);
+      mech_disarm = (fun i -> deadlines.(i) <- max_int);
+      arm_cost_ns = 4;
+      disarm_cost_ns = 4;
+      entry_cost_ns = 0 (* dispatch cost is inside the signal path *);
+      exit_cost_ns = cfg.costs.Ksim.Costs.syscall_ns (* sigreturn *);
+      mech_shutdown = (fun () -> running := false);
+      mech_fired = (fun () -> !fired);
+    }
+  | Kernel_timer ->
+    let signal = Ksim.Signal.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) in
+    let ktimer =
+      Ksim.Ktimer.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) ~signal
+    in
+    let handles = Array.make cfg.n_workers None in
+    let cancel i =
+      match handles.(i) with
+      | Some h ->
+        Ksim.Ktimer.cancel h;
+        handles.(i) <- None
+      | None -> ()
+    in
+    {
+      mech_arm =
+        (fun i ~quantum_ns ->
+          cancel i;
+          handles.(i) <-
+            Some
+              (Ksim.Ktimer.arm_oneshot ktimer ~delay_ns:quantum_ns
+                 ~handler:(fun () -> on_interrupt st i)));
+      mech_disarm = cancel;
+      (* timer_settime syscalls on both arm and cancel *)
+      arm_cost_ns = cfg.costs.Ksim.Costs.syscall_ns;
+      disarm_cost_ns = cfg.costs.Ksim.Costs.syscall_ns;
+      entry_cost_ns = 0;
+      exit_cost_ns = cfg.costs.Ksim.Costs.syscall_ns;
+      mech_shutdown = (fun () -> Array.iteri (fun i _ -> cancel i) handles);
+      mech_fired = (fun () -> Ksim.Ktimer.expirations ktimer);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher and arrivals                                             *)
+(* ------------------------------------------------------------------ *)
+
+let assign st req =
+  (* Join-shortest-queue across worker local queues. *)
+  let best = ref st.workers.(0) in
+  let score w = Rqueue.length w.local + (match w.current with Some _ -> 1 | None -> 0) in
+  Array.iter (fun w -> if score w < score !best then best := w) st.workers;
+  Rqueue.push !best.local ~now:(now st) req;
+  schedule_next st !best
+
+let rec pump_dispatcher st =
+  if (not (Hw.Core.busy st.dispatcher)) && not (Rqueue.is_empty st.dispatch_q) then
+    Hw.Core.begin_work st.dispatcher ~duration:st.cfg.dispatch_cost_ns ~on_done:(fun () ->
+        (match Rqueue.pop st.dispatch_q ~now:(now st) with
+        | Some req -> assign st req
+        | None -> ());
+        pump_dispatcher st)
+
+(* Admit one request into the dispatch pipeline. *)
+let admit st (req : Workload.Request.t) =
+  st.outstanding <- st.outstanding + 1;
+  if measured st req then st.measured_offered <- st.measured_offered + 1;
+  Stats_window.note_arrival st.window ~now:(now st);
+  Stats_window.note_qlen st.window (total_qlen st);
+  Rqueue.push st.dispatch_q ~now:(now st) req;
+  pump_dispatcher st
+
+let arrivals st ~arrival ~source =
+  let rec next_arrival () =
+    let t = now st in
+    let gap = Workload.Arrival.next_gap arrival st.arrival_rng ~now:t in
+    let at = t + gap in
+    if at >= st.duration_ns then begin
+      ignore
+        (Engine.Sim.at st.sim st.duration_ns (fun () ->
+             st.arrivals_done <- true;
+             check_drain st))
+    end
+    else
+      ignore
+        (Engine.Sim.at st.sim at (fun () ->
+             let service_ns, cls = Workload.Source.draw source st.service_rng ~now:at in
+             let req =
+               Workload.Request.make ~id:st.next_id ~arrival_ns:at ~service_ns ~cls
+             in
+             st.next_id <- st.next_id + 1;
+             admit st req;
+             next_arrival ()))
+  in
+  next_arrival ()
+
+(* Inject a pre-materialized trace instead of sampling arrivals. *)
+let inject_trace st requests =
+  List.iter
+    (fun (req : Workload.Request.t) ->
+      if req.Workload.Request.arrival_ns >= st.duration_ns then
+        invalid_arg "Server.run_trace: request arrives at/after duration";
+      ignore (Engine.Sim.at st.sim req.Workload.Request.arrival_ns (fun () -> admit st req)))
+    requests;
+  ignore
+    (Engine.Sim.at st.sim st.duration_ns (fun () ->
+         st.arrivals_done <- true;
+         check_drain st))
+
+let window_loop st =
+  let rec tick () =
+    st.window_ev <-
+      Some
+        (Engine.Sim.after st.sim st.cfg.stats_window_ns (fun () ->
+             if not st.drained then begin
+               let t = now st in
+               Stats_window.note_qlen st.window (total_qlen st);
+               let snapshot = Stats_window.roll st.window ~now:t in
+               st.cfg.policy.Policy.on_window snapshot;
+               let quantum_ns =
+                 st.cfg.policy.Policy.quantum_ns ~now:t
+                   ~cls:Workload.Request.Latency_critical
+               in
+               st.probes.on_window snapshot ~quantum_ns;
+               tick ()
+             end))
+  in
+  tick ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
+  if cfg.n_workers <= 0 then invalid_arg "Server.run: need at least one worker";
+  if duration_ns <= 0 then invalid_arg "Server.run: non-positive duration";
+  if warmup_ns < 0 || warmup_ns >= duration_ns then
+    invalid_arg "Server.run: warmup must lie within the run";
+  let sim = Engine.Sim.create ~seed:cfg.seed () in
+  let st =
+    {
+      sim;
+      cfg;
+      arrival_rng = Engine.Sim.fork_rng sim;
+      service_rng = Engine.Sim.fork_rng sim;
+      workers =
+        Array.init cfg.n_workers (fun wid ->
+            {
+              wid;
+              core = Hw.Core.create sim ~id:wid;
+              local = Rqueue.create ~name:(Printf.sprintf "local-%d" wid);
+              current = None;
+              cur_deadline = max_int;
+              transition = false;
+            });
+      long_q = Rqueue.create ~name:"long";
+      dispatch_q = Rqueue.create ~name:"dispatch";
+      dispatcher = Hw.Core.create sim ~id:(-1);
+      pool = Context.create_pool ~capacity:cfg.ctx_pool_capacity ~stack_kb:cfg.stack_kb;
+      window = Stats_window.create ~window_ns:cfg.stats_window_ns;
+      sum_all = Stat.Summary.create ();
+      sum_lc = Stat.Summary.create ();
+      sum_be = Stat.Summary.create ();
+      probes;
+      warmup_ns;
+      duration_ns;
+      mech =
+        {
+          mech_arm = (fun _ ~quantum_ns:_ -> ());
+          mech_disarm = (fun _ -> ());
+          arm_cost_ns = 0;
+          disarm_cost_ns = 0;
+          entry_cost_ns = 0;
+          exit_cost_ns = 0;
+          mech_shutdown = (fun () -> ());
+          mech_fired = (fun () -> 0);
+        };
+      outstanding = 0;
+      arrivals_done = false;
+      drained = false;
+      measured_offered = 0;
+      measured_completed = 0;
+      completed_in_window = 0;
+      cancelled_measured = 0;
+      preemptions = 0;
+      spurious = 0;
+      next_id = 0;
+      window_ev = None;
+    }
+  in
+  st.mech <- make_mech st;
+  feed st;
+  window_loop st;
+  Engine.Sim.run ~max_events:cfg.max_events sim;
+  if st.outstanding > 0 then
+    failwith
+      (Printf.sprintf
+         "Server.run: event cap (%d) hit with %d requests outstanding — raise max_events \
+          or lower the load"
+         cfg.max_events st.outstanding);
+  if st.measured_completed = 0 then
+    failwith "Server.run: no measured completions (warmup too long or load too low)";
+  let measured_ns = duration_ns - warmup_ns in
+  let final = Engine.Sim.now sim in
+  let busy = Array.fold_left (fun acc w -> acc + Hw.Core.busy_ns w.core) 0 st.workers in
+  {
+    duration_ns;
+    measured_ns;
+    offered = st.measured_offered;
+    completed = st.measured_completed;
+    cancelled = st.cancelled_measured;
+    dropped = 0;
+    all = Stat.Summary.report st.sum_all;
+    lc = (if Stat.Summary.count st.sum_lc = 0 then None else Some (Stat.Summary.report st.sum_lc));
+    be = (if Stat.Summary.count st.sum_be = 0 then None else Some (Stat.Summary.report st.sum_be));
+    throughput_rps = float_of_int st.completed_in_window *. 1e9 /. float_of_int measured_ns;
+    offered_rps = float_of_int st.measured_offered *. 1e9 /. float_of_int measured_ns;
+    preemptions = st.preemptions;
+    timer_interrupts = st.mech.mech_fired ();
+    spurious_interrupts = st.spurious;
+    ctx_high_water = Context.high_water st.pool;
+    worker_busy_frac =
+      (if final = 0 then 0.0
+       else float_of_int busy /. (float_of_int cfg.n_workers *. float_of_int final));
+    long_queue_hwm = Rqueue.max_length st.long_q;
+    dispatch_queue_hwm = Rqueue.max_length st.dispatch_q;
+  }
+
+let run ?(probes = no_probes) ?(warmup_ns = 0) cfg ~arrival ~source ~duration_ns =
+  run_with ~probes ~warmup_ns cfg ~feed:(fun st -> arrivals st ~arrival ~source) ~duration_ns
+
+let run_trace ?(probes = no_probes) ?(warmup_ns = 0) cfg ~requests ~duration_ns =
+  run_with ~probes ~warmup_ns cfg ~feed:(fun st -> inject_trace st requests) ~duration_ns
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>offered=%d (%.0f rps) completed=%d (%.0f rps)@ all: %a@ preemptions=%d \
+     timer_fired=%d spurious=%d ctx_hwm=%d busy=%.1f%%@]"
+    r.offered r.offered_rps r.completed r.throughput_rps Stat.Summary.pp_report_us r.all
+    r.preemptions r.timer_interrupts r.spurious_interrupts r.ctx_high_water
+    (100.0 *. r.worker_busy_frac)

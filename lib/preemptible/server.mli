@@ -1,0 +1,133 @@
+(** The LibPreemptible request-serving runtime (Fig 5 / Fig 6).
+
+    One dispatcher (network) thread feeds per-worker local FIFO queues;
+    workers run requests as preemptible functions; preempted functions
+    park in the global long queue ("running list") with their contexts;
+    completed contexts return to the global free list.  A preemption
+    mechanism — LibUtimer over UINTR in the full system — interrupts
+    workers whose current function exceeded its time quantum.
+
+    The same runtime, parameterized by {!mechanism}, also serves as the
+    "LibPreemptible without UINTR" ablation (timer core firing kernel
+    signals) and as the Libinger-style baseline (per-worker kernel
+    timers + signals). *)
+
+type mechanism =
+  | Uintr_utimer of Utimer.config
+      (** LibUtimer on a dedicated timer core delivering user
+          interrupts — the full LibPreemptible. *)
+  | Uintr_hw_offload
+      (** Sec VII-C's future hardware: per-thread deadline comparators
+          deliver the user interrupt directly, freeing the timer core
+          (see {!Hw.Hwtimer}). *)
+  | Signal_utimer of { poll_ns : int }
+      (** The same dedicated timer core, but delivering preemption via
+          kernel signals (pthread_kill) — the paper's UINTR-disabled
+          ablation (Fig 8, orange). *)
+  | Kernel_timer
+      (** Per-worker POSIX timers delivering signals, re-armed with a
+          syscall on every launch — the Libinger-style mechanism,
+          subject to the kernel timer granularity floor. *)
+  | No_mechanism  (** no preemption possible (run to completion) *)
+
+type discipline =
+  | Fifo  (** the paper's default: local queues are FIFO *)
+  | Srpt_oracle
+      (** shortest-remaining-processing-time with oracle knowledge of
+          service times — the comparison point the paper argues is
+          unrealizable in practice (Sec I), provided as a bound *)
+  | Edf of int
+      (** earliest-deadline-first over [arrival + slo]; the per-request
+          deadline expression of Sec III-B *)
+
+type config = {
+  n_workers : int;
+  policy : Policy.t;
+  mechanism : mechanism;
+  discipline : discipline;
+      (** order in which a worker picks fresh requests from its local
+          queue *)
+  cancel_after_slo : int option;
+      (** Sec III-B: cancel (rather than requeue) a function whose
+          sojourn already exceeds this bound when it gets preempted —
+          releasing resources a doomed request would waste *)
+  dispatch_cost_ns : int;
+      (** dispatcher service time per request (network poll + enqueue) *)
+  launch_cost_ns : int;
+      (** context allocation + trampoline into a fresh function *)
+  complete_cost_ns : int;  (** context release + bookkeeping *)
+  ctx_pool_capacity : int;
+  stack_kb : int;
+  stats_window_ns : int;
+  work_stealing : bool;
+      (** idle workers with empty queues steal fresh requests from the
+          most loaded sibling (ZygOS-style; on by default) *)
+  costs : Ksim.Costs.t;
+  hw : Hw.Params.t;
+  seed : int64;
+  max_events : int;  (** safety cap on simulation events *)
+}
+
+val default_config : n_workers:int -> policy:Policy.t -> mechanism:mechanism -> config
+
+type probes = {
+  on_complete : now:int -> latency_ns:int -> cls:Workload.Request.cls -> unit;
+  on_window : Stats_window.snapshot -> quantum_ns:int -> unit;
+      (** fired at every stats-window boundary, after the policy's
+          controller ran; [quantum_ns] is the policy's quantum for LC
+          requests at that moment *)
+}
+
+val no_probes : probes
+
+type result = {
+  duration_ns : int;
+  measured_ns : int;
+  offered : int;  (** measured arrivals *)
+  completed : int;  (** measured completions *)
+  cancelled : int;  (** measured cancellations (SLO-doomed requests) *)
+  dropped : int;
+  all : Stat.Summary.report;
+  lc : Stat.Summary.report option;
+  be : Stat.Summary.report option;
+  throughput_rps : float;
+      (** completions that landed inside the measurement window divided
+          by its length (drain-time completions are excluded, so an
+          overloaded system reports its sustainable rate) *)
+  offered_rps : float;
+  preemptions : int;
+  timer_interrupts : int;
+  spurious_interrupts : int;
+  ctx_high_water : int;
+  worker_busy_frac : float;
+  long_queue_hwm : int;
+  dispatch_queue_hwm : int;
+}
+
+val run :
+  ?probes:probes ->
+  ?warmup_ns:int ->
+  config ->
+  arrival:Workload.Arrival.t ->
+  source:Workload.Source.t ->
+  duration_ns:int ->
+  result
+(** Simulate the server under an open-loop arrival stream for
+    [duration_ns]; arrivals then stop and the system drains.  Requests
+    arriving in [warmup_ns, duration_ns) are measured.  Raises
+    [Invalid_argument] on inconsistent parameters and [Failure] if the
+    event cap is hit before the system drains. *)
+
+val run_trace :
+  ?probes:probes ->
+  ?warmup_ns:int ->
+  config ->
+  requests:Workload.Request.t list ->
+  duration_ns:int ->
+  result
+(** Replay a pre-materialized request trace (e.g. from
+    {!Workload.Tracegen}) instead of sampling an arrival process —
+    fully deterministic inputs for tests and repeatable experiments.
+    All requests must arrive before [duration_ns]. *)
+
+val pp_result : Format.formatter -> result -> unit

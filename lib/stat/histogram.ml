@@ -1,0 +1,90 @@
+type t = {
+  buckets_per_decade : int;
+  max_value : float;
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_seen : float;
+  mutable min_seen : float;
+}
+
+let n_buckets ~buckets_per_decade ~max_value =
+  let decades = log10 max_value in
+  int_of_float (Float.ceil (decades *. float_of_int buckets_per_decade)) + 2
+
+let create ?(buckets_per_decade = 90) ?(max_value = 1e10) () =
+  if buckets_per_decade <= 0 then invalid_arg "Histogram.create: buckets_per_decade";
+  if max_value <= 1.0 then invalid_arg "Histogram.create: max_value must exceed 1.0";
+  {
+    buckets_per_decade;
+    max_value;
+    counts = Array.make (n_buckets ~buckets_per_decade ~max_value) 0;
+    total = 0;
+    sum = 0.0;
+    max_seen = 0.0;
+    min_seen = infinity;
+  }
+
+let bucket_of t v =
+  if v < 1.0 then 0
+  else begin
+    let idx = 1 + int_of_float (log10 v *. float_of_int t.buckets_per_decade) in
+    min idx (Array.length t.counts - 1)
+  end
+
+(* Upper edge of bucket [i]: the value below which everything in the
+   bucket falls. *)
+let bucket_upper t i =
+  if i = 0 then 1.0
+  else 10.0 ** (float_of_int i /. float_of_int t.buckets_per_decade)
+
+let record t v =
+  let i = bucket_of t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_seen then t.max_seen <- v;
+  if v < t.min_seen then t.min_seen <- v
+
+let count t = t.total
+
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of [0,1]";
+  let target = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+  let target = max target 1 in
+  let acc = ref 0 and result = ref t.max_seen and found = ref false in
+  (try
+     for i = 0 to Array.length t.counts - 1 do
+       acc := !acc + t.counts.(i);
+       if !acc >= target then begin
+         result := Float.min (bucket_upper t i) t.max_seen;
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  ignore !found;
+  !result
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let max_recorded t = t.max_seen
+let min_recorded t = if t.total = 0 then 0.0 else t.min_seen
+
+let merge_into ~dst ~src =
+  if
+    dst.buckets_per_decade <> src.buckets_per_decade
+    || dst.max_value <> src.max_value
+  then invalid_arg "Histogram.merge_into: parameter mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen;
+  if src.min_seen < dst.min_seen then dst.min_seen <- src.min_seen
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.max_seen <- 0.0;
+  t.min_seen <- infinity

@@ -1,0 +1,35 @@
+(** Log-bucketed latency histogram (HDR-histogram style).
+
+    Values (nanoseconds, or any positive magnitude) are assigned to
+    buckets whose width grows geometrically, giving bounded relative
+    error across many orders of magnitude with O(1) recording — the same
+    structure production tail-latency monitors use. *)
+
+type t
+
+val create : ?buckets_per_decade:int -> ?max_value:float -> unit -> t
+(** Defaults: 90 buckets per decade (~2.6% relative error),
+    [max_value] = 1e10 (10 seconds in ns). *)
+
+val record : t -> float -> unit
+(** Record a value. Values [< 1.0] land in the first bucket; values above
+    [max_value] saturate into the last. *)
+
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] is an upper-bound estimate of the [q]-quantile.
+    Raises on an empty histogram or [q] outside [0,1]. *)
+
+val mean : t -> float
+
+val max_recorded : t -> float
+(** Largest raw value recorded (exact, not bucketed); 0.0 when empty. *)
+
+val min_recorded : t -> float
+
+val merge_into : dst:t -> src:t -> unit
+(** Add [src]'s counts into [dst]. The two histograms must have been
+    created with the same parameters. *)
+
+val reset : t -> unit

@@ -1,0 +1,47 @@
+type t = { moments : Welford.t; hist : Histogram.t }
+
+type report = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+}
+
+let create () = { moments = Welford.create (); hist = Histogram.create () }
+
+let record t v =
+  Welford.add t.moments v;
+  Histogram.record t.hist v
+
+let count t = Welford.count t.moments
+let mean t = Welford.mean t.moments
+let quantile t q = Histogram.quantile t.hist q
+
+let report t =
+  if count t = 0 then invalid_arg "Summary.report: no data";
+  {
+    count = count t;
+    mean = mean t;
+    min = Welford.min_value t.moments;
+    max = Welford.max_value t.moments;
+    stddev = Welford.stddev t.moments;
+    p50 = quantile t 0.50;
+    p90 = quantile t 0.90;
+    p99 = quantile t 0.99;
+    p999 = quantile t 0.999;
+  }
+
+let merge_into ~dst ~src =
+  Histogram.merge_into ~dst:dst.hist ~src:src.hist;
+  Welford.merge_into ~dst:dst.moments ~src:src.moments
+
+let pp_report_us fmt r =
+  Format.fprintf fmt
+    "n=%d mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus p99.9=%.2fus max=%.2fus"
+    r.count (r.mean /. 1e3) (r.p50 /. 1e3) (r.p90 /. 1e3) (r.p99 /. 1e3)
+    (r.p999 /. 1e3) (r.max /. 1e3)

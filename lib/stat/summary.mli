@@ -1,0 +1,38 @@
+(** Per-run latency / throughput summary.
+
+    Combines a streaming moment accumulator with a log-bucketed histogram
+    so that runs with millions of requests summarize in O(1) memory while
+    keeping tail quantiles accurate to a few percent. *)
+
+type t
+
+type report = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+}
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Record one latency observation (nanoseconds). *)
+
+val count : t -> int
+
+val mean : t -> float
+
+val quantile : t -> float -> float
+
+val report : t -> report
+(** Raises [Invalid_argument] if no data was recorded. *)
+
+val merge_into : dst:t -> src:t -> unit
+
+val pp_report_us : Format.formatter -> report -> unit
+(** Render a report with latencies converted from ns to µs. *)

@@ -1,0 +1,27 @@
+let hill samples ~k =
+  let n = Array.length samples in
+  if k < 1 || k >= n then invalid_arg "Tail_index.hill: k out of range";
+  let sorted = Array.copy samples in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* sorted.(0) is the largest. Hill: 1 / mean(log(x_(i)/x_(k+1))). *)
+  let pivot = sorted.(k) in
+  if pivot <= 0.0 then invalid_arg "Tail_index.hill: non-positive pivot sample";
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    if sorted.(i) <= 0.0 then invalid_arg "Tail_index.hill: non-positive sample";
+    acc := !acc +. log (sorted.(i) /. pivot)
+  done;
+  if !acc <= 0.0 then infinity else float_of_int k /. !acc
+
+let hill_auto samples =
+  let n = Array.length samples in
+  if n < 12 then invalid_arg "Tail_index.hill_auto: need at least 12 samples";
+  let k = min (n - 1) (max 10 (n / 20)) in
+  hill samples ~k
+
+let ratio_proxy ~median ~tail =
+  if median <= 0.0 || tail <= median then
+    invalid_arg "Tail_index.ratio_proxy: requires tail > median > 0";
+  log 50.0 /. log (tail /. median)
+
+let is_heavy alpha = alpha >= 0.0 && alpha < 2.0

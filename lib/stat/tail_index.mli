@@ -1,0 +1,25 @@
+(** Tail-index estimation for the adaptive quantum controller.
+
+    Algorithm 1 in the paper fits a tail index [alpha] from past latency
+    statistics ([0 <= alpha < 2] is treated as heavy-tailed).  We provide
+    the standard Hill estimator over the largest order statistics, plus
+    the paper's cheap proxy that infers heaviness from the ratio of the
+    tail quantile to the median. *)
+
+val hill : float array -> k:int -> float
+(** [hill samples ~k] is the Hill estimate of the tail index using the
+    [k] largest samples. Requires [1 <= k < n] and positive samples in
+    the top-[k] range. Larger result = lighter tail. *)
+
+val hill_auto : float array -> float
+(** Hill estimate with [k = max(10, n/20)] capped below [n], a common
+    heuristic. Requires at least 12 samples. *)
+
+val ratio_proxy : median:float -> tail:float -> float
+(** The paper's lightweight proxy: fits a Pareto tail through the median
+    and the tail (p99) quantile.  For a Pareto distribution with index
+    [alpha], [p99/median = (0.5/0.01)^(1/alpha)], so
+    [alpha = ln 50 / ln (tail/median)].  Requires [tail > median > 0]. *)
+
+val is_heavy : float -> bool
+(** The paper's threshold: [0 <= alpha < 2]. *)

@@ -1,0 +1,29 @@
+(** Streaming mean / variance (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0.0 with fewer than 2 samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel variance formula). *)
+
+val merge_into : dst:t -> src:t -> unit
+(** In-place variant of {!merge}: fold [src] into [dst]. *)

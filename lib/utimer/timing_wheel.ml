@@ -1,0 +1,138 @@
+type 'a entry = {
+  deadline : int;
+  value : 'a;
+  seq : int;
+  mutable live : bool;
+}
+
+type 'a handle = 'a entry
+
+type 'a t = {
+  tick : int;
+  levels : int;
+  slots : int;
+  (* wheel.(level).(slot) is an unordered bucket *)
+  wheel : 'a entry list ref array array;
+  mutable wnow : int;
+  mutable seq : int;
+  mutable live_count : int;
+  mutable overdue : 'a entry list; (* inserted at/before wnow *)
+}
+
+let create ?(levels = 4) ?(slots_per_level = 64) ~tick () =
+  if tick <= 0 then invalid_arg "Timing_wheel.create: tick must be positive";
+  if levels <= 0 || slots_per_level <= 1 then
+    invalid_arg "Timing_wheel.create: bad level/slot counts";
+  {
+    tick;
+    levels;
+    slots = slots_per_level;
+    wheel = Array.init levels (fun _ -> Array.init slots_per_level (fun _ -> ref []));
+    wnow = 0;
+    seq = 0;
+    live_count = 0;
+    overdue = [];
+  }
+
+let now t = t.wnow
+
+let span t level =
+  (* Width of one slot at [level]. *)
+  let rec pow acc n = if n = 0 then acc else pow (acc * t.slots) (n - 1) in
+  t.tick * pow 1 level
+
+let horizon t = t.wnow + (span t t.levels) - 1
+
+let size t = t.live_count
+
+(* Place a live entry into the bucket matching its deadline, seen from
+   the current wheel time. *)
+let place t e =
+  let delta = e.deadline - t.wnow in
+  if delta <= 0 then t.overdue <- e :: t.overdue
+  else begin
+    let rec find_level level =
+      if level >= t.levels then invalid_arg "Timing_wheel.add: deadline beyond horizon"
+      else if delta < span t (level + 1) then level
+      else find_level (level + 1)
+    in
+    let level = find_level 0 in
+    let width = span t level in
+    (* Level 0 expires entries, so the cursor must reach the slot no
+       earlier than the deadline (ceiling).  Higher levels only cascade
+       entries down for re-placement, which must happen no later than
+       the deadline (floor) — otherwise expiry could miss by up to a
+       slot width. *)
+    let slot =
+      if level = 0 then (e.deadline + width - 1) / width mod t.slots
+      else e.deadline / width mod t.slots
+    in
+    let bucket = t.wheel.(level).(slot) in
+    bucket := e :: !bucket
+  end
+
+let add t ~deadline value =
+  let e = { deadline; value; seq = t.seq; live = true } in
+  t.seq <- t.seq + 1;
+  place t e;
+  t.live_count <- t.live_count + 1;
+  e
+
+let cancel t h =
+  if h.live then begin
+    h.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+(* Pull the entries out of a coarser-level slot and re-place them; they
+   land in finer levels (or expire) now that the clock has advanced. *)
+let cascade t level =
+  if level < t.levels then begin
+    let slot = t.wnow / span t level mod t.slots in
+    let bucket = t.wheel.(level).(slot) in
+    let entries = !bucket in
+    bucket := [];
+    List.iter (fun e -> if e.live then place t e) entries
+  end
+
+(* Level [l-1]'s cursor wrapped exactly when [wnow] is a multiple of
+   level [l]'s slot width; cascade that level's current slot, and
+   recurse upwards on coarser wraps. *)
+let rec maybe_cascade t level =
+  if level < t.levels && t.wnow mod span t level = 0 then begin
+    cascade t level;
+    maybe_cascade t (level + 1)
+  end
+
+let advance t ~upto =
+  if upto < t.wnow then invalid_arg "Timing_wheel.advance: time moved backwards";
+  let expired = ref [] in
+  let take_overdue () =
+    List.iter (fun e -> if e.live then expired := e :: !expired) t.overdue;
+    t.overdue <- []
+  in
+  take_overdue ();
+  while t.wnow + t.tick <= upto do
+    (* Fast-forward across empty stretches. *)
+    if t.live_count - List.length !expired = 0 then t.wnow <- upto
+    else begin
+      t.wnow <- t.wnow + t.tick;
+      let idx0 = t.wnow / t.tick mod t.slots in
+      maybe_cascade t 1;
+      let bucket = t.wheel.(0).(idx0) in
+      let entries = !bucket in
+      bucket := [];
+      List.iter
+        (fun e ->
+          if e.live then begin
+            if e.deadline <= t.wnow then expired := e :: !expired else place t e
+          end)
+        entries;
+      take_overdue ()
+    end
+  done;
+  let out = !expired in
+  t.live_count <- t.live_count - List.length out;
+  List.iter (fun e -> e.live <- false) out;
+  List.map (fun e -> e.value)
+    (List.sort (fun a b -> compare (a.deadline, a.seq) (b.deadline, b.seq)) out)

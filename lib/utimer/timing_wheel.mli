@@ -1,0 +1,37 @@
+(** Hierarchical timing wheel.
+
+    The paper notes (Sec IV-A) that for applications with large thread
+    counts LibUtimer "can opt in and use timing wheel techniques [64]"
+    instead of scanning every deadline slot.  This is that structure: a
+    hierarchy of circular buckets; insert and cancel are O(1), and
+    advancing the clock touches only the buckets it crosses (expired
+    entries cascade down from coarser levels). *)
+
+type 'a t
+
+type 'a handle
+
+val create : ?levels:int -> ?slots_per_level:int -> tick:int -> unit -> 'a t
+(** [tick] is the finest granularity (e.g. 1 µs in TSC or ns units).
+    Capacity is [tick × slots_per_level^levels]; defaults 4 levels × 64
+    slots. Raises on non-positive parameters. *)
+
+val add : 'a t -> deadline:int -> 'a -> 'a handle
+(** Insert an entry expiring at absolute time [deadline]. Deadlines at
+    or before the current wheel time expire on the next {!advance}.
+    Raises if [deadline] exceeds the wheel horizon. *)
+
+val cancel : 'a t -> 'a handle -> unit
+(** O(1); idempotent. *)
+
+val advance : 'a t -> upto:int -> 'a list
+(** Move the wheel clock to [upto], returning expired entries in
+    deadline order (ties in insertion order). *)
+
+val size : 'a t -> int
+(** Live (non-cancelled, non-expired) entries. *)
+
+val now : 'a t -> int
+
+val horizon : 'a t -> int
+(** Largest deadline currently representable. *)

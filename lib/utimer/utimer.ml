@@ -1,0 +1,186 @@
+module Timing_wheel = Timing_wheel
+
+type scan_mode = Linear | Wheel
+
+type config = {
+  poll_ns : int;
+  per_slot_scan_ns : int;
+  loop_overhead_ns : int;
+  scan : scan_mode;
+  wheel_tick_ns : int;
+  contention_mean_ns : int;
+  contention_prob : float;
+}
+
+let default_config =
+  {
+    poll_ns = 500;
+    per_slot_scan_ns = 8;
+    loop_overhead_ns = 30;
+    scan = Linear;
+    wheel_tick_ns = 1_000;
+    contention_mean_ns = 0;
+    contention_prob = 0.0;
+  }
+
+type slot = {
+  owner : t;
+  uitt_index : int;
+  mutable deadline_ns : int; (* max_int = disarmed *)
+  mutable wheel_handle : slot Timing_wheel.handle option;
+}
+
+and t = {
+  sim : Engine.Sim.t;
+  uintr : Hw.Uintr.t;
+  sender : Hw.Uintr.sender;
+  config : config;
+  rng : Engine.Rng.t;
+  mutable slots : slot list;
+  mutable n_slots : int;
+  wheel : slot Timing_wheel.t option;
+  mutable is_running : bool;
+  mutable loop_ev : Engine.Sim.event option;
+  mutable n_fired : int;
+  lateness_stat : Stat.Summary.t;
+}
+
+let create sim ~uintr ?(config = default_config) () =
+  if config.poll_ns <= 0 then invalid_arg "Utimer.create: poll_ns must be positive";
+  {
+    sim;
+    uintr;
+    sender = Hw.Uintr.create_sender uintr ~name:"utimer" ();
+    config;
+    rng = Engine.Sim.fork_rng sim;
+    slots = [];
+    n_slots = 0;
+    wheel =
+      (match config.scan with
+      | Linear -> None
+      | Wheel -> Some (Timing_wheel.create ~tick:config.wheel_tick_ns ()));
+    is_running = false;
+    loop_ev = None;
+    n_fired = 0;
+    lateness_stat = Stat.Summary.create ();
+  }
+
+let register t ~receiver ~vector =
+  let uitt_index = Hw.Uintr.connect t.sender receiver ~vector in
+  let slot = { owner = t; uitt_index; deadline_ns = max_int; wheel_handle = None } in
+  t.slots <- slot :: t.slots;
+  t.n_slots <- t.n_slots + 1;
+  slot
+
+let disarm slot =
+  slot.deadline_ns <- max_int;
+  match (slot.owner.wheel, slot.wheel_handle) with
+  | Some wheel, Some h ->
+    Timing_wheel.cancel wheel h;
+    slot.wheel_handle <- None
+  | _ -> ()
+
+let arm_at slot ~time_ns =
+  disarm slot;
+  slot.deadline_ns <- time_ns;
+  match slot.owner.wheel with
+  | None -> ()
+  | Some wheel ->
+    let deadline = max time_ns (Timing_wheel.now wheel + 1) in
+    slot.wheel_handle <- Some (Timing_wheel.add wheel ~deadline slot)
+
+let arm_after slot ~ns =
+  if ns < 0 then invalid_arg "Utimer.arm_after: negative delay";
+  arm_at slot ~time_ns:(Engine.Sim.now slot.owner.sim + ns)
+
+let is_armed slot = slot.deadline_ns <> max_int
+
+let fire t now slot =
+  (* The worker may have disarmed between the scan decision and the
+     SENDUIPI issue point; the timer thread re-checks the slot. *)
+  if slot.deadline_ns <> max_int then begin
+    t.n_fired <- t.n_fired + 1;
+    Stat.Summary.record t.lateness_stat (float_of_int (now - slot.deadline_ns));
+    slot.deadline_ns <- max_int;
+    slot.wheel_handle <- None;
+    Hw.Uintr.senduipi t.sender slot.uitt_index
+  end
+
+(* One scan iteration.  Returns its modeled CPU cost; expired slots are
+   fired sequentially, each after the work needed to reach it. *)
+let iteration t =
+  let now = Engine.Sim.now t.sim in
+  let stall =
+    if
+      t.config.contention_mean_ns > 0
+      && Engine.Rng.float t.rng < t.config.contention_prob
+    then
+      int_of_float
+        (Engine.Rng.exponential t.rng ~mean:(float_of_int t.config.contention_mean_ns))
+    else 0
+  in
+  let cost = ref (t.config.loop_overhead_ns + stall) in
+  let fire_one slot =
+    cost := !cost + Hw.Uintr.send_cost_ns t.uintr;
+    let at = now + !cost in
+    ignore (Engine.Sim.at t.sim at (fun () -> fire t at slot))
+  in
+  (match t.wheel with
+  | None ->
+    (* Linear scan: inspect every slot. *)
+    cost := !cost + (t.n_slots * t.config.per_slot_scan_ns);
+    List.iter
+      (fun slot -> if slot.deadline_ns <= now then fire_one slot)
+      t.slots
+  | Some wheel ->
+    (* Wheel scan: constant bookkeeping + expired entries only. *)
+    cost := !cost + t.config.per_slot_scan_ns;
+    let expired = Timing_wheel.advance wheel ~upto:now in
+    List.iter
+      (fun slot -> if slot.deadline_ns <= now then fire_one slot)
+      expired);
+  !cost
+
+let rec loop t () =
+  if t.is_running then begin
+    let cost = iteration t in
+    let next = max t.config.poll_ns cost in
+    t.loop_ev <- Some (Engine.Sim.after t.sim next (loop t))
+  end
+
+let start t =
+  if not t.is_running then begin
+    t.is_running <- true;
+    loop t ()
+  end
+
+let stop t =
+  t.is_running <- false;
+  match t.loop_ev with
+  | Some ev ->
+    Engine.Sim.cancel ev;
+    t.loop_ev <- None
+  | None -> ()
+
+let running t = t.is_running
+let fired t = t.n_fired
+let lateness t = t.lateness_stat
+let slot_count t = t.n_slots
+
+(* UMWAIT-parked polling measured at ~1.2 W (Sec V-B); a loop too hot
+   to park approaches typical full-core active power. *)
+let umwait_poll_watts = 1.2
+let hot_poll_watts = 4.0
+let umwait_wake_latency_ns = 200
+
+let power_watts t =
+  if t.config.poll_ns >= umwait_wake_latency_ns then umwait_poll_watts
+  else hot_poll_watts
+
+let energy_joules t ~duration_ns =
+  if duration_ns < 0 then invalid_arg "Utimer.energy_joules: negative duration";
+  power_watts t *. (float_of_int duration_ns /. 1e9)
+
+let min_quantum_ns t =
+  let p = Hw.Uintr.params t.uintr in
+  t.config.poll_ns + p.Hw.Params.uintr_delivery_ns + p.Hw.Params.uintr_handler_entry_ns

@@ -1,0 +1,89 @@
+(** LibUtimer: the user-space preemption timer (Sec IV-A).
+
+    A dedicated timer thread polls the TSC and compares it against
+    {e deadline slots} — 64-byte-aligned memory locations that worker
+    threads write their next-preemption TSC value into with a plain
+    store ([utimer_arm_deadline]).  When a deadline passes, the timer
+    thread issues SENDUIPI to that worker.
+
+    The timer thread's work per scan iteration is modeled explicitly
+    (loop overhead, per-slot inspection, SENDUIPI issue cost), so both
+    its precision (Fig 12) and its scalability across slot counts
+    (Fig 11, ablation AB1) are emergent.  Scanning can be linear (the
+    paper's default) or through a {!Timing_wheel} (the paper's opt-in
+    for large thread counts). *)
+
+module Timing_wheel = Timing_wheel
+(** Re-exported so library users reach the wheel as
+    [Utimer.Timing_wheel]. *)
+
+type scan_mode = Linear | Wheel
+
+type config = {
+  poll_ns : int;
+      (** pause between scan iterations (UMWAIT period) *)
+  per_slot_scan_ns : int;
+      (** cost of inspecting one deadline slot (cacheline read, mostly
+          L1-resident) *)
+  loop_overhead_ns : int;  (** fixed per-iteration cost *)
+  scan : scan_mode;
+  wheel_tick_ns : int;  (** granularity when [scan = Wheel] *)
+  contention_mean_ns : int;
+      (** mean of an exponential stall occasionally injected into an
+          iteration (models background kernel activity / stress-ng);
+          0 disables *)
+  contention_prob : float;  (** probability an iteration is stalled *)
+}
+
+val default_config : config
+
+type t
+
+type slot
+
+val create : Engine.Sim.t -> uintr:Hw.Uintr.t -> ?config:config -> unit -> t
+
+val register : t -> receiver:Hw.Uintr.receiver -> vector:int -> slot
+(** [utimer_register]: allocate a deadline slot for a worker and wire a
+    UITT entry to it. The slot starts disarmed. *)
+
+val arm_after : slot -> ns:int -> unit
+(** [utimer_arm_deadline]: set the deadline [ns] from now — one plain
+    memory write, no syscall. Re-arming overwrites. *)
+
+val arm_at : slot -> time_ns:int -> unit
+(** Arm with an absolute simulation time. *)
+
+val disarm : slot -> unit
+
+val is_armed : slot -> bool
+
+val start : t -> unit
+(** Start the timer thread's poll loop. Idempotent. *)
+
+val stop : t -> unit
+
+val running : t -> bool
+
+val fired : t -> int
+(** Total preemption interrupts issued. *)
+
+val lateness : t -> Stat.Summary.t
+(** Distribution of (fire time − armed deadline) in ns — the timer's
+    precision (Fig 12). *)
+
+val slot_count : t -> int
+
+val power_watts : t -> float
+(** Estimated power draw of the dedicated timer core.  The paper
+    measures ~1.2 W for the first timer core because the poll loop
+    parks in UMWAIT between scans; a core that cannot UMWAIT (poll
+    interval smaller than the wake latency) burns closer to full-core
+    power. *)
+
+val energy_joules : t -> duration_ns:int -> float
+(** [power_watts] integrated over a run. *)
+
+val min_quantum_ns : t -> int
+(** The smallest usable time slice: one poll period plus delivery —
+    the "3 µs minimum time slice" claim checks against this. *)

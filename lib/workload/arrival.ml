@@ -1,0 +1,81 @@
+type kind =
+  | Poisson of float
+  | Uniform of float
+  | Bursty of {
+      base_rate : float;
+      spike_rate : float;
+      period_ns : int;
+      spike_fraction : float;
+    }
+  | Piecewise of (int * t) list
+
+and t = { kind : kind; arr_name : string }
+
+let check_rate r ctx = if r <= 0.0 then invalid_arg (ctx ^ ": rate must be positive")
+
+let poisson ~rate_per_sec =
+  check_rate rate_per_sec "Arrival.poisson";
+  { kind = Poisson rate_per_sec; arr_name = Printf.sprintf "poisson(%.0f/s)" rate_per_sec }
+
+let uniform ~rate_per_sec =
+  check_rate rate_per_sec "Arrival.uniform";
+  { kind = Uniform rate_per_sec; arr_name = Printf.sprintf "uniform(%.0f/s)" rate_per_sec }
+
+let bursty ~base_rate_per_sec ~spike_rate_per_sec ~period_ns ~spike_fraction =
+  check_rate base_rate_per_sec "Arrival.bursty";
+  check_rate spike_rate_per_sec "Arrival.bursty";
+  if period_ns <= 0 then invalid_arg "Arrival.bursty: period must be positive";
+  if spike_fraction < 0.0 || spike_fraction > 1.0 then
+    invalid_arg "Arrival.bursty: spike_fraction out of [0,1]";
+  {
+    kind =
+      Bursty
+        {
+          base_rate = base_rate_per_sec;
+          spike_rate = spike_rate_per_sec;
+          period_ns;
+          spike_fraction;
+        };
+    arr_name =
+      Printf.sprintf "bursty(%.0f->%.0f/s)" base_rate_per_sec spike_rate_per_sec;
+  }
+
+let piecewise segments =
+  if segments = [] then invalid_arg "Arrival.piecewise: empty";
+  { kind = Piecewise segments; arr_name = "piecewise" }
+
+let rec rate_at t ~now =
+  match t.kind with
+  | Poisson r | Uniform r -> r
+  | Bursty { base_rate; spike_rate; period_ns; spike_fraction } ->
+    let phase = float_of_int (now mod period_ns) /. float_of_int period_ns in
+    if phase < spike_fraction then spike_rate else base_rate
+  | Piecewise segments ->
+    let rec pick = function
+      | [] -> assert false
+      | [ (_, p) ] -> rate_at p ~now
+      | (until_ns, p) :: rest -> if now < until_ns then rate_at p ~now else pick rest
+    in
+    pick segments
+
+let rec next_gap t rng ~now =
+  let gap =
+    match t.kind with
+    | Poisson r -> int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. r))
+    | Uniform r -> int_of_float (1e9 /. r)
+    | Bursty _ ->
+      (* Sample from the instantaneous rate; fine-grained enough since
+         spikes last many inter-arrival times. *)
+      let r = rate_at t ~now in
+      int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. r))
+    | Piecewise segments ->
+      let rec pick = function
+        | [] -> assert false
+        | [ (_, p) ] -> next_gap p rng ~now
+        | (until_ns, p) :: rest -> if now < until_ns then next_gap p rng ~now else pick rest
+      in
+      pick segments
+  in
+  max gap 1
+
+let name t = t.arr_name

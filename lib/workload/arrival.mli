@@ -1,0 +1,38 @@
+(** Open-loop arrival processes.
+
+    The paper uses Poisson arrivals for the latency/throughput studies
+    (Sec V-A) and a periodic bursty generator for the adaptive-policy
+    study (Fig 14). *)
+
+type t
+
+val poisson : rate_per_sec:float -> t
+(** Exponential inter-arrival times. *)
+
+val uniform : rate_per_sec:float -> t
+(** Deterministic, evenly spaced arrivals at the given rate. *)
+
+val bursty :
+  base_rate_per_sec:float ->
+  spike_rate_per_sec:float ->
+  period_ns:int ->
+  spike_fraction:float ->
+  t
+(** Poisson arrivals whose rate alternates: within each [period_ns],
+    the first [spike_fraction] of the period runs at [spike_rate] and
+    the remainder at [base_rate] — the paper's spiky load generator
+    (QPS 40 → 110 kRPS). *)
+
+val piecewise : (int * t) list -> t
+(** [(until_ns, process)] segments in increasing order of [until_ns];
+    the process of the first segment whose bound exceeds the current
+    time is used. The last segment extends to infinity regardless of
+    its bound. *)
+
+val next_gap : t -> Engine.Rng.t -> now:int -> int
+(** Nanoseconds until the next arrival (>= 1). *)
+
+val rate_at : t -> now:int -> float
+(** Instantaneous arrival rate (per second) at time [now]. *)
+
+val name : t -> string

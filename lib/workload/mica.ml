@@ -1,0 +1,69 @@
+type config = {
+  n_keys : int;
+  skew : float;
+  set_fraction : float;
+  get_base_ns : int;
+  set_base_ns : int;
+  hot_fraction : float;
+  miss_cost_ns : int;
+  max_misses : int;
+  noise_mean_ns : int;
+  noise_std_ns : int;
+}
+
+let default_config =
+  {
+    n_keys = 1_000_000;
+    skew = 0.99;
+    set_fraction = 0.05;
+    get_base_ns = 700;
+    set_base_ns = 1_000;
+    hot_fraction = 0.01;
+    miss_cost_ns = 350;
+    max_misses = 8;
+    noise_mean_ns = 120;
+    noise_std_ns = 100;
+  }
+
+type t = { c : config; zipf : Zipf.t }
+
+let create ?(config = default_config) () =
+  if config.set_fraction < 0.0 || config.set_fraction > 1.0 then
+    invalid_arg "Mica.create: set_fraction out of [0,1]";
+  if config.hot_fraction <= 0.0 || config.hot_fraction > 1.0 then
+    invalid_arg "Mica.create: hot_fraction out of (0,1]";
+  { c = config; zipf = Zipf.create ~n:config.n_keys ~theta:config.skew }
+
+(* Number of memory accesses missing cache for a key of the given
+   popularity rank: hot keys hit; beyond the hot set, the chance and
+   depth of misses grow with log-rank (index + value chains). *)
+let misses_for_rank c rng rank =
+  let hot_keys = int_of_float (c.hot_fraction *. float_of_int c.n_keys) in
+  if rank < max hot_keys 1 then 0
+  else begin
+    let coldness =
+      log (float_of_int (rank + 1) /. float_of_int (max hot_keys 1))
+      /. log (float_of_int c.n_keys /. float_of_int (max hot_keys 1))
+    in
+    let expected = coldness *. float_of_int c.max_misses in
+    let jittered = expected +. Engine.Rng.normal rng ~mu:0.0 ~sigma:0.8 in
+    max 0 (min c.max_misses (int_of_float jittered))
+  end
+
+let sample_ns t rng =
+  let c = t.c in
+  let rank = Zipf.sample t.zipf rng in
+  let base =
+    if Engine.Rng.float rng < c.set_fraction then c.set_base_ns else c.get_base_ns
+  in
+  let misses = misses_for_rank c rng rank in
+  let noise =
+    let m = float_of_int c.noise_mean_ns and s = float_of_int c.noise_std_ns in
+    let sigma2 = log (1.0 +. (s *. s /. (m *. m))) in
+    Engine.Rng.lognormal rng ~mu:(log m -. (sigma2 /. 2.0)) ~sigma:(sqrt sigma2)
+  in
+  max 1 (base + (misses * c.miss_cost_ns) + int_of_float noise)
+
+let source t =
+  Source.of_fn ~name:"mica-kvs" (fun rng ~now:_ ->
+      (sample_ns t rng, Request.Latency_critical))

@@ -1,0 +1,40 @@
+(** MICA key-value-store service-time model (Sec V-C, Table V).
+
+    The paper runs MICA with a 5/95 SET/GET mix under the original MICA
+    zipfian key generator at skewness 0.99, yielding a median request
+    processing time of ~1 µs.  We model per-request service time as:
+
+    - an operation base cost (GET cheaper than SET),
+    - a cache-residency term driven by key popularity: the hottest keys
+      hit in cache, cold keys pay extra memory accesses — this is how
+      skew translates into service-time dispersion,
+    - a small lognormal noise term.
+
+    This preserves what the colocation experiments need from MICA: a
+    sub-µs-median, right-skewed LC service time distribution. *)
+
+type config = {
+  n_keys : int;
+  skew : float;  (** zipfian theta; paper: 0.99 *)
+  set_fraction : float;  (** paper: 0.05 *)
+  get_base_ns : int;
+  set_base_ns : int;
+  hot_fraction : float;  (** fraction of key ranks considered cache-resident *)
+  miss_cost_ns : int;  (** per-miss DRAM access cost *)
+  max_misses : int;
+  noise_mean_ns : int;
+  noise_std_ns : int;
+}
+
+val default_config : config
+(** Calibrated so the solo median is ~1 µs. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val sample_ns : t -> Engine.Rng.t -> int
+(** Service time of one request. *)
+
+val source : t -> Source.t
+(** As a latency-critical request source. *)

@@ -1,0 +1,14 @@
+type cls = Latency_critical | Best_effort
+
+let cls_name = function Latency_critical -> "LC" | Best_effort -> "BE"
+
+type t = { id : int; arrival_ns : int; service_ns : int; cls : cls }
+
+let make ~id ~arrival_ns ~service_ns ~cls =
+  if arrival_ns < 0 then invalid_arg "Request.make: negative arrival";
+  if service_ns <= 0 then invalid_arg "Request.make: non-positive service";
+  { id; arrival_ns; service_ns; cls }
+
+let pp fmt r =
+  Format.fprintf fmt "#%d[%s arr=%dns svc=%dns]" r.id (cls_name r.cls) r.arrival_ns
+    r.service_ns

@@ -1,0 +1,23 @@
+(** Request records.
+
+    A request is the unit of scheduling throughout the reproduction: it
+    arrives at some time, needs some amount of service, and belongs to a
+    class (the colocation experiments of Sec V-C schedule
+    latency-critical MICA requests alongside best-effort zlib jobs). *)
+
+type cls = Latency_critical | Best_effort
+
+val cls_name : cls -> string
+
+type t = {
+  id : int;
+  arrival_ns : int;
+  service_ns : int;
+  cls : cls;
+}
+
+val make : id:int -> arrival_ns:int -> service_ns:int -> cls:cls -> t
+(** Raises [Invalid_argument] on negative arrival or non-positive
+    service time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type shape =
+  | Constant of int
+  | Exponential of int
+  | Bimodal of { short_ns : int; long_ns : int; long_fraction : float }
+  | Lognormal of { mean_ns : int; std_ns : int }
+  | Pareto of { scale_ns : int; shape : float }
+  | Phased of { switch_after : int; first : t; second : t }
+
+and t = { shape : shape; dist_name : string }
+
+let constant ns =
+  if ns <= 0 then invalid_arg "Service_dist.constant: non-positive";
+  { shape = Constant ns; dist_name = Printf.sprintf "const(%dns)" ns }
+
+let exponential ~mean_ns =
+  if mean_ns <= 0 then invalid_arg "Service_dist.exponential: non-positive mean";
+  { shape = Exponential mean_ns; dist_name = Printf.sprintf "exp(%.1fus)" (float_of_int mean_ns /. 1e3) }
+
+let bimodal ~short_ns ~long_ns ~long_fraction =
+  if short_ns <= 0 || long_ns <= 0 then invalid_arg "Service_dist.bimodal: non-positive mode";
+  if long_fraction < 0.0 || long_fraction > 1.0 then
+    invalid_arg "Service_dist.bimodal: fraction out of [0,1]";
+  {
+    shape = Bimodal { short_ns; long_ns; long_fraction };
+    dist_name =
+      Printf.sprintf "bimodal(%.1f%%x%.1fus,%.1f%%x%.1fus)"
+        ((1.0 -. long_fraction) *. 100.0)
+        (float_of_int short_ns /. 1e3)
+        (long_fraction *. 100.0)
+        (float_of_int long_ns /. 1e3);
+  }
+
+let lognormal ~mean_ns ~std_ns =
+  if mean_ns <= 0 || std_ns < 0 then invalid_arg "Service_dist.lognormal: bad parameters";
+  {
+    shape = Lognormal { mean_ns; std_ns };
+    dist_name = Printf.sprintf "lognorm(%dns,%dns)" mean_ns std_ns;
+  }
+
+let pareto ~scale_ns ~shape =
+  if scale_ns <= 0 || shape <= 0.0 then invalid_arg "Service_dist.pareto: bad parameters";
+  { shape = Pareto { scale_ns; shape }; dist_name = Printf.sprintf "pareto(%dns,%.2f)" scale_ns shape }
+
+let phased ~switch_after ~first ~second =
+  {
+    shape = Phased { switch_after; first; second };
+    dist_name = Printf.sprintf "phased(%s->%s)" first.dist_name second.dist_name;
+  }
+
+let rec sample t rng ~now =
+  let v =
+    match t.shape with
+    | Constant ns -> ns
+    | Exponential mean_ns ->
+      int_of_float (Engine.Rng.exponential rng ~mean:(float_of_int mean_ns))
+    | Bimodal { short_ns; long_ns; long_fraction } ->
+      if Engine.Rng.float rng < long_fraction then long_ns else short_ns
+    | Lognormal { mean_ns; std_ns } ->
+      let m = float_of_int mean_ns and s = float_of_int std_ns in
+      let sigma2 = log (1.0 +. (s *. s /. (m *. m))) in
+      let mu = log m -. (sigma2 /. 2.0) in
+      int_of_float (Engine.Rng.lognormal rng ~mu ~sigma:(sqrt sigma2))
+    | Pareto { scale_ns; shape } ->
+      int_of_float (Engine.Rng.pareto rng ~scale:(float_of_int scale_ns) ~shape)
+    | Phased { switch_after; first; second } ->
+      if now < switch_after then sample first rng ~now else sample second rng ~now
+  in
+  max v 1
+
+let rec mean_ns t ~now =
+  match t.shape with
+  | Constant ns -> float_of_int ns
+  | Exponential mean -> float_of_int mean
+  | Bimodal { short_ns; long_ns; long_fraction } ->
+    ((1.0 -. long_fraction) *. float_of_int short_ns)
+    +. (long_fraction *. float_of_int long_ns)
+  | Lognormal { mean_ns = m; _ } -> float_of_int m
+  | Pareto { scale_ns; shape } ->
+    if shape <= 1.0 then infinity
+    else shape *. float_of_int scale_ns /. (shape -. 1.0)
+  | Phased { switch_after; first; second } ->
+    if now < switch_after then mean_ns first ~now else mean_ns second ~now
+
+let name t = t.dist_name
+
+let workload_a1 = bimodal ~short_ns:500 ~long_ns:500_000 ~long_fraction:0.005
+let workload_a2 = bimodal ~short_ns:5_000 ~long_ns:500_000 ~long_fraction:0.005
+let workload_b = exponential ~mean_ns:5_000
+
+let workload_c ~duration_ns =
+  phased ~switch_after:(duration_ns / 2) ~first:workload_a1 ~second:workload_b

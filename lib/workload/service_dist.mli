@@ -1,0 +1,47 @@
+(** Request service-time distributions.
+
+    The paper's evaluation workloads (Sec V-A):
+    - A1: bimodal, 99.5% × 0.5 µs + 0.5% × 500 µs   (heavy-tailed)
+    - A2: bimodal, 99.5% × 5 µs  + 0.5% × 500 µs   (heavy-tailed)
+    - B:  exponential, mean 5 µs                    (light-tailed)
+    - C:  dynamic: first half A1, second half B     (distribution shift)
+
+    plus the generic constructors used by the microbenchmarks and the
+    colocation experiments. *)
+
+type t
+
+val constant : int -> t
+(** Every request takes exactly the given ns. *)
+
+val exponential : mean_ns:int -> t
+
+val bimodal : short_ns:int -> long_ns:int -> long_fraction:float -> t
+(** [long_fraction] in [0,1] of requests take [long_ns]. *)
+
+val lognormal : mean_ns:int -> std_ns:int -> t
+
+val pareto : scale_ns:int -> shape:float -> t
+
+val phased : switch_after:int -> first:t -> second:t -> t
+(** Distribution shift: requests arriving before the simulation time
+    [switch_after] (ns) draw from [first], later ones from [second] —
+    workload C. *)
+
+val sample : t -> Engine.Rng.t -> now:int -> int
+(** Draw a service time (ns, >= 1). *)
+
+val mean_ns : t -> now:int -> float
+(** Analytic mean of the distribution (at simulation time [now], which
+    matters only for [phased]). *)
+
+val name : t -> string
+
+(* The paper's named workloads. *)
+
+val workload_a1 : t
+val workload_a2 : t
+val workload_b : t
+
+val workload_c : duration_ns:int -> t
+(** A1 for the first half of a run of [duration_ns], then B. *)

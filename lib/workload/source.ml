@@ -1,0 +1,37 @@
+type t = { src_name : string; draw_fn : Engine.Rng.t -> now:int -> int * Request.cls }
+
+let of_dist dist ~cls =
+  {
+    src_name = Service_dist.name dist;
+    draw_fn = (fun rng ~now -> (Service_dist.sample dist rng ~now, cls));
+  }
+
+let of_fn ~name draw_fn = { src_name = name; draw_fn }
+
+let mix weighted =
+  if weighted = [] then invalid_arg "Source.mix: empty";
+  List.iter (fun (w, _) -> if w <= 0.0 then invalid_arg "Source.mix: non-positive weight") weighted;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  let name =
+    String.concat "+"
+      (List.map (fun (w, s) -> Printf.sprintf "%.0f%%%s" (100.0 *. w /. total) s.src_name) weighted)
+  in
+  {
+    src_name = name;
+    draw_fn =
+      (fun rng ~now ->
+        let u = Engine.Rng.float rng *. total in
+        let rec pick acc = function
+          | [] -> assert false
+          | [ (_, s) ] -> s.draw_fn rng ~now
+          | (w, s) :: rest -> if u < acc +. w then s.draw_fn rng ~now else pick (acc +. w) rest
+        in
+        pick 0.0 weighted);
+  }
+
+let draw t rng ~now =
+  let service, cls = t.draw_fn rng ~now in
+  if service <= 0 then invalid_arg "Source.draw: sampler returned non-positive service time";
+  (service, cls)
+
+let name t = t.src_name

@@ -1,0 +1,22 @@
+(** Request sources: samplers of (service time, class).
+
+    A source abstracts "what kind of work arrives": a plain service-time
+    distribution, an application model ({!Mica}, {!Zlib_be}), or a
+    weighted mix of sources — the colocation experiments issue 98%
+    latency-critical and 2% best-effort requests from one mixed
+    source. *)
+
+type t
+
+val of_dist : Service_dist.t -> cls:Request.cls -> t
+
+val of_fn : name:string -> (Engine.Rng.t -> now:int -> int * Request.cls) -> t
+(** Wrap a custom sampler; it must return a positive service time. *)
+
+val mix : (float * t) list -> t
+(** Weighted mixture. Weights must be positive; they are normalized.
+    Raises on an empty list. *)
+
+val draw : t -> Engine.Rng.t -> now:int -> int * Request.cls
+
+val name : t -> string

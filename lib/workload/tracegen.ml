@@ -1,0 +1,21 @@
+let generate ?(seed = 7L) ~arrival ~source ~duration_ns () =
+  if duration_ns <= 0 then invalid_arg "Tracegen.generate: non-positive duration";
+  let rng = Engine.Rng.create seed in
+  let rec collect acc id now =
+    let now = now + Arrival.next_gap arrival rng ~now in
+    if now >= duration_ns then List.rev acc
+    else begin
+      let service_ns, cls = Source.draw source rng ~now in
+      let r = Request.make ~id ~arrival_ns:now ~service_ns ~cls in
+      collect (r :: acc) (id + 1) now
+    end
+  in
+  collect [] 0 0
+
+let offered_load ?seed ~arrival ~source ~duration_ns ~cores () =
+  if cores <= 0 then invalid_arg "Tracegen.offered_load: cores must be positive";
+  let trace = generate ?seed ~arrival ~source ~duration_ns () in
+  let total_service =
+    List.fold_left (fun acc r -> acc + r.Request.service_ns) 0 trace
+  in
+  float_of_int total_service /. (float_of_int duration_ns *. float_of_int cores)

@@ -1,0 +1,26 @@
+(** Materialized request traces.
+
+    The server simulators generate arrivals on the fly (open loop), but
+    tests, examples, and offline analysis want a concrete list of
+    requests; this builds one from an arrival process and a source. *)
+
+val generate :
+  ?seed:int64 ->
+  arrival:Arrival.t ->
+  source:Source.t ->
+  duration_ns:int ->
+  unit ->
+  Request.t list
+(** All requests arriving in [0, duration_ns), in arrival order, with
+    consecutive ids from 0. *)
+
+val offered_load :
+  ?seed:int64 ->
+  arrival:Arrival.t ->
+  source:Source.t ->
+  duration_ns:int ->
+  cores:int ->
+  unit ->
+  float
+(** Estimated utilization the trace would impose on [cores] cores
+    (total service time / (duration × cores)). *)

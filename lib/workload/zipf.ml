@@ -1,0 +1,44 @@
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta out of [0,1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; zetan; alpha; eta; zeta2 }
+
+(* Gray et al.'s quick zipfian sampler as used by YCSB / MICA. *)
+let sample t rng =
+  let u = Engine.Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** t.theta) then 1
+  else
+    let rank =
+      int_of_float
+        (float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha))
+    in
+    min rank (t.n - 1)
+
+let n t = t.n
+let probability t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  1.0 /. ((float_of_int (i + 1) ** t.theta) *. t.zetan)

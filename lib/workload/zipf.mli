@@ -1,0 +1,19 @@
+(** Zipfian key-popularity sampler.
+
+    The MICA experiments use the original MICA zipfian generator with
+    skew 0.99 (Sec V-C); this is the standard YCSB-style rejection-free
+    sampler with precomputed normalization. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [n] keys with skew parameter [theta] in [0, 1). [theta = 0] is
+    uniform. Raises on invalid parameters. *)
+
+val sample : t -> Engine.Rng.t -> int
+(** A key rank in [0, n), 0 = most popular. *)
+
+val n : t -> int
+
+val probability : t -> int -> float
+(** The probability of drawing rank [i]. *)

@@ -1,0 +1,27 @@
+type config = { size_kb : float; per_kb_ns : int; variability : float }
+
+let default_config = { size_kb = 25.0; per_kb_ns = 4_000; variability = 0.25 }
+
+type t = { c : config }
+
+let create ?(config = default_config) () =
+  if config.size_kb <= 0.0 then invalid_arg "Zlib_be.create: size must be positive";
+  if config.per_kb_ns <= 0 then invalid_arg "Zlib_be.create: per_kb_ns must be positive";
+  if config.variability < 0.0 then invalid_arg "Zlib_be.create: negative variability";
+  { c = config }
+
+let sample_ns t rng =
+  let c = t.c in
+  let median = c.size_kb *. float_of_int c.per_kb_ns in
+  let factor =
+    if c.variability = 0.0 then 1.0
+    else begin
+      (* Lognormal with median 1 — the median stays at [median]. *)
+      let sigma = c.variability in
+      Engine.Rng.lognormal rng ~mu:0.0 ~sigma
+    end
+  in
+  max 1 (int_of_float (median *. factor))
+
+let source t =
+  Source.of_fn ~name:"zlib-be" (fun rng ~now:_ -> (sample_ns t rng, Request.Best_effort))

@@ -1,0 +1,24 @@
+(** zlib compression best-effort job model (Sec V-C, Table V).
+
+    The paper's BE workload compresses 25 kB of raw data per request at
+    a median latency of 100 µs.  Compression time scales with input size
+    and varies with data compressibility; we model it as
+    [per_kb_ns × size_kb × lognormal(compressibility)]. *)
+
+type config = {
+  size_kb : float;  (** paper: 25 kB *)
+  per_kb_ns : int;  (** median per-kB compression cost *)
+  variability : float;  (** coefficient of variation of compressibility *)
+}
+
+val default_config : config
+(** Calibrated so the solo median is ~100 µs. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val sample_ns : t -> Engine.Rng.t -> int
+
+val source : t -> Source.t
+(** As a best-effort request source. *)

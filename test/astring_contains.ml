@@ -1,0 +1,5 @@
+(* Tiny substring helper for test assertions (no external deps). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0

@@ -1,0 +1,240 @@
+(* Tests for the real-execution fiber runtime (OCaml 5 effects). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module F = Fiber_rt.Fiber
+module Clock = Fiber_rt.Deadline_clock
+
+let make ?(quantum = 1_000) () =
+  let clock = Clock.virtual_ () in
+  let rt = F.create ~quantum_ns:quantum ~clock () in
+  (clock, rt)
+
+(* A fiber that "works" for [units] steps of [step] virtual ns each,
+   checkpointing between steps. *)
+let worker clock rt ~units ~step () =
+  for _ = 1 to units do
+    Clock.advance clock step;
+    F.checkpoint rt
+  done;
+  units * step
+
+let worker_unit clock rt ~units ~step () = ignore (worker clock rt ~units ~step () : int)
+
+let test_completes_within_quantum () =
+  let clock, rt = make () in
+  let fn = F.fn_launch rt (worker clock rt ~units:2 ~step:100) in
+  check_bool "completed in one slice" true (F.fn_completed fn);
+  Alcotest.(check (option int)) "result" (Some 200) (F.result fn);
+  check_int "no preemptions" 0 (F.preempt_count fn)
+
+let test_preempted_at_quantum () =
+  let clock, rt = make ~quantum:1_000 () in
+  let fn = F.fn_launch rt (worker clock rt ~units:10 ~step:300) in
+  check_bool "not completed yet" false (F.fn_completed fn);
+  check_int "one preemption so far" 1 (F.preempt_count fn);
+  (* 4 steps of 300 cross the 1000ns deadline; 6 remain. *)
+  let rec drain n = if not (F.fn_completed fn) then (F.fn_resume fn; drain (n + 1)) else n in
+  let resumes = drain 0 in
+  check_bool "took multiple slices" true (resumes >= 1);
+  Alcotest.(check (option int)) "full result" (Some 3_000) (F.result fn);
+  check_bool "runtime counter matches" true (F.preemptions rt >= F.preempt_count fn)
+
+let test_deterministic_slicing () =
+  let run () =
+    let clock, rt = make ~quantum:1_000 () in
+    let order = ref [] in
+    let task name units () =
+      ignore (worker clock rt ~units ~step:400 ());
+      order := name :: !order
+    in
+    let stats = Fiber_rt.Round_robin.run rt [ task "a" 10; task "b" 3; task "c" 5 ] in
+    (List.rev !order, stats.Fiber_rt.Round_robin.preemptions)
+  in
+  let o1, p1 = run () and o2, p2 = run () in
+  Alcotest.(check (list string)) "same interleaving" o1 o2;
+  check_int "same preemption count" p1 p2;
+  Alcotest.(check (list string)) "short tasks finish first" [ "b"; "c"; "a" ] o1
+
+let test_fn_resume_errors () =
+  let clock, rt = make () in
+  let fn = F.fn_launch rt (worker clock rt ~units:1 ~step:10) in
+  Alcotest.check_raises "resume completed"
+    (Invalid_argument "Fiber.fn_resume: function already completed") (fun () -> F.fn_resume fn)
+
+let test_nested_launch_rejected () =
+  let clock, rt = make () in
+  ignore clock;
+  let fn =
+    F.fn_launch rt (fun () ->
+        try
+          ignore (F.fn_launch rt (fun () -> ()));
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check (option bool)) "nested launch rejected" (Some true) (F.result fn)
+
+let test_exception_marks_failed () =
+  let _, rt = make () in
+  check_bool "exception propagates" true
+    (try
+       ignore (F.fn_launch rt (fun () -> failwith "boom"));
+       false
+     with Failure _ -> true);
+  (* runtime is reusable after a failed fiber *)
+  let fn = F.fn_launch rt (fun () -> 41 + 1) in
+  Alcotest.(check (option int)) "recovered" (Some 42) (F.result fn)
+
+let test_voluntary_yield () =
+  let _, rt = make () in
+  let fn = F.fn_launch rt (fun () -> F.yield rt; 7) in
+  check_bool "suspended, not completed" false (F.fn_completed fn);
+  check_int "voluntary: no preemption counted" 0 (F.preempt_count fn);
+  F.fn_resume fn;
+  Alcotest.(check (option int)) "completes after resume" (Some 7) (F.result fn)
+
+let test_checkpoint_outside_fn_noop () =
+  let _, rt = make () in
+  F.checkpoint rt (* must not raise or preempt *)
+
+let test_yield_outside_fn_rejected () =
+  let _, rt = make () in
+  Alcotest.check_raises "yield outside" (Invalid_argument "Fiber.yield: no function is running")
+    (fun () -> F.yield rt)
+
+let test_set_quantum () =
+  let clock, rt = make ~quantum:10_000 () in
+  F.set_quantum_ns rt 500;
+  check_int "updated" 500 (F.quantum_ns rt);
+  let fn = F.fn_launch rt (worker clock rt ~units:3 ~step:400) in
+  check_bool "preempted under new quantum" false (F.fn_completed fn);
+  let rec drain () = if not (F.fn_completed fn) then (F.fn_resume fn; drain ()) in
+  drain ();
+  Alcotest.check_raises "non-positive quantum"
+    (Invalid_argument "Fiber.set_quantum_ns: quantum must be positive") (fun () ->
+      F.set_quantum_ns rt 0)
+
+let test_per_fn_quantum () =
+  let clock, rt = make ~quantum:1_000_000 () in
+  let fn = F.fn_launch rt ~quantum_ns:500 (worker clock rt ~units:3 ~step:400) in
+  check_bool "tight per-fn quantum preempts" false (F.fn_completed fn);
+  let rec drain () = if not (F.fn_completed fn) then (F.fn_resume fn; drain ()) in
+  drain ()
+
+let test_virtual_clock_rules () =
+  let wall = Clock.wall () in
+  check_bool "wall ticks" true (Clock.now_ns wall > 0);
+  Alcotest.check_raises "cannot advance wall"
+    (Invalid_argument "Deadline_clock.advance: cannot advance the wall clock") (fun () ->
+      Clock.advance wall 1);
+  Alcotest.check_raises "timer domain needs wall clock"
+    (Invalid_argument "Fiber.create: a timer domain cannot watch a virtual clock") (fun () ->
+      ignore (F.create ~timer:F.Timer_domain ~clock:(Clock.virtual_ ()) ()))
+
+let test_timer_domain_preempts_wall_clock () =
+  (* Real time, real domain. On a single-CPU host the timer domain only
+     runs when the kernel schedules it, so just require that preemption
+     happens at all (the paper dedicates a core to the timer for exactly
+     this reason). *)
+  let rt = F.create ~quantum_ns:1_000_000 ~timer:F.Timer_domain ~clock:(Clock.wall ()) () in
+  let spin () =
+    let stop = Unix.gettimeofday () +. 0.08 in
+    while Unix.gettimeofday () < stop do
+      F.checkpoint rt
+    done
+  in
+  let stats = Fiber_rt.Round_robin.run rt [ spin ] in
+  F.shutdown rt;
+  F.shutdown rt;
+  (* idempotent *)
+  check_int "completed" 1 stats.Fiber_rt.Round_robin.completed;
+  check_bool "was preempted by the timer domain" true
+    (stats.Fiber_rt.Round_robin.preemptions > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Request_sched: the FCFS-with-preemption policy over real fibers     *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_sched_hol_removal () =
+  let clock, rt = make ~quantum:1_000 () in
+  let sched = Fiber_rt.Request_sched.create rt in
+  let order = ref [] in
+  let request name units () =
+    ignore (worker clock rt ~units ~step:300 ());
+    order := name :: !order
+  in
+  let long = Fiber_rt.Request_sched.submit sched (request "long" 50) in
+  let short = Fiber_rt.Request_sched.submit sched (request "short" 2) in
+  let stats = Fiber_rt.Request_sched.run_until_idle sched in
+  check_int "both completed" 2 stats.Fiber_rt.Request_sched.completed;
+  Alcotest.(check (list string)) "short escaped HoL" [ "short"; "long" ] (List.rev !order);
+  check_bool "long was preempted" true (Fiber_rt.Request_sched.preempt_count long >= 1);
+  check_int "short never preempted" 0 (Fiber_rt.Request_sched.preempt_count short);
+  check_bool "both report completed" true
+    (Fiber_rt.Request_sched.completed long && Fiber_rt.Request_sched.completed short)
+
+let test_request_sched_nested_submit () =
+  let clock, rt = make ~quantum:10_000 () in
+  let sched = Fiber_rt.Request_sched.create rt in
+  let child_ran = ref false in
+  ignore
+    (Fiber_rt.Request_sched.submit sched (fun () ->
+         Clock.advance clock 100;
+         ignore
+           (Fiber_rt.Request_sched.submit sched (fun () -> child_ran := true))));
+  let stats = Fiber_rt.Request_sched.run_until_idle sched in
+  check_int "parent and child completed" 2 stats.Fiber_rt.Request_sched.completed;
+  check_bool "child ran" true !child_ran
+
+let test_request_sched_per_request_quantum () =
+  let clock, rt = make ~quantum:1_000_000 () in
+  let sched = Fiber_rt.Request_sched.create rt in
+  let tight =
+    Fiber_rt.Request_sched.submit sched ~quantum_ns:500 (worker_unit clock rt ~units:10 ~step:300)
+  in
+  let stats = Fiber_rt.Request_sched.run_until_idle sched in
+  check_int "completed" 1 stats.Fiber_rt.Request_sched.completed;
+  check_bool "tight quantum preempted it" true (Fiber_rt.Request_sched.preempt_count tight >= 1)
+
+let round_robin_property =
+  QCheck.Test.make ~name:"round robin completes every fiber exactly once" ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 12) (int_range 1 20))
+    (fun sizes ->
+      let clock, rt = make ~quantum:700 () in
+      let done_count = ref 0 in
+      let tasks =
+        List.map
+          (fun units () ->
+            ignore (worker clock rt ~units ~step:250 ());
+            incr done_count)
+          sizes
+      in
+      let stats = Fiber_rt.Round_robin.run rt tasks in
+      stats.Fiber_rt.Round_robin.completed = List.length sizes
+      && !done_count = List.length sizes)
+
+let suites =
+  [
+    ( "fiber_rt.fiber",
+      [
+        Alcotest.test_case "completes within quantum" `Quick test_completes_within_quantum;
+        Alcotest.test_case "preempted at quantum" `Quick test_preempted_at_quantum;
+        Alcotest.test_case "deterministic slicing" `Quick test_deterministic_slicing;
+        Alcotest.test_case "resume errors" `Quick test_fn_resume_errors;
+        Alcotest.test_case "nested launch rejected" `Quick test_nested_launch_rejected;
+        Alcotest.test_case "exception handling" `Quick test_exception_marks_failed;
+        Alcotest.test_case "voluntary yield" `Quick test_voluntary_yield;
+        Alcotest.test_case "checkpoint outside fn" `Quick test_checkpoint_outside_fn_noop;
+        Alcotest.test_case "yield outside fn" `Quick test_yield_outside_fn_rejected;
+        Alcotest.test_case "set_quantum" `Quick test_set_quantum;
+        Alcotest.test_case "per-fn quantum" `Quick test_per_fn_quantum;
+        Alcotest.test_case "clock rules" `Quick test_virtual_clock_rules;
+        Alcotest.test_case "timer domain (wall)" `Slow test_timer_domain_preempts_wall_clock;
+        Alcotest.test_case "request_sched HoL removal" `Quick test_request_sched_hol_removal;
+        Alcotest.test_case "request_sched nested submit" `Quick test_request_sched_nested_submit;
+        Alcotest.test_case "request_sched per-request quantum" `Quick
+          test_request_sched_per_request_quantum;
+        QCheck_alcotest.to_alcotest round_robin_property;
+      ] );
+  ]

@@ -1,0 +1,197 @@
+(* Integration tests: pin the evaluation *shapes* the reproduction
+   stands on, end-to-end across modules. These are the regression
+   guards for EXPERIMENTS.md. *)
+
+open Engine
+
+let check_bool = Alcotest.(check bool)
+
+let lc_source dist = Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical
+
+let run_lp ?(workers = 4) ?(quantum = Units.us 5) ?(stealing = true) ~dist ~rate () =
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:workers
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let cfg = { cfg with Preemptible.Server.work_stealing = stealing } in
+  Preemptible.Server.run ~warmup_ns:(Units.ms 10) cfg
+    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+    ~source:(lc_source dist) ~duration_ns:(Units.ms 60)
+
+let p99 (r : Preemptible.Server.result) = r.Preemptible.Server.all.Stat.Summary.p99
+
+(* Fig 2 shape: on the heavy-tailed bimodal, smaller quanta strictly
+   improve p99 at high load; on the light-tailed exponential, the
+   aggressive quantum is no better (and typically worse). *)
+let test_fig2_crossover () =
+  let heavy = Workload.Service_dist.workload_a1 in
+  let rate_h = 0.8 *. (4.0 *. 1e9 /. Workload.Service_dist.mean_ns heavy ~now:0) in
+  let h5 = run_lp ~dist:heavy ~rate:rate_h ~quantum:(Units.us 5) () in
+  let h100 = run_lp ~dist:heavy ~rate:rate_h ~quantum:(Units.us 100) () in
+  let hnop =
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:4 ~policy:Preemptible.Policy.no_preempt
+        ~mechanism:Preemptible.Server.No_mechanism
+    in
+    Preemptible.Server.run ~warmup_ns:(Units.ms 10) cfg
+      ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate_h)
+      ~source:(lc_source heavy) ~duration_ns:(Units.ms 60)
+  in
+  check_bool "heavy: q5 beats q100" true (p99 h5 < p99 h100);
+  check_bool "heavy: q100 beats no-preempt" true (p99 h100 < p99 hnop);
+  let light = Workload.Service_dist.workload_b in
+  let rate_l = 0.85 *. (4.0 *. 1e9 /. Workload.Service_dist.mean_ns light ~now:0) in
+  let l5 = run_lp ~dist:light ~rate:rate_l ~quantum:(Units.us 5) () in
+  let l100 = run_lp ~dist:light ~rate:rate_l ~quantum:(Units.us 100) () in
+  check_bool "light: aggressive quantum does not help" true (p99 l5 >= 0.9 *. p99 l100)
+
+(* Fig 8 headline: at 90% load on A1, LibPreemptible's p99 is an order
+   of magnitude below Shinjuku's. *)
+let test_fig8_headline () =
+  let dist = Workload.Service_dist.workload_a1 in
+  let rate = 0.9 *. (4.0 *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0) in
+  let lp = run_lp ~dist ~rate () in
+  let shinjuku =
+    let cfg = Baselines.Shinjuku.default_config ~n_workers:5 ~quantum_ns:(Units.us 5) in
+    Baselines.Shinjuku.run ~warmup_ns:(Units.ms 10) cfg
+      ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+      ~source:(lc_source dist) ~duration_ns:(Units.ms 60)
+  in
+  check_bool "LP ~10x better tail than Shinjuku on A1@90%" true
+    (p99 shinjuku > 8.0 *. p99 lp)
+
+(* The UINTR ablation (Fig 8 orange): signal-based delivery costs >2x
+   tail at high load. *)
+let test_nouintr_ablation () =
+  let dist = Workload.Service_dist.workload_a1 in
+  let rate = 0.9 *. (4.0 *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0) in
+  let lp = run_lp ~dist ~rate () in
+  let nouintr =
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:4
+        ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(Units.us 5))
+        ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
+    in
+    Preemptible.Server.run ~warmup_ns:(Units.ms 10) cfg
+      ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+      ~source:(lc_source dist) ~duration_ns:(Units.ms 60)
+  in
+  check_bool "disabling UINTR degrades the tail >2x" true (p99 nouintr > 2.0 *. p99 lp)
+
+(* Work stealing: at high load, stealing reduces tail latency (the
+   centralized-lists load balancing the paper credits). *)
+let test_work_stealing_helps () =
+  let dist = Workload.Service_dist.workload_a1 in
+  let rate = 0.9 *. (4.0 *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0) in
+  let with_steal = run_lp ~dist ~rate ~stealing:true () in
+  let without = run_lp ~dist ~rate ~stealing:false () in
+  check_bool "stealing does not hurt the tail" true (p99 with_steal <= 1.1 *. p99 without)
+
+(* Fig 13 shape: colocated MICA+zlib, 30us quantum cuts LC p99 by >2.5x
+   while BE median rises by <50%. *)
+let test_colocation_tradeoff () =
+  let mica = Workload.Mica.create () in
+  let zlib = Workload.Zlib_be.create () in
+  let source =
+    Workload.Source.mix
+      [ (0.98, Workload.Mica.source mica); (0.02, Workload.Zlib_be.source zlib) ]
+  in
+  let run policy mechanism =
+    let cfg = Preemptible.Server.default_config ~n_workers:1 ~policy ~mechanism in
+    Preemptible.Server.run ~warmup_ns:(Units.ms 10) cfg
+      ~arrival:(Workload.Arrival.poisson ~rate_per_sec:55_000.0)
+      ~source ~duration_ns:(Units.ms 150)
+  in
+  let base = run Preemptible.Policy.no_preempt Preemptible.Server.No_mechanism in
+  let lib =
+    run
+      (Preemptible.Policy.fcfs_preempt ~quantum_ns:(Units.us 30))
+      (Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let lc (r : Preemptible.Server.result) =
+    (Option.get r.Preemptible.Server.lc).Stat.Summary.p99
+  in
+  let be_p50 (r : Preemptible.Server.result) =
+    (Option.get r.Preemptible.Server.be).Stat.Summary.p50
+  in
+  check_bool "LC p99 gain > 2.5x" true (lc base > 2.5 *. lc lib);
+  check_bool "BE median cost < 1.5x" true (be_p50 lib < 1.5 *. be_p50 base)
+
+(* Fig 9 / Algorithm 1 end-to-end: on workload C the controller
+   tightens during the heavy phase and relaxes during the light
+   low-load phase. *)
+let test_adaptive_trajectory () =
+  let duration = Units.ms 240 in
+  let dist = Workload.Service_dist.workload_c ~duration_ns:duration in
+  let arrival =
+    Workload.Arrival.piecewise
+      [
+        (duration / 2, Workload.Arrival.poisson ~rate_per_sec:900_000.0);
+        (duration, Workload.Arrival.poisson ~rate_per_sec:150_000.0);
+      ]
+  in
+  let controller =
+    Preemptible.Quantum_controller.create
+      ~config:
+        {
+          Preemptible.Quantum_controller.default_config with
+          Preemptible.Quantum_controller.k1_ns = Units.us 8;
+          k2_ns = Units.us 8;
+          k3_ns = Units.us 8;
+          l_high_fraction = 0.6;
+          l_low_fraction = 0.2;
+        }
+      ~max_load_per_s:1_300_000.0 ~initial_quantum_ns:(Units.us 40) ()
+  in
+  let quanta = ref [] in
+  let probes =
+    {
+      Preemptible.Server.on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ());
+      on_window = (fun _ ~quantum_ns -> quanta := quantum_ns :: !quanta);
+    }
+  in
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:4
+      ~policy:(Preemptible.Policy.adaptive controller)
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let cfg = { cfg with Preemptible.Server.stats_window_ns = Units.ms 20 } in
+  let r =
+    Preemptible.Server.run ~probes cfg ~arrival
+      ~source:(lc_source dist) ~duration_ns:duration
+  in
+  ignore r;
+  let qs = List.rev !quanta in
+  let n = List.length qs in
+  check_bool "several windows" true (n >= 8);
+  let mid = List.nth qs ((n / 2) - 1) in
+  let last = List.nth qs (n - 1) in
+  check_bool "tightened during heavy phase" true (mid < Units.us 40);
+  check_bool "relaxed in light low-load phase" true (last > mid)
+
+(* Table IV cross-check at the system level: the uintr mechanism fires
+   orders of magnitude more cheaply than the signal path, visible as
+   preemption counts at equal quanta. *)
+let test_mechanism_efficiency () =
+  let dist = Workload.Service_dist.workload_a1 in
+  let rate = 0.7 *. (4.0 *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0) in
+  let lp = run_lp ~dist ~rate () in
+  check_bool "uintr preempts promptly (many preemptions)" true
+    (lp.Preemptible.Server.preemptions > 1_000);
+  check_bool "few spurious interrupts" true
+    (lp.Preemptible.Server.spurious_interrupts * 20 < lp.Preemptible.Server.preemptions)
+
+let suites =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "fig2 crossover" `Slow test_fig2_crossover;
+        Alcotest.test_case "fig8 headline" `Slow test_fig8_headline;
+        Alcotest.test_case "no-uintr ablation" `Slow test_nouintr_ablation;
+        Alcotest.test_case "work stealing" `Slow test_work_stealing_helps;
+        Alcotest.test_case "fig13 colocation tradeoff" `Slow test_colocation_tradeoff;
+        Alcotest.test_case "fig9 adaptive trajectory" `Slow test_adaptive_trajectory;
+        Alcotest.test_case "mechanism efficiency" `Slow test_mechanism_efficiency;
+      ] );
+  ]

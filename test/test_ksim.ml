@@ -1,0 +1,235 @@
+(* Tests for the kernel model: locks, signals, timers, IPC. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let costs = Ksim.Costs.default
+
+(* ------------------------------------------------------------------ *)
+(* Klock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_klock_uncontended () =
+  let sim = Sim.create () in
+  let lock = Ksim.Klock.create sim in
+  let released_at = ref (-1) in
+  Ksim.Klock.acquire lock ~hold_ns:100 (fun () -> released_at := Sim.now sim);
+  check_bool "held" true (Ksim.Klock.busy lock);
+  Sim.run sim;
+  check_int "released after hold" 100 !released_at;
+  check_int "no contention" 0 (Ksim.Klock.contended_acquisitions lock)
+
+let test_klock_fifo_serialization () =
+  let sim = Sim.create () in
+  let lock = Ksim.Klock.create sim in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Ksim.Klock.acquire lock ~hold_ns:100 (fun () -> order := (i, Sim.now sim) :: !order)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "fifo, serialized" [ (1, 100); (2, 200); (3, 300) ] (List.rev !order);
+  check_int "two contended" 2 (Ksim.Klock.contended_acquisitions lock);
+  check_int "wait accumulated" 300 (Ksim.Klock.total_wait_ns lock)
+
+let test_klock_contended_wake_penalty () =
+  let sim = Sim.create () in
+  let lock = Ksim.Klock.create ~contended_wake_ns:50 sim in
+  let last = ref (-1) in
+  for _ = 1 to 3 do
+    Ksim.Klock.acquire lock ~hold_ns:100 (fun () -> last := Sim.now sim)
+  done;
+  Sim.run sim;
+  (* First: 100. Second: waits, pays wake: 100+150. Third: +150. *)
+  check_int "wake penalty serialized" 400 !last
+
+let test_klock_negative_hold () =
+  let sim = Sim.create () in
+  let lock = Ksim.Klock.create sim in
+  Alcotest.check_raises "negative hold" (Invalid_argument "Klock.acquire: negative hold")
+    (fun () -> Ksim.Klock.acquire lock ~hold_ns:(-1) (fun () -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Lognorm                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_lognorm_moments () =
+  let rng = Rng.create 5L in
+  let n = 100_000 in
+  let w = Stat.Welford.create () in
+  for _ = 1 to n do
+    Stat.Welford.add w (Ksim.Lognorm.sample rng ~mean:1000.0 ~std:300.0)
+  done;
+  check_bool "mean within 2%" true (abs_float (Stat.Welford.mean w -. 1000.0) < 20.0);
+  check_bool "std within 10%" true (abs_float (Stat.Welford.stddev w -. 300.0) < 30.0)
+
+let test_lognorm_zero_mean () =
+  let rng = Rng.create 5L in
+  Alcotest.(check (float 0.0)) "zero mean -> 0" 0.0 (Ksim.Lognorm.sample rng ~mean:0.0 ~std:10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Signal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_signal_deterministic_floor () =
+  let sim = Sim.create () in
+  let signal = Ksim.Signal.create sim costs ~rng:(Sim.fork_rng sim) in
+  let at = ref (-1) in
+  Ksim.Signal.deliver signal ~jitter:false ~handler:(fun () -> at := Sim.now sim) ();
+  Sim.run sim;
+  check_int "floor = min_latency" (Ksim.Signal.min_latency_ns signal) !at;
+  check_int "delivered count" 1 (Ksim.Signal.delivered signal)
+
+let test_signal_jitter_increases_latency () =
+  let sim = Sim.create () in
+  let signal = Ksim.Signal.create sim costs ~rng:(Sim.fork_rng sim) in
+  let at = ref (-1) in
+  Ksim.Signal.deliver signal ~handler:(fun () -> at := Sim.now sim) ();
+  Sim.run sim;
+  check_bool "jitter adds latency" true (!at > Ksim.Signal.min_latency_ns signal)
+
+let test_signal_concurrent_contention () =
+  let sim = Sim.create () in
+  let signal = Ksim.Signal.create sim costs ~rng:(Sim.fork_rng sim) in
+  let times = ref [] in
+  for _ = 1 to 8 do
+    Ksim.Signal.deliver signal ~jitter:false ~handler:(fun () -> times := Sim.now sim :: !times) ()
+  done;
+  Sim.run sim;
+  let times = List.sort compare !times in
+  let first = List.hd times and last = List.nth times 7 in
+  (* Seven waiters serialized on the sighand lock, each paying the
+     contended hold. *)
+  let hold = costs.Ksim.Costs.sighand_lock_hold_ns + costs.Ksim.Costs.sighand_wake_ns in
+  check_int "last delayed by lock queue" (7 * hold) (last - first);
+  check_int "lock saw contention" 7 (Ksim.Klock.contended_acquisitions (Ksim.Signal.lock signal))
+
+(* ------------------------------------------------------------------ *)
+(* Ktimer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_ktimer () =
+  let sim = Sim.create () in
+  let signal = Ksim.Signal.create sim costs ~rng:(Sim.fork_rng sim) in
+  (sim, Ksim.Ktimer.create sim costs ~rng:(Sim.fork_rng sim) ~signal)
+
+let test_ktimer_floor () =
+  let _, kt = make_ktimer () in
+  check_int "below floor clamps" costs.Ksim.Costs.ktimer_floor_ns
+    (Ksim.Ktimer.effective_interval kt 20_000);
+  check_int "above floor honoured" 100_000 (Ksim.Ktimer.effective_interval kt 100_000)
+
+let test_ktimer_oneshot_fires_after_floor () =
+  let sim, kt = make_ktimer () in
+  let at = ref (-1) in
+  ignore (Ksim.Ktimer.arm_oneshot kt ~delay_ns:20_000 ~handler:(fun () -> at := Sim.now sim));
+  Sim.run sim;
+  check_bool "fires no earlier than the floor" true (!at >= costs.Ksim.Costs.ktimer_floor_ns);
+  check_int "one expiry" 1 (Ksim.Ktimer.expirations kt)
+
+let test_ktimer_cancel () =
+  let sim, kt = make_ktimer () in
+  let fired = ref false in
+  let tm = Ksim.Ktimer.arm_oneshot kt ~delay_ns:100_000 ~handler:(fun () -> fired := true) in
+  Ksim.Ktimer.cancel tm;
+  Sim.run sim;
+  check_bool "cancelled timer silent" false !fired
+
+let test_ktimer_periodic_counts () =
+  let sim, kt = make_ktimer () in
+  let fired = ref 0 in
+  let tm = Ksim.Ktimer.arm_periodic kt ~interval_ns:100_000 ~handler:(fun () -> incr fired) in
+  Sim.run_until sim 1_050_000;
+  Ksim.Ktimer.cancel tm;
+  Sim.run sim;
+  (* ~10 periods of 100us each (plus jitter); expect at least a handful *)
+  check_bool "several periodic expiries" true (!fired >= 5 && !fired <= 11)
+
+let test_ktimer_invalid_args () =
+  let _, kt = make_ktimer () in
+  Alcotest.check_raises "negative oneshot"
+    (Invalid_argument "Ktimer.arm_oneshot: negative delay") (fun () ->
+      ignore (Ksim.Ktimer.arm_oneshot kt ~delay_ns:(-1) ~handler:(fun () -> ())));
+  Alcotest.check_raises "zero periodic"
+    (Invalid_argument "Ktimer.arm_periodic: non-positive interval") (fun () ->
+      ignore (Ksim.Ktimer.arm_periodic kt ~interval_ns:0 ~handler:(fun () -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Ipc — Table IV                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_ipc mech = Ksim.Ipc.run_pingpong mech ~n:30_000
+
+let close ~tol expected actual = abs_float (expected -. actual) /. expected < tol
+
+let test_table4_uintrfd () =
+  let r = run_ipc Ksim.Ipc.Uintrfd in
+  check_bool "avg ~0.734us" true (close ~tol:0.10 0.734 r.Ksim.Ipc.avg_us);
+  check_bool "min ~0.512us" true (close ~tol:0.05 0.512 r.Ksim.Ipc.min_us);
+  check_bool "rate near 1M+/s" true (r.Ksim.Ipc.rate_msg_per_s > 800_000.0)
+
+let test_table4_uintrfd_blocked () =
+  let r = run_ipc Ksim.Ipc.Uintrfd_blocked in
+  check_bool "avg ~2.393us" true (close ~tol:0.10 2.393 r.Ksim.Ipc.avg_us);
+  check_bool "min ~2.048us" true (close ~tol:0.05 2.048 r.Ksim.Ipc.min_us)
+
+let test_table4_signal () =
+  let r = run_ipc Ksim.Ipc.Signal_ipc in
+  check_bool "avg ~15.3us" true (close ~tol:0.10 15.325 r.Ksim.Ipc.avg_us)
+
+let test_table4_kernel_mechanisms_ranked () =
+  (* The headline of Table IV: user interrupts are ~10x faster than the
+     fastest kernel IPC mechanism. *)
+  let u = run_ipc Ksim.Ipc.Uintrfd in
+  let fastest_kernel =
+    List.fold_left
+      (fun acc m -> Float.min acc (run_ipc m).Ksim.Ipc.avg_us)
+      infinity
+      [ Ksim.Ipc.Signal_ipc; Ksim.Ipc.Mq; Ksim.Ipc.Pipe; Ksim.Ipc.Eventfd ]
+  in
+  check_bool "uintr ~10x faster than best kernel IPC" true
+    (fastest_kernel /. u.Ksim.Ipc.avg_us > 8.0)
+
+let test_ipc_rejects_bad_n () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Ipc.run_pingpong: n must be positive")
+    (fun () -> ignore (Ksim.Ipc.run_pingpong Ksim.Ipc.Mq ~n:0))
+
+let suites =
+  [
+    ( "ksim.klock",
+      [
+        Alcotest.test_case "uncontended" `Quick test_klock_uncontended;
+        Alcotest.test_case "fifo serialization" `Quick test_klock_fifo_serialization;
+        Alcotest.test_case "contended wake penalty" `Quick test_klock_contended_wake_penalty;
+        Alcotest.test_case "negative hold" `Quick test_klock_negative_hold;
+      ] );
+    ( "ksim.lognorm",
+      [
+        Alcotest.test_case "moments" `Slow test_lognorm_moments;
+        Alcotest.test_case "zero mean" `Quick test_lognorm_zero_mean;
+      ] );
+    ( "ksim.signal",
+      [
+        Alcotest.test_case "deterministic floor" `Quick test_signal_deterministic_floor;
+        Alcotest.test_case "jitter adds latency" `Quick test_signal_jitter_increases_latency;
+        Alcotest.test_case "lock contention" `Quick test_signal_concurrent_contention;
+      ] );
+    ( "ksim.ktimer",
+      [
+        Alcotest.test_case "granularity floor" `Quick test_ktimer_floor;
+        Alcotest.test_case "oneshot honours floor" `Quick test_ktimer_oneshot_fires_after_floor;
+        Alcotest.test_case "cancel" `Quick test_ktimer_cancel;
+        Alcotest.test_case "periodic count" `Quick test_ktimer_periodic_counts;
+        Alcotest.test_case "invalid args" `Quick test_ktimer_invalid_args;
+      ] );
+    ( "ksim.ipc(table4)",
+      [
+        Alcotest.test_case "uintrFd" `Slow test_table4_uintrfd;
+        Alcotest.test_case "uintrFd blocked" `Slow test_table4_uintrfd_blocked;
+        Alcotest.test_case "signal" `Slow test_table4_signal;
+        Alcotest.test_case "uintr ~10x faster" `Slow test_table4_kernel_mechanisms_ranked;
+        Alcotest.test_case "rejects bad n" `Quick test_ipc_rejects_bad_n;
+      ] );
+  ]

@@ -1,0 +1,220 @@
+(* Model-based and property tests across modules: random operation
+   sequences checked against reference models. *)
+
+open Engine
+
+(* ------------------------------------------------------------------ *)
+(* Hw.Core against a reference work model                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a core with a random schedule of stalls and a possible abort,
+   and check the completion time / consumed-work arithmetic against a
+   simple reference computation. *)
+let core_model_test =
+  QCheck.Test.make ~name:"core: stalls shift completion; abort returns progress" ~count:300
+    QCheck.(
+      triple (int_range 100 10_000)
+        (list_of_size (Gen.int_range 0 4) (pair (int_range 1 9_999) (int_range 1 2_000)))
+        (option (int_range 1 9_999)))
+    (fun (duration, stalls, abort_at) ->
+      let sim = Sim.create () in
+      let core = Hw.Core.create sim ~id:0 in
+      let done_at = ref None in
+      Hw.Core.begin_work core ~duration ~on_done:(fun () -> done_at := Some (Sim.now sim));
+      (* Apply stalls at distinct times before the (unstalled) end. *)
+      let stalls = List.sort_uniq compare stalls in
+      List.iter
+        (fun (at, d) ->
+          ignore
+            (Sim.at sim at (fun () -> if Hw.Core.busy core then Hw.Core.stall core d)))
+        stalls;
+      let aborted = ref None in
+      (match abort_at with
+      | Some at ->
+        ignore
+          (Sim.at sim at (fun () ->
+               if Hw.Core.busy core then aborted := Some (Hw.Core.abort core)))
+      | None -> ());
+      Sim.run sim;
+      match (!done_at, !aborted) with
+      | Some t, None ->
+        (* Completion: duration plus every stall that was applied while
+           busy. Stalls extend the timeline, so just check bounds. *)
+        let total_stall = Hw.Core.stall_ns core in
+        t = duration + total_stall
+      | None, Some work -> work >= 0 && work <= duration
+      | Some _, Some _ -> false (* cannot both complete and abort *)
+      | None, None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Uintr invariants                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let uintr_pending_sorted =
+  QCheck.Test.make ~name:"uintr: pending vectors descending + coalesced" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 20) (int_range 0 63))
+    (fun vectors ->
+      let sim = Sim.create () in
+      let fabric = Hw.Uintr.create sim Hw.Params.default in
+      let r = Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> ()) () in
+      Hw.Uintr.set_suppressed r true;
+      let s = Hw.Uintr.create_sender fabric () in
+      List.iter
+        (fun v ->
+          let idx = Hw.Uintr.connect s r ~vector:v in
+          Hw.Uintr.senduipi s idx)
+        vectors;
+      let pending = Hw.Uintr.pending_vectors r in
+      let expected = List.sort_uniq compare vectors |> List.rev in
+      pending = expected)
+
+let uintr_delivery_count =
+  QCheck.Test.make ~name:"uintr: every distinct posted vector delivered once" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 63))
+    (fun vectors ->
+      let sim = Sim.create () in
+      let fabric = Hw.Uintr.create sim Hw.Params.default in
+      let got = ref [] in
+      let r =
+        Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector -> got := vector :: !got) ()
+      in
+      Hw.Uintr.set_suppressed r true;
+      let s = Hw.Uintr.create_sender fabric () in
+      List.iter
+        (fun v ->
+          let idx = Hw.Uintr.connect s r ~vector:v in
+          Hw.Uintr.senduipi s idx)
+        vectors;
+      Hw.Uintr.set_suppressed r false;
+      Sim.run sim;
+      List.sort compare !got = List.sort_uniq compare vectors)
+
+(* ------------------------------------------------------------------ *)
+(* Utimer: linear and wheel scans agree under random arm schedules     *)
+(* ------------------------------------------------------------------ *)
+
+let utimer_scan_equivalence =
+  QCheck.Test.make ~name:"utimer: wheel and linear scans fire the same slots" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 12) (int_range 1_000 200_000))
+    (fun deadlines ->
+      let run config =
+        let sim = Sim.create () in
+        let fabric = Hw.Uintr.create sim Hw.Params.default in
+        let ut = Utimer.create sim ~uintr:fabric ?config () in
+        let fired = ref [] in
+        List.iteri
+          (fun i d ->
+            let r =
+              Hw.Uintr.register_receiver fabric
+                ~handler:(fun _ ~vector:_ -> fired := i :: !fired)
+                ()
+            in
+            let slot = Utimer.register ut ~receiver:r ~vector:0 in
+            Utimer.arm_after slot ~ns:d)
+          deadlines;
+        Utimer.start ut;
+        Sim.run_until sim 500_000;
+        Utimer.stop ut;
+        Sim.run sim;
+        List.sort compare !fired
+      in
+      let linear = run None in
+      let wheel =
+        run (Some { Utimer.default_config with scan = Utimer.Wheel; wheel_tick_ns = 500 })
+      in
+      linear = wheel && List.length linear = List.length deadlines)
+
+(* ------------------------------------------------------------------ *)
+(* Pacer: absolute schedule bounds drift                               *)
+(* ------------------------------------------------------------------ *)
+
+let pacer_schedule_property =
+  QCheck.Test.make ~name:"pacer: k-th send lands within delivery slack of k/rate" ~count:50
+    QCheck.(int_range 20 400)
+    (fun rate_krps ->
+      let sim = Sim.create () in
+      let fabric = Hw.Uintr.create sim Hw.Params.default in
+      let hwt = Hw.Hwtimer.create sim fabric in
+      let sends = ref [] in
+      let pacer =
+        Preemptible.Pacer.create sim
+          ~rate_per_sec:(float_of_int rate_krps *. 1e3)
+          ~source:(Preemptible.Pacer.hwtimer_source hwt ~uintr:fabric)
+          ~send:(fun ~now -> sends := now :: !sends)
+      in
+      Preemptible.Pacer.start pacer;
+      Sim.run_until sim (Units.ms 5);
+      Preemptible.Pacer.stop pacer;
+      Sim.run sim;
+      let interval = 1e9 /. (float_of_int rate_krps *. 1e3) in
+      let slack = Hw.Params.default.Hw.Params.uintr_delivery_ns + 2 in
+      List.for_all2
+        (fun send k ->
+          let ideal = int_of_float (float_of_int k *. interval) in
+          send >= ideal && send <= ideal + slack)
+        (List.rev !sends)
+        (List.init (List.length !sends) (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Service distributions: empirical vs analytic means                  *)
+(* ------------------------------------------------------------------ *)
+
+let dist_mean_property =
+  QCheck.Test.make ~name:"service dists: empirical mean tracks analytic mean" ~count:20
+    QCheck.(pair (int_range 500 100_000) (float_range 0.001 0.02))
+    (fun (short_ns, long_fraction) ->
+      let rng = Rng.create 77L in
+      let dist =
+        Workload.Service_dist.bimodal ~short_ns ~long_ns:(short_ns * 100) ~long_fraction
+      in
+      let n = 60_000 in
+      let acc = ref 0.0 in
+      for _ = 1 to n do
+        acc := !acc +. float_of_int (Workload.Service_dist.sample dist rng ~now:0)
+      done;
+      let empirical = !acc /. float_of_int n in
+      let analytic = Workload.Service_dist.mean_ns dist ~now:0 in
+      abs_float (empirical -. analytic) /. analytic < 0.08)
+
+(* ------------------------------------------------------------------ *)
+(* Goruntime baseline sanity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_goruntime_ms_granularity_useless () =
+  let arrival = Workload.Arrival.poisson ~rate_per_sec:600_000.0 in
+  let source =
+    Workload.Source.of_dist Workload.Service_dist.workload_a1
+      ~cls:Workload.Request.Latency_critical
+  in
+  let go =
+    Baselines.Goruntime.run
+      (Baselines.Goruntime.default_config ~n_workers:5)
+      ~arrival ~source ~duration_ns:(Units.ms 50)
+  in
+  let nop =
+    Baselines.Nopreempt.run
+      (Baselines.Nopreempt.default_config ~n_workers:5)
+      ~arrival ~source ~duration_ns:(Units.ms 50)
+  in
+  (* A 10ms slice never fires on <=500us requests: behaves like
+     run-to-completion (within noise), far from LP territory. *)
+  Alcotest.(check int) "no preemptions at 10ms slices" 0
+    go.Preemptible.Server.preemptions;
+  Alcotest.(check bool) "HoL tail like run-to-completion" true
+    (go.Preemptible.Server.all.Stat.Summary.p99
+    > 0.5 *. nop.Preemptible.Server.all.Stat.Summary.p99)
+
+let suites =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest core_model_test;
+        QCheck_alcotest.to_alcotest uintr_pending_sorted;
+        QCheck_alcotest.to_alcotest uintr_delivery_count;
+        QCheck_alcotest.to_alcotest utimer_scan_equivalence;
+        QCheck_alcotest.to_alcotest pacer_schedule_property;
+        QCheck_alcotest.to_alcotest dist_mean_property;
+        Alcotest.test_case "goruntime 10ms useless at us-scale" `Slow
+          test_goruntime_ms_granularity_useless;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+(* Tests for the statistics library. *)
+
+let check_bool = Alcotest.(check bool)
+let checkf msg ~eps expected actual = Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Quantile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_exact_basics () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  checkf "median" ~eps:1e-9 3.0 (Stat.Quantile.median xs);
+  checkf "min" ~eps:1e-9 1.0 (Stat.Quantile.exact xs 0.0);
+  checkf "max" ~eps:1e-9 5.0 (Stat.Quantile.exact xs 1.0);
+  checkf "interpolated p25" ~eps:1e-9 2.0 (Stat.Quantile.exact xs 0.25);
+  checkf "percentile alias" ~eps:1e-9
+    (Stat.Quantile.exact xs 0.99)
+    (Stat.Quantile.percentile xs 99.0)
+
+let test_quantile_exact_singleton () =
+  checkf "single value" ~eps:1e-9 7.0 (Stat.Quantile.exact [| 7.0 |] 0.99)
+
+let test_quantile_exact_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile.exact: empty sample set")
+    (fun () -> ignore (Stat.Quantile.exact [||] 0.5));
+  Alcotest.check_raises "q range" (Invalid_argument "Quantile.exact: q out of [0,1]")
+    (fun () -> ignore (Stat.Quantile.exact [| 1.0 |] 1.5))
+
+let test_p2_matches_exact_on_uniform () =
+  let r = Engine.Rng.create 5L in
+  let p2 = Stat.Quantile.P2.create 0.9 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Engine.Rng.float r) in
+  Array.iter (Stat.Quantile.P2.add p2) xs;
+  let exact = Stat.Quantile.exact xs 0.9 in
+  let est = Stat.Quantile.P2.get p2 in
+  check_bool "p2 within 2% of exact" true (abs_float (est -. exact) < 0.02)
+
+let test_p2_small_counts () =
+  let p2 = Stat.Quantile.P2.create 0.5 in
+  Stat.Quantile.P2.add p2 3.0;
+  Stat.Quantile.P2.add p2 1.0;
+  checkf "exact fallback" ~eps:1e-9 2.0 (Stat.Quantile.P2.get p2);
+  Alcotest.(check int) "count" 2 (Stat.Quantile.P2.count p2)
+
+let test_p2_rejects_bad_q () =
+  Alcotest.check_raises "q=0" (Invalid_argument "Quantile.P2.create: q out of (0,1)")
+    (fun () -> ignore (Stat.Quantile.P2.create 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Welford                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_welford_moments () =
+  let w = Stat.Welford.create () in
+  List.iter (Stat.Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checkf "mean" ~eps:1e-9 5.0 (Stat.Welford.mean w);
+  checkf "sample variance" ~eps:1e-9 (32.0 /. 7.0) (Stat.Welford.variance w);
+  checkf "min" ~eps:1e-9 2.0 (Stat.Welford.min_value w);
+  checkf "max" ~eps:1e-9 9.0 (Stat.Welford.max_value w)
+
+let test_welford_empty () =
+  let w = Stat.Welford.create () in
+  checkf "mean empty" ~eps:1e-9 0.0 (Stat.Welford.mean w);
+  checkf "variance empty" ~eps:1e-9 0.0 (Stat.Welford.variance w)
+
+let test_welford_merge_equals_sequential () =
+  let r = Engine.Rng.create 31L in
+  let a = Stat.Welford.create ()
+  and b = Stat.Welford.create ()
+  and all = Stat.Welford.create () in
+  for i = 1 to 1000 do
+    let x = Engine.Rng.normal r ~mu:3.0 ~sigma:1.0 in
+    Stat.Welford.add all x;
+    Stat.Welford.add (if i mod 2 = 0 then a else b) x
+  done;
+  let m = Stat.Welford.merge a b in
+  checkf "merged mean" ~eps:1e-9 (Stat.Welford.mean all) (Stat.Welford.mean m);
+  checkf "merged var" ~eps:1e-6 (Stat.Welford.variance all) (Stat.Welford.variance m);
+  Stat.Welford.merge_into ~dst:a ~src:b;
+  checkf "merge_into mean" ~eps:1e-9 (Stat.Welford.mean all) (Stat.Welford.mean a)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_quantile_accuracy () =
+  let h = Stat.Histogram.create () in
+  let r = Engine.Rng.create 77L in
+  let xs = Array.init 100_000 (fun _ -> Engine.Rng.exponential r ~mean:10_000.0) in
+  Array.iter (Stat.Histogram.record h) xs;
+  let p99_exact = Stat.Quantile.exact xs 0.99 in
+  let p99_hist = Stat.Histogram.quantile h 0.99 in
+  let rel = abs_float (p99_hist -. p99_exact) /. p99_exact in
+  check_bool "p99 within 5%" true (rel < 0.05);
+  checkf "mean exactly tracked" ~eps:1e-6
+    (Array.fold_left ( +. ) 0.0 xs /. 100_000.0)
+    (Stat.Histogram.mean h)
+
+let test_histogram_bounds () =
+  let h = Stat.Histogram.create () in
+  Stat.Histogram.record h 0.5;
+  Stat.Histogram.record h 1e12;
+  Alcotest.(check int) "count" 2 (Stat.Histogram.count h);
+  checkf "max raw" ~eps:1.0 1e12 (Stat.Histogram.max_recorded h);
+  checkf "min raw" ~eps:1e-9 0.5 (Stat.Histogram.min_recorded h)
+
+let test_histogram_quantile_never_exceeds_max () =
+  let h = Stat.Histogram.create () in
+  List.iter (Stat.Histogram.record h) [ 100.0; 200.0; 300.0 ];
+  check_bool "p100 <= max" true (Stat.Histogram.quantile h 1.0 <= 300.0)
+
+let test_histogram_merge () =
+  let a = Stat.Histogram.create () and b = Stat.Histogram.create () in
+  Stat.Histogram.record a 10.0;
+  Stat.Histogram.record b 1000.0;
+  Stat.Histogram.merge_into ~dst:a ~src:b;
+  Alcotest.(check int) "merged count" 2 (Stat.Histogram.count a);
+  checkf "merged max" ~eps:1e-9 1000.0 (Stat.Histogram.max_recorded a)
+
+let test_histogram_reset () =
+  let h = Stat.Histogram.create () in
+  Stat.Histogram.record h 5.0;
+  Stat.Histogram.reset h;
+  Alcotest.(check int) "count reset" 0 (Stat.Histogram.count h)
+
+let histogram_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (float_range 1.0 1e7))
+    (fun xs ->
+      let h = Stat.Histogram.create () in
+      List.iter (Stat.Histogram.record h) xs;
+      let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let vals = List.map (Stat.Histogram.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+(* ------------------------------------------------------------------ *)
+(* Tail index                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hill_recovers_pareto_index () =
+  let r = Engine.Rng.create 41L in
+  let shape = 1.2 in
+  let xs = Array.init 50_000 (fun _ -> Engine.Rng.pareto r ~scale:1.0 ~shape) in
+  let est = Stat.Tail_index.hill xs ~k:2_000 in
+  check_bool "hill near true index" true (abs_float (est -. shape) < 0.15)
+
+let test_hill_auto_light_tail_is_large () =
+  let r = Engine.Rng.create 43L in
+  let xs = Array.init 20_000 (fun _ -> 1.0 +. Engine.Rng.exponential r ~mean:1.0) in
+  let est = Stat.Tail_index.hill_auto xs in
+  check_bool "light tail => alpha above heavy threshold" true (est >= 2.0)
+
+let test_ratio_proxy () =
+  (* For a Pareto(alpha) distribution, p99/median = 50^(1/alpha). *)
+  let alpha = 1.5 in
+  let median = 2.0 in
+  let tail = median *. (50.0 ** (1.0 /. alpha)) in
+  checkf "proxy inverts ratio" ~eps:1e-9 alpha (Stat.Tail_index.ratio_proxy ~median ~tail)
+
+let test_ratio_proxy_errors () =
+  Alcotest.check_raises "tail <= median"
+    (Invalid_argument "Tail_index.ratio_proxy: requires tail > median > 0") (fun () ->
+      ignore (Stat.Tail_index.ratio_proxy ~median:2.0 ~tail:1.0))
+
+let test_is_heavy () =
+  check_bool "1.0 heavy" true (Stat.Tail_index.is_heavy 1.0);
+  check_bool "2.5 light" false (Stat.Tail_index.is_heavy 2.5);
+  check_bool "negative invalid" false (Stat.Tail_index.is_heavy (-0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_report () =
+  let s = Stat.Summary.create () in
+  for i = 1 to 1000 do
+    Stat.Summary.record s (float_of_int i)
+  done;
+  let r = Stat.Summary.report s in
+  Alcotest.(check int) "count" 1000 r.Stat.Summary.count;
+  checkf "mean" ~eps:1e-6 500.5 r.Stat.Summary.mean;
+  check_bool "p50 near 500" true (abs_float (r.Stat.Summary.p50 -. 500.0) < 25.0);
+  check_bool "p99 near 990" true (abs_float (r.Stat.Summary.p99 -. 990.0) < 40.0);
+  checkf "max" ~eps:1e-9 1000.0 r.Stat.Summary.max
+
+let test_summary_empty_raises () =
+  let s = Stat.Summary.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.report: no data") (fun () ->
+      ignore (Stat.Summary.report s))
+
+let test_summary_merge () =
+  let a = Stat.Summary.create () and b = Stat.Summary.create () in
+  Stat.Summary.record a 10.0;
+  Stat.Summary.record b 30.0;
+  Stat.Summary.merge_into ~dst:a ~src:b;
+  let r = Stat.Summary.report a in
+  Alcotest.(check int) "count" 2 r.Stat.Summary.count;
+  checkf "mean" ~eps:1e-9 20.0 r.Stat.Summary.mean
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_bucketing () =
+  let ts = Stat.Timeseries.create ~window_ns:100 in
+  Stat.Timeseries.record ts ~time:10 1.0;
+  Stat.Timeseries.record ts ~time:90 3.0;
+  Stat.Timeseries.record ts ~time:150 10.0;
+  let pts = Stat.Timeseries.points ts in
+  Alcotest.(check int) "two windows" 2 (List.length pts);
+  let first = List.hd pts in
+  Alcotest.(check int) "window start" 0 first.Stat.Timeseries.t_start;
+  Alcotest.(check int) "count" 2 first.Stat.Timeseries.count;
+  checkf "mean" ~eps:1e-9 2.0 first.Stat.Timeseries.mean;
+  checkf "max" ~eps:1e-9 3.0 first.Stat.Timeseries.max
+
+let test_timeseries_rate () =
+  let window_ns = 1_000_000 in
+  let ts = Stat.Timeseries.create ~window_ns in
+  for i = 0 to 99 do
+    Stat.Timeseries.mark ts ~time:(i * 10_000)
+  done;
+  match Stat.Timeseries.points ts with
+  | [ p ] ->
+    checkf "100 marks in 1ms = 100k/s" ~eps:1e-6 100_000.0
+      (Stat.Timeseries.rate_per_sec p ~window_ns)
+  | pts -> Alcotest.failf "expected one window, got %d" (List.length pts)
+
+let test_timeseries_rejects_negative_time () =
+  let ts = Stat.Timeseries.create ~window_ns:10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Timeseries.record: negative time")
+    (fun () -> Stat.Timeseries.record ts ~time:(-1) 0.0)
+
+let suites =
+  [
+    ( "stat.quantile",
+      [
+        Alcotest.test_case "exact basics" `Quick test_quantile_exact_basics;
+        Alcotest.test_case "singleton" `Quick test_quantile_exact_singleton;
+        Alcotest.test_case "errors" `Quick test_quantile_exact_errors;
+        Alcotest.test_case "p2 accuracy" `Slow test_p2_matches_exact_on_uniform;
+        Alcotest.test_case "p2 small counts" `Quick test_p2_small_counts;
+        Alcotest.test_case "p2 bad q" `Quick test_p2_rejects_bad_q;
+      ] );
+    ( "stat.welford",
+      [
+        Alcotest.test_case "moments" `Quick test_welford_moments;
+        Alcotest.test_case "empty" `Quick test_welford_empty;
+        Alcotest.test_case "merge" `Quick test_welford_merge_equals_sequential;
+      ] );
+    ( "stat.histogram",
+      [
+        Alcotest.test_case "quantile accuracy" `Slow test_histogram_quantile_accuracy;
+        Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+        Alcotest.test_case "quantile <= max" `Quick test_histogram_quantile_never_exceeds_max;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "reset" `Quick test_histogram_reset;
+        QCheck_alcotest.to_alcotest histogram_quantile_monotone;
+      ] );
+    ( "stat.tail_index",
+      [
+        Alcotest.test_case "hill pareto" `Slow test_hill_recovers_pareto_index;
+        Alcotest.test_case "hill light tail" `Slow test_hill_auto_light_tail_is_large;
+        Alcotest.test_case "ratio proxy" `Quick test_ratio_proxy;
+        Alcotest.test_case "ratio proxy errors" `Quick test_ratio_proxy_errors;
+        Alcotest.test_case "is_heavy" `Quick test_is_heavy;
+      ] );
+    ( "stat.summary",
+      [
+        Alcotest.test_case "report" `Quick test_summary_report;
+        Alcotest.test_case "empty raises" `Quick test_summary_empty_raises;
+        Alcotest.test_case "merge" `Quick test_summary_merge;
+      ] );
+    ( "stat.timeseries",
+      [
+        Alcotest.test_case "bucketing" `Quick test_timeseries_bucketing;
+        Alcotest.test_case "rate" `Quick test_timeseries_rate;
+        Alcotest.test_case "negative time" `Quick test_timeseries_rejects_negative_time;
+      ] );
+  ]

@@ -1,0 +1,272 @@
+(* Tests for the timing wheel and LibUtimer. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Timing_wheel                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Tw = Utimer.Timing_wheel
+
+let test_wheel_basic_expiry () =
+  let w = Tw.create ~tick:10 () in
+  ignore (Tw.add w ~deadline:25 "a");
+  ignore (Tw.add w ~deadline:15 "b");
+  ignore (Tw.add w ~deadline:45 "c");
+  Alcotest.(check (list string)) "nothing before" [] (Tw.advance w ~upto:5);
+  Alcotest.(check (list string)) "b then a" [ "b"; "a" ] (Tw.advance w ~upto:30);
+  Alcotest.(check (list string)) "c" [ "c" ] (Tw.advance w ~upto:100);
+  check_int "empty" 0 (Tw.size w)
+
+let test_wheel_cancel () =
+  let w = Tw.create ~tick:10 () in
+  let h = Tw.add w ~deadline:20 "x" in
+  ignore (Tw.add w ~deadline:20 "y");
+  Tw.cancel w h;
+  Tw.cancel w h;
+  (* idempotent *)
+  check_int "one live" 1 (Tw.size w);
+  Alcotest.(check (list string)) "only y" [ "y" ] (Tw.advance w ~upto:50)
+
+let test_wheel_cascade_timeliness () =
+  (* An entry far beyond level 0's span must still expire within one
+     tick of its deadline (cascade must not be late). *)
+  let w = Tw.create ~tick:500 ~slots_per_level:64 ~levels:4 () in
+  (* level 0 span = 32_000; place at 100_100 (level 1) *)
+  ignore (Tw.add w ~deadline:100_100 "x");
+  Alcotest.(check (list string)) "not expired just before" []
+    (Tw.advance w ~upto:100_000);
+  Alcotest.(check (list string)) "expired within one tick" [ "x" ]
+    (Tw.advance w ~upto:100_500)
+
+let test_wheel_cascade_levels () =
+  (* Deadlines far beyond level 0's span must cascade down correctly. *)
+  let w = Tw.create ~tick:10 ~slots_per_level:4 ~levels:3 () in
+  (* level 0 span: 40; level 1: 160; level 2: 640 *)
+  ignore (Tw.add w ~deadline:35 "near");
+  ignore (Tw.add w ~deadline:150 "mid");
+  ignore (Tw.add w ~deadline:600 "far");
+  let all = Tw.advance w ~upto:640 in
+  Alcotest.(check (list string)) "deadline order across levels" [ "near"; "mid"; "far" ] all
+
+let test_wheel_overdue_insert () =
+  let w = Tw.create ~tick:10 () in
+  ignore (Tw.advance w ~upto:100);
+  ignore (Tw.add w ~deadline:50 "late");
+  Alcotest.(check (list string)) "expires on next advance" [ "late" ] (Tw.advance w ~upto:101)
+
+let test_wheel_horizon () =
+  let w = Tw.create ~tick:10 ~slots_per_level:4 ~levels:2 () in
+  check_bool "horizon" true (Tw.horizon w = 159);
+  Alcotest.check_raises "beyond horizon"
+    (Invalid_argument "Timing_wheel.add: deadline beyond horizon") (fun () ->
+      ignore (Tw.add w ~deadline:1_000 "too far"))
+
+let test_wheel_backwards () =
+  let w = Tw.create ~tick:10 () in
+  ignore (Tw.advance w ~upto:100);
+  Alcotest.check_raises "backwards" (Invalid_argument "Timing_wheel.advance: time moved backwards")
+    (fun () -> ignore (Tw.advance w ~upto:50))
+
+let test_wheel_fifo_at_same_deadline () =
+  let w = Tw.create ~tick:10 () in
+  for i = 1 to 10 do
+    ignore (Tw.add w ~deadline:20 i)
+  done;
+  Alcotest.(check (list int)) "ties in insertion order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (Tw.advance w ~upto:30)
+
+let wheel_matches_reference =
+  QCheck.Test.make ~name:"wheel expiry order matches sorted reference" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 1 2_000))
+    (fun deadlines ->
+      let w = Tw.create ~tick:7 ~slots_per_level:8 ~levels:4 () in
+      List.iteri (fun i d -> ignore (Tw.add w ~deadline:d (d, i))) deadlines;
+      let out = Tw.advance w ~upto:3_000 in
+      let expected = List.sort compare (List.mapi (fun i d -> (d, i)) deadlines) in
+      out = expected)
+
+let wheel_partial_advance_sound =
+  QCheck.Test.make ~name:"advance never expires future deadlines" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) (int_range 1 2_000)) (int_range 1 2_000))
+    (fun (deadlines, upto) ->
+      let w = Tw.create ~tick:7 ~slots_per_level:8 ~levels:4 () in
+      List.iter (fun d -> ignore (Tw.add w ~deadline:d d)) deadlines;
+      let expired = Tw.advance w ~upto in
+      List.for_all (fun d -> d <= upto) expired)
+
+(* ------------------------------------------------------------------ *)
+(* Utimer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_utimer ?config () =
+  let sim = Sim.create () in
+  let fabric = Hw.Uintr.create sim Hw.Params.default in
+  let ut = Utimer.create sim ~uintr:fabric ?config () in
+  (sim, fabric, ut)
+
+let worker sim fabric hits =
+  Hw.Uintr.register_receiver fabric
+    ~handler:(fun _ ~vector:_ -> hits := Sim.now sim :: !hits)
+    ()
+
+let test_utimer_fires_near_deadline () =
+  let sim, fabric, ut = make_utimer () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:10_000;
+  Sim.run_until sim 50_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  (match !hits with
+  | [ t ] ->
+    check_bool "after deadline" true (t >= 10_000);
+    (* within one poll period + delivery *)
+    check_bool "timely" true (t < 10_000 + 1_500)
+  | l -> Alcotest.failf "expected one interrupt, got %d" (List.length l));
+  check_int "fired count" 1 (Utimer.fired ut)
+
+let test_utimer_disarm_prevents_fire () =
+  let sim, fabric, ut = make_utimer () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:10_000;
+  ignore (Sim.at sim 5_000 (fun () -> Utimer.disarm slot));
+  Sim.run_until sim 50_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  Alcotest.(check (list int)) "no fire" [] !hits;
+  check_bool "slot disarmed" false (Utimer.is_armed slot)
+
+let test_utimer_rearm () =
+  let sim, fabric, ut = make_utimer () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:5_000;
+  ignore (Sim.at sim 2_000 (fun () -> Utimer.arm_after slot ~ns:20_000));
+  Sim.run_until sim 60_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  (match !hits with
+  | [ t ] -> check_bool "re-armed deadline honoured" true (t >= 22_000)
+  | l -> Alcotest.failf "expected one interrupt, got %d" (List.length l))
+
+let test_utimer_multiple_slots () =
+  let sim, fabric, ut = make_utimer () in
+  let fired = Array.make 8 (-1) in
+  let slots =
+    Array.init 8 (fun i ->
+        let r =
+          Hw.Uintr.register_receiver fabric
+            ~handler:(fun _ ~vector:_ -> fired.(i) <- Sim.now sim)
+            ()
+        in
+        Utimer.register ut ~receiver:r ~vector:0)
+  in
+  Utimer.start ut;
+  Array.iteri (fun i slot -> Utimer.arm_after slot ~ns:((i + 1) * 3_000)) slots;
+  Sim.run_until sim 100_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  Array.iteri
+    (fun i t ->
+      check_bool (Printf.sprintf "slot %d fired after deadline" i) true
+        (t >= (i + 1) * 3_000 && t < ((i + 1) * 3_000) + 3_000))
+    fired;
+  check_int "slot count" 8 (Utimer.slot_count ut)
+
+let test_utimer_wheel_equivalent_to_linear () =
+  let run config =
+    let sim, fabric, ut = make_utimer ?config () in
+    let hits = ref [] in
+    let slots =
+      Array.init 16 (fun i ->
+          let r =
+            Hw.Uintr.register_receiver fabric
+              ~handler:(fun _ ~vector:_ -> hits := (i, Sim.now sim) :: !hits)
+              ()
+          in
+          Utimer.register ut ~receiver:r ~vector:0)
+    in
+    Utimer.start ut;
+    Array.iteri (fun i slot -> Utimer.arm_after slot ~ns:(1_000 + (i * 4_000))) slots;
+    Sim.run_until sim 200_000;
+    Utimer.stop ut;
+    Sim.run sim;
+    List.rev_map fst !hits
+  in
+  let linear = run None in
+  let wheel =
+    run (Some { Utimer.default_config with scan = Utimer.Wheel; wheel_tick_ns = 500 })
+  in
+  Alcotest.(check (list int)) "same firing order" linear wheel
+
+let test_utimer_lateness_bounded () =
+  let sim, fabric, ut = make_utimer () in
+  let slot = Utimer.register ut ~receiver:(worker sim fabric (ref [])) ~vector:0 in
+  Utimer.start ut;
+  let rec rearm i =
+    if i < 200 then begin
+      Utimer.arm_after slot ~ns:3_000;
+      ignore (Sim.after sim 5_000 (fun () -> rearm (i + 1)))
+    end
+  in
+  rearm 0;
+  Sim.run_until sim (Units.ms 2);
+  Utimer.stop ut;
+  Sim.run sim;
+  let lateness = Stat.Summary.report (Utimer.lateness ut) in
+  check_bool "mean lateness under one poll period" true
+    (lateness.Stat.Summary.mean < 600.0);
+  check_bool "max lateness bounded" true (lateness.Stat.Summary.max < 2_000.0)
+
+let test_utimer_min_quantum_claim () =
+  let _, _, ut = make_utimer () in
+  (* The paper claims a 3us minimum usable time slice. *)
+  check_bool "min quantum under 3us" true (Utimer.min_quantum_ns ut <= 3_000)
+
+let test_utimer_validation () =
+  let sim = Sim.create () in
+  let fabric = Hw.Uintr.create sim Hw.Params.default in
+  Alcotest.check_raises "bad poll" (Invalid_argument "Utimer.create: poll_ns must be positive")
+    (fun () ->
+      ignore (Utimer.create sim ~uintr:fabric ~config:{ Utimer.default_config with poll_ns = 0 } ()));
+  let ut = Utimer.create sim ~uintr:fabric () in
+  let r = Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> ()) () in
+  let slot = Utimer.register ut ~receiver:r ~vector:0 in
+  Alcotest.check_raises "negative arm" (Invalid_argument "Utimer.arm_after: negative delay")
+    (fun () -> Utimer.arm_after slot ~ns:(-5))
+
+let suites =
+  [
+    ( "utimer.timing_wheel",
+      [
+        Alcotest.test_case "basic expiry" `Quick test_wheel_basic_expiry;
+        Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+        Alcotest.test_case "cascade levels" `Quick test_wheel_cascade_levels;
+        Alcotest.test_case "cascade timeliness" `Quick test_wheel_cascade_timeliness;
+        Alcotest.test_case "overdue insert" `Quick test_wheel_overdue_insert;
+        Alcotest.test_case "horizon" `Quick test_wheel_horizon;
+        Alcotest.test_case "backwards" `Quick test_wheel_backwards;
+        Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_at_same_deadline;
+        QCheck_alcotest.to_alcotest wheel_matches_reference;
+        QCheck_alcotest.to_alcotest wheel_partial_advance_sound;
+      ] );
+    ( "utimer.utimer",
+      [
+        Alcotest.test_case "fires near deadline" `Quick test_utimer_fires_near_deadline;
+        Alcotest.test_case "disarm prevents fire" `Quick test_utimer_disarm_prevents_fire;
+        Alcotest.test_case "re-arm" `Quick test_utimer_rearm;
+        Alcotest.test_case "multiple slots" `Quick test_utimer_multiple_slots;
+        Alcotest.test_case "wheel == linear" `Quick test_utimer_wheel_equivalent_to_linear;
+        Alcotest.test_case "lateness bounded" `Quick test_utimer_lateness_bounded;
+        Alcotest.test_case "3us min quantum" `Quick test_utimer_min_quantum_claim;
+        Alcotest.test_case "validation" `Quick test_utimer_validation;
+      ] );
+  ]

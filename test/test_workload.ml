@@ -1,0 +1,301 @@
+(* Tests for workload generation. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Service_dist                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sample_many dist rng n =
+  Array.init n (fun _ -> float_of_int (Workload.Service_dist.sample dist rng ~now:0))
+
+let test_constant () =
+  let rng = Rng.create 1L in
+  let d = Workload.Service_dist.constant 5_000 in
+  for _ = 1 to 100 do
+    check_int "constant" 5_000 (Workload.Service_dist.sample d rng ~now:0)
+  done
+
+let test_bimodal_fractions () =
+  let rng = Rng.create 2L in
+  let d = Workload.Service_dist.workload_a1 in
+  let xs = sample_many d rng 100_000 in
+  let long = Array.fold_left (fun acc x -> if x > 1_000.0 then acc + 1 else acc) 0 xs in
+  let frac = float_of_int long /. 100_000.0 in
+  check_bool "~0.5% long requests" true (abs_float (frac -. 0.005) < 0.001)
+
+let test_exponential_mean () =
+  let rng = Rng.create 3L in
+  let d = Workload.Service_dist.workload_b in
+  let xs = sample_many d rng 100_000 in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. 100_000.0 in
+  check_bool "mean ~5us" true (abs_float (mean -. 5_000.0) < 150.0)
+
+let test_analytic_means () =
+  let close a b = abs_float (a -. b) /. b < 1e-9 in
+  check_bool "a1 mean" true
+    (close (Workload.Service_dist.mean_ns Workload.Service_dist.workload_a1 ~now:0) 2997.5);
+  check_bool "b mean" true
+    (close (Workload.Service_dist.mean_ns Workload.Service_dist.workload_b ~now:0) 5000.0)
+
+let test_phased_switch () =
+  let rng = Rng.create 4L in
+  let d =
+    Workload.Service_dist.phased ~switch_after:1_000
+      ~first:(Workload.Service_dist.constant 10)
+      ~second:(Workload.Service_dist.constant 99)
+  in
+  check_int "before switch" 10 (Workload.Service_dist.sample d rng ~now:500);
+  check_int "after switch" 99 (Workload.Service_dist.sample d rng ~now:1_500);
+  check_bool "mean follows phase" true
+    (Workload.Service_dist.mean_ns d ~now:2_000 = 99.0)
+
+let test_dist_validation () =
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Service_dist.bimodal: fraction out of [0,1]") (fun () ->
+      ignore (Workload.Service_dist.bimodal ~short_ns:1 ~long_ns:2 ~long_fraction:1.5));
+  Alcotest.check_raises "bad constant" (Invalid_argument "Service_dist.constant: non-positive")
+    (fun () -> ignore (Workload.Service_dist.constant 0))
+
+let test_samples_positive =
+  QCheck.Test.make ~name:"service samples are always positive" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (mean_ns, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let d = Workload.Service_dist.exponential ~mean_ns in
+      Workload.Service_dist.sample d rng ~now:0 >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_poisson_rate () =
+  let rng = Rng.create 6L in
+  let a = Workload.Arrival.poisson ~rate_per_sec:100_000.0 in
+  let n = 100_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Workload.Arrival.next_gap a rng ~now:!total
+  done;
+  let measured = float_of_int n *. 1e9 /. float_of_int !total in
+  check_bool "empirical rate within 2%" true (abs_float (measured -. 100_000.0) < 2_000.0)
+
+let test_uniform_gap () =
+  let rng = Rng.create 7L in
+  let a = Workload.Arrival.uniform ~rate_per_sec:1_000_000.0 in
+  check_int "1M/s = 1us gaps" 1_000 (Workload.Arrival.next_gap a rng ~now:0)
+
+let test_bursty_rate_profile () =
+  let a =
+    Workload.Arrival.bursty ~base_rate_per_sec:40_000.0 ~spike_rate_per_sec:110_000.0
+      ~period_ns:(Units.sec 1) ~spike_fraction:0.2
+  in
+  Alcotest.(check (float 1e-9)) "in spike" 110_000.0 (Workload.Arrival.rate_at a ~now:(Units.ms 100));
+  Alcotest.(check (float 1e-9)) "after spike" 40_000.0 (Workload.Arrival.rate_at a ~now:(Units.ms 500))
+
+let test_piecewise () =
+  let p1 = Workload.Arrival.uniform ~rate_per_sec:10.0 in
+  let p2 = Workload.Arrival.uniform ~rate_per_sec:20.0 in
+  let a = Workload.Arrival.piecewise [ (100, p1); (200, p2) ] in
+  Alcotest.(check (float 1e-9)) "first" 10.0 (Workload.Arrival.rate_at a ~now:50);
+  Alcotest.(check (float 1e-9)) "second" 20.0 (Workload.Arrival.rate_at a ~now:150);
+  Alcotest.(check (float 1e-9)) "last extends" 20.0 (Workload.Arrival.rate_at a ~now:900)
+
+let test_arrival_validation () =
+  Alcotest.check_raises "zero rate" (Invalid_argument "Arrival.poisson: rate must be positive")
+    (fun () -> ignore (Workload.Arrival.poisson ~rate_per_sec:0.0));
+  Alcotest.check_raises "empty piecewise" (Invalid_argument "Arrival.piecewise: empty")
+    (fun () -> ignore (Workload.Arrival.piecewise []))
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_bounds () =
+  let rng = Rng.create 8L in
+  let z = Workload.Zipf.create ~n:1000 ~theta:0.99 in
+  for _ = 1 to 10_000 do
+    let k = Workload.Zipf.sample z rng in
+    check_bool "in range" true (k >= 0 && k < 1000)
+  done
+
+let test_zipf_skew () =
+  let rng = Rng.create 9L in
+  let z = Workload.Zipf.create ~n:10_000 ~theta:0.99 in
+  let hits = Array.make 10_000 0 in
+  for _ = 1 to 200_000 do
+    let k = Workload.Zipf.sample z rng in
+    hits.(k) <- hits.(k) + 1
+  done;
+  let top10 = ref 0 in
+  for i = 0 to 9 do
+    top10 := !top10 + hits.(i)
+  done;
+  (* With theta 0.99 the top-10 of 10k keys draw a large share. *)
+  check_bool "skewed head" true (float_of_int !top10 /. 200_000.0 > 0.25);
+  check_bool "rank0 most popular" true (hits.(0) >= hits.(100))
+
+let test_zipf_probability () =
+  let z = Workload.Zipf.create ~n:100 ~theta:0.5 in
+  let total = ref 0.0 in
+  for i = 0 to 99 do
+    total := !total +. Workload.Zipf.probability z i
+  done;
+  check_bool "probabilities sum to 1" true (abs_float (!total -. 1.0) < 1e-9);
+  check_bool "monotone" true
+    (Workload.Zipf.probability z 0 > Workload.Zipf.probability z 50)
+
+let test_zipf_validation () =
+  Alcotest.check_raises "theta 1" (Invalid_argument "Zipf.create: theta out of [0,1)")
+    (fun () -> ignore (Workload.Zipf.create ~n:10 ~theta:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Mica / Zlib                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mica_median_1us () =
+  let rng = Rng.create 10L in
+  let m = Workload.Mica.create () in
+  let xs = Array.init 100_000 (fun _ -> float_of_int (Workload.Mica.sample_ns m rng)) in
+  let p50 = Stat.Quantile.median xs in
+  check_bool "median ~1us (Table V)" true (p50 > 600.0 && p50 < 1_500.0);
+  let p99 = Stat.Quantile.percentile xs 99.0 in
+  check_bool "right-skewed" true (p99 > 2.0 *. p50)
+
+let test_mica_source_class () =
+  let rng = Rng.create 11L in
+  let m = Workload.Mica.create () in
+  let _, cls = Workload.Source.draw (Workload.Mica.source m) rng ~now:0 in
+  check_bool "LC class" true (cls = Workload.Request.Latency_critical)
+
+let test_zlib_median_100us () =
+  let rng = Rng.create 12L in
+  let z = Workload.Zlib_be.create () in
+  let xs = Array.init 50_000 (fun _ -> float_of_int (Workload.Zlib_be.sample_ns z rng)) in
+  let p50 = Stat.Quantile.median xs /. 1e3 in
+  check_bool "median ~100us (Table V)" true (p50 > 90.0 && p50 < 110.0)
+
+let test_zlib_scales_with_size () =
+  let rng = Rng.create 13L in
+  let small =
+    Workload.Zlib_be.create
+      ~config:{ Workload.Zlib_be.default_config with size_kb = 5.0 } ()
+  in
+  let big = Workload.Zlib_be.create () in
+  let mean z =
+    let acc = ref 0 in
+    for _ = 1 to 5_000 do
+      acc := !acc + Workload.Zlib_be.sample_ns z rng
+    done;
+    !acc / 5_000
+  in
+  check_bool "5kB faster than 25kB" true (mean small * 3 < mean big)
+
+(* ------------------------------------------------------------------ *)
+(* Source / Tracegen                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_mix_weights () =
+  let rng = Rng.create 14L in
+  let lc = Workload.Source.of_dist (Workload.Service_dist.constant 10) ~cls:Workload.Request.Latency_critical in
+  let be = Workload.Source.of_dist (Workload.Service_dist.constant 20) ~cls:Workload.Request.Best_effort in
+  let mixed = Workload.Source.mix [ (0.98, lc); (0.02, be) ] in
+  let n = 100_000 in
+  let be_count = ref 0 in
+  for _ = 1 to n do
+    let _, cls = Workload.Source.draw mixed rng ~now:0 in
+    if cls = Workload.Request.Best_effort then incr be_count
+  done;
+  let frac = float_of_int !be_count /. float_of_int n in
+  check_bool "~2% BE" true (abs_float (frac -. 0.02) < 0.004)
+
+let test_source_mix_validation () =
+  Alcotest.check_raises "empty mix" (Invalid_argument "Source.mix: empty") (fun () ->
+      ignore (Workload.Source.mix []))
+
+let test_tracegen_orderly () =
+  let arrival = Workload.Arrival.poisson ~rate_per_sec:100_000.0 in
+  let source =
+    Workload.Source.of_dist Workload.Service_dist.workload_b
+      ~cls:Workload.Request.Latency_critical
+  in
+  let trace = Workload.Tracegen.generate ~arrival ~source ~duration_ns:(Units.ms 10) () in
+  check_bool "non-empty" true (List.length trace > 500);
+  let rec check_sorted prev_t prev_id = function
+    | [] -> true
+    | r :: rest ->
+      r.Workload.Request.arrival_ns >= prev_t
+      && r.Workload.Request.id = prev_id + 1
+      && r.Workload.Request.arrival_ns < Units.ms 10
+      && check_sorted r.Workload.Request.arrival_ns r.Workload.Request.id rest
+  in
+  check_bool "sorted with sequential ids" true (check_sorted 0 (-1) trace)
+
+let test_offered_load () =
+  let arrival = Workload.Arrival.uniform ~rate_per_sec:100_000.0 in
+  let source =
+    Workload.Source.of_dist (Workload.Service_dist.constant 10_000)
+      ~cls:Workload.Request.Latency_critical
+  in
+  (* 100k/s x 10us per request = 1 core fully loaded; on 2 cores: 0.5 *)
+  let load =
+    Workload.Tracegen.offered_load ~arrival ~source ~duration_ns:(Units.ms 100) ~cores:2 ()
+  in
+  check_bool "~50% load" true (abs_float (load -. 0.5) < 0.02)
+
+let test_request_validation () =
+  Alcotest.check_raises "bad service" (Invalid_argument "Request.make: non-positive service")
+    (fun () ->
+      ignore
+        (Workload.Request.make ~id:0 ~arrival_ns:0 ~service_ns:0
+           ~cls:Workload.Request.Latency_critical))
+
+let suites =
+  [
+    ( "workload.service_dist",
+      [
+        Alcotest.test_case "constant" `Quick test_constant;
+        Alcotest.test_case "bimodal fractions" `Slow test_bimodal_fractions;
+        Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+        Alcotest.test_case "analytic means" `Quick test_analytic_means;
+        Alcotest.test_case "phased switch" `Quick test_phased_switch;
+        Alcotest.test_case "validation" `Quick test_dist_validation;
+        QCheck_alcotest.to_alcotest test_samples_positive;
+      ] );
+    ( "workload.arrival",
+      [
+        Alcotest.test_case "poisson rate" `Slow test_poisson_rate;
+        Alcotest.test_case "uniform gap" `Quick test_uniform_gap;
+        Alcotest.test_case "bursty profile" `Quick test_bursty_rate_profile;
+        Alcotest.test_case "piecewise" `Quick test_piecewise;
+        Alcotest.test_case "validation" `Quick test_arrival_validation;
+      ] );
+    ( "workload.zipf",
+      [
+        Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+        Alcotest.test_case "skew" `Slow test_zipf_skew;
+        Alcotest.test_case "probability" `Quick test_zipf_probability;
+        Alcotest.test_case "validation" `Quick test_zipf_validation;
+      ] );
+    ( "workload.apps",
+      [
+        Alcotest.test_case "mica median" `Slow test_mica_median_1us;
+        Alcotest.test_case "mica class" `Quick test_mica_source_class;
+        Alcotest.test_case "zlib median" `Slow test_zlib_median_100us;
+        Alcotest.test_case "zlib size scaling" `Quick test_zlib_scales_with_size;
+      ] );
+    ( "workload.source",
+      [
+        Alcotest.test_case "mix weights" `Slow test_source_mix_weights;
+        Alcotest.test_case "mix validation" `Quick test_source_mix_validation;
+      ] );
+    ( "workload.tracegen",
+      [
+        Alcotest.test_case "orderly traces" `Quick test_tracegen_orderly;
+        Alcotest.test_case "offered load" `Quick test_offered_load;
+        Alcotest.test_case "request validation" `Quick test_request_validation;
+      ] );
+  ]
