@@ -130,7 +130,7 @@ let no_preempt () =
    dump their series there for external plotting. *)
 let csv ~name ~header ~rows =
   match Sys.getenv_opt "LP_BENCH_CSV" with
-  | None -> ()
+  | None | Some "" -> ()
   | Some dir ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let oc = open_out (Filename.concat dir (name ^ ".csv")) in

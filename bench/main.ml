@@ -22,6 +22,7 @@ let elements =
     ("--fig14", "Fig 14: bursty load, dynamic interval", Bench_fig14.run);
     ("--ablation", "Ablations: wheel, controller, poll, disciplines, hw offload", Bench_ablation.run);
     ("--security", "Sec VII: interrupt-storm DoS scenarios", Bench_security.run);
+    ("--faults", "Resilience: fault-rate sweep, lost-UIPI retry, failover", Bench_faults.run);
     ("--micro", "Bechamel micro-benchmarks", Bench_micro.run);
   ]
 

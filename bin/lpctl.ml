@@ -225,6 +225,112 @@ let precision_cmd =
     Term.(const precision $ source $ threads $ target $ samples)
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults_csv rows =
+  match Sys.getenv_opt "LP_BENCH_CSV" with
+  | None | Some "" -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir "lpctl_faults.csv" in
+    let oc = open_out path in
+    output_string oc "case,p99_us,ratio_vs_fault_free,injected,detected,recovered,undetected\n";
+    List.iter (fun row -> output_string oc (row ^ "\n")) rows;
+    close_out oc;
+    Format.printf "(csv: %s)@." path
+
+let faults rate spec recovery seed workers quantum_us load duration_ms =
+  let duration_ns = ms duration_ms in
+  let dist = Workload.Service_dist.workload_a1 in
+  let capacity =
+    float_of_int workers *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0
+  in
+  let arrival = Workload.Arrival.poisson ~rate_per_sec:(load *. capacity) in
+  let source = Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical in
+  let spec = if spec = "" then Printf.sprintf "uipi.drop=p:%g" rate else spec in
+  (match recovery with
+  | "on" | "off" | "both" -> ()
+  | s ->
+    prerr_endline (Printf.sprintf "unknown --recovery %S (on|off|both)" s);
+    exit 1);
+  (match Fault.parse (Fault.create ~seed ()) spec with
+  | Ok () -> ()
+  | Error m ->
+    prerr_endline ("bad --spec: " ^ m);
+    exit 1);
+  let run_one ~plan ~watchdog =
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:workers
+        ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(us quantum_us))
+        ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+    in
+    Preemptible.Server.run
+      { cfg with Preemptible.Server.faults = plan; watchdog; seed }
+      ~arrival ~source ~duration_ns
+  in
+  let plan () =
+    let f = Fault.create ~seed () in
+    (match Fault.parse f spec with
+    | Ok () -> ()
+    | Error m ->
+      prerr_endline ("bad --spec: " ^ m);
+      exit 1);
+    Some f
+  in
+  let base = run_one ~plan:None ~watchdog:None in
+  let base_p99 = base.Preemptible.Server.all.Stat.Summary.p99 in
+  Format.printf "fault-free      p99=%8.1fus@." (base_p99 /. 1e3);
+  let rows = ref [] in
+  let show name r =
+    let p99 = r.Preemptible.Server.all.Stat.Summary.p99 in
+    (match r.Preemptible.Server.resilience with
+    | Some res ->
+      Format.printf "%-15s p99=%8.1fus (%5.1fx)@.  %a@." name (p99 /. 1e3)
+        (p99 /. base_p99) Preemptible.Server.pp_resilience res;
+      let fr = res.Preemptible.Server.fault_report in
+      rows :=
+        Printf.sprintf "%s,%.1f,%.3f,%d,%d,%d,%d" name (p99 /. 1e3) (p99 /. base_p99)
+          fr.Fault.injected fr.Fault.detected fr.Fault.recovered fr.Fault.undetected
+        :: !rows
+    | None -> ())
+  in
+  (match recovery with
+  | "off" -> show "recovery-off" (run_one ~plan:(plan ()) ~watchdog:None)
+  | "on" ->
+    show "recovery-on"
+      (run_one ~plan:(plan ()) ~watchdog:(Some Utimer.default_watchdog))
+  | "both" ->
+    show "recovery-off" (run_one ~plan:(plan ()) ~watchdog:None);
+    show "recovery-on"
+      (run_one ~plan:(plan ()) ~watchdog:(Some Utimer.default_watchdog))
+  | s ->
+    prerr_endline (Printf.sprintf "unknown --recovery %S (on|off|both)" s);
+    exit 1);
+  faults_csv (List.rev !rows)
+
+let faults_cmd =
+  let rate =
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~doc:"UIPI loss probability (ignored with --spec)")
+  in
+  let spec =
+    Arg.(
+      value & opt string ""
+      & info [ "spec" ]
+          ~doc:"fault schedule, e.g. uipi.drop=p:0.01,utimer.crash=once:2000")
+  in
+  let recovery = Arg.(value & opt string "both" & info [ "recovery" ] ~doc:"on|off|both") in
+  let seed = Arg.(value & opt int64 7L & info [ "seed" ] ~doc:"simulation + fault seed") in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ]) in
+  let quantum = Arg.(value & opt int 5 & info [ "quantum" ] ~doc:"us") in
+  let load = Arg.(value & opt float 0.6 & info [ "load" ] ~doc:"fraction of capacity") in
+  let duration = Arg.(value & opt int 60 & info [ "duration" ] ~doc:"ms") in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"resilience: fault injection with recovery on/off")
+    Term.(
+      const faults $ rate $ spec $ recovery $ seed $ workers $ quantum $ load $ duration)
+
+(* ------------------------------------------------------------------ *)
 (* attack                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -258,4 +364,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lpctl" ~doc)
-          [ serve_cmd; ipc_cmd; timer_cmd; colocate_cmd; precision_cmd; attack_cmd ]))
+          [ serve_cmd; ipc_cmd; timer_cmd; colocate_cmd; precision_cmd; attack_cmd; faults_cmd ]))

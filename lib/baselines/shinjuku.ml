@@ -343,4 +343,5 @@ let run ?(probes = Preemptible.Server.no_probes) ?(warmup_ns = 0) cfg ~arrival ~
        else float_of_int busy /. (float_of_int cfg.n_workers *. float_of_int final));
     long_queue_hwm = Preemptible.Rqueue.max_length st.central_q;
     dispatch_queue_hwm = 0;
+    resilience = None;
   }

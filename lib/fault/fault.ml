@@ -1,0 +1,209 @@
+type trigger =
+  | Never
+  | Always
+  | Probability of float
+  | One_shot of int
+  | Window of { from_ns : int; until_ns : int; prob : float }
+
+type point = {
+  pt_name : string;
+  rng : Engine.Rng.t;
+  mutable pt_trigger : trigger;
+  mutable n_evals : int;
+  mutable n_injected : int;
+  mutable n_detected : int;
+  mutable n_recovered : int;
+}
+
+type t = {
+  root : Engine.Rng.t;
+  mutable pts : point list; (* reverse registration order *)
+}
+
+let create ?(seed = 7L) () = { root = Engine.Rng.create seed; pts = [] }
+
+let find t name = List.find_opt (fun p -> p.pt_name = name) t.pts
+
+let point t name =
+  match find t name with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        pt_name = name;
+        (* Each point draws from its own split stream so adding a point
+           does not perturb the draws of unrelated points. *)
+        rng = Engine.Rng.split t.root;
+        pt_trigger = Never;
+        n_evals = 0;
+        n_injected = 0;
+        n_detected = 0;
+        n_recovered = 0;
+      }
+    in
+    t.pts <- p :: t.pts;
+    p
+
+let set t name trigger =
+  let p = point t name in
+  (match trigger with
+  | Probability pr | Window { prob = pr; _ } ->
+    if pr < 0.0 || pr > 1.0 then invalid_arg "Fault.set: probability out of [0,1]"
+  | One_shot n -> if n <= 0 then invalid_arg "Fault.set: one-shot count must be positive"
+  | Never | Always -> ());
+  p.pt_trigger <- trigger
+
+let trigger p = p.pt_trigger
+let name p = p.pt_name
+
+let fires p ~now =
+  p.n_evals <- p.n_evals + 1;
+  let hit =
+    match p.pt_trigger with
+    | Never -> false
+    | Always -> true
+    | Probability pr -> Engine.Rng.float p.rng < pr
+    | One_shot n -> p.n_evals = n
+    | Window { from_ns; until_ns; prob } ->
+      now >= from_ns && now < until_ns && Engine.Rng.float p.rng < prob
+  in
+  if hit then p.n_injected <- p.n_injected + 1;
+  hit
+
+let count_injection p = p.n_injected <- p.n_injected + 1
+let evals p = p.n_evals
+let injected p = p.n_injected
+
+(* Attribution: prefer the hinted point, fall back to any point with
+   spare budget, clamp otherwise.  The clamps keep the ledger invariants
+   exact even when detections outnumber injections (one crash causes
+   many observed misses) or vice versa. *)
+
+let attribute t ?hint ~eligible ~bump () =
+  let try_point p = if eligible p then (bump p; true) else false in
+  let hinted =
+    match hint with
+    | Some h -> (match find t h with Some p -> try_point p | None -> false)
+    | None -> false
+  in
+  if not hinted then ignore (List.exists try_point (List.rev t.pts))
+
+let mark_detected t ?hint () =
+  attribute t ?hint
+    ~eligible:(fun p -> p.n_detected < p.n_injected)
+    ~bump:(fun p -> p.n_detected <- p.n_detected + 1)
+    ()
+
+let mark_recovered t ?hint () =
+  attribute t ?hint
+    ~eligible:(fun p -> p.n_recovered < p.n_detected)
+    ~bump:(fun p -> p.n_recovered <- p.n_recovered + 1)
+    ()
+
+type point_report = {
+  pname : string;
+  pevals : int;
+  pinjected : int;
+  pdetected : int;
+  precovered : int;
+}
+
+type report = {
+  injected : int;
+  detected : int;
+  recovered : int;
+  undetected : int;
+  points : point_report list;
+}
+
+let report t =
+  let points =
+    List.rev_map
+      (fun p ->
+        {
+          pname = p.pt_name;
+          pevals = p.n_evals;
+          pinjected = p.n_injected;
+          pdetected = p.n_detected;
+          precovered = p.n_recovered;
+        })
+      t.pts
+  in
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 points in
+  let injected = sum (fun p -> p.pinjected) in
+  let detected = sum (fun p -> p.pdetected) in
+  {
+    injected;
+    detected;
+    recovered = sum (fun p -> p.precovered);
+    undetected = injected - detected;
+    points;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_trigger s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "always" ] -> Ok Always
+  | [ "never" ] -> Ok Never
+  | [ "p"; f ] -> (
+    match float_of_string_opt f with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok (Probability p)
+    | _ -> Error (Printf.sprintf "bad probability %S" f))
+  | [ "once"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (One_shot n)
+    | _ -> Error (Printf.sprintf "bad one-shot count %S" n))
+  | [ "win"; range; f ] -> (
+    match (String.split_on_char '-' range, float_of_string_opt f) with
+    | [ a; b ], Some p when p >= 0.0 && p <= 1.0 -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some from_ns, Some until_ns when from_ns <= until_ns ->
+        Ok (Window { from_ns; until_ns; prob = p })
+      | _ -> Error (Printf.sprintf "bad window range %S" range))
+    | _ -> Error (Printf.sprintf "bad window spec %S" s))
+  | _ -> Error (Printf.sprintf "bad trigger %S (p:F | once:N | win:A-B:F | always | never)" s)
+
+let parse t spec =
+  let entries =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | entry :: rest -> (
+      match String.index_opt entry '=' with
+      | None -> Error (Printf.sprintf "missing '=' in %S" entry)
+      | Some i -> (
+        let pname = String.trim (String.sub entry 0 i) in
+        let ts = String.sub entry (i + 1) (String.length entry - i - 1) in
+        if pname = "" then Error (Printf.sprintf "empty point name in %S" entry)
+        else
+          match parse_trigger ts with
+          | Ok trig ->
+            set t pname trig;
+            go rest
+          | Error e -> Error e))
+  in
+  go entries
+
+let pp_trigger fmt = function
+  | Never -> Format.fprintf fmt "never"
+  | Always -> Format.fprintf fmt "always"
+  | Probability p -> Format.fprintf fmt "p:%g" p
+  | One_shot n -> Format.fprintf fmt "once:%d" n
+  | Window { from_ns; until_ns; prob } ->
+    Format.fprintf fmt "win:%d-%d:%g" from_ns until_ns prob
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>injected=%d detected=%d recovered=%d undetected=%d" r.injected
+    r.detected r.recovered r.undetected;
+  List.iter
+    (fun p ->
+      if p.pinjected > 0 || p.pevals > 0 then
+        Format.fprintf fmt "@   %-20s evals=%-8d inj=%-6d det=%-6d rec=%d" p.pname p.pevals
+          p.pinjected p.pdetected p.precovered)
+    r.points;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,100 @@
+(** Deterministic, seeded fault-injection substrate.
+
+    Simulated components register {e injection points} by name
+    ("uipi.drop", "utimer.crash", ...) and consult them at the moment
+    the corresponding hardware or kernel action would happen.  A fault
+    {e schedule} — built programmatically with {!set} or parsed from a
+    compact spec string with {!parse} — attaches a trigger to each
+    point.  All randomness flows through one seeded SplitMix64 stream,
+    so a given (seed, schedule, workload) triple replays bit-identically.
+
+    The substrate also owns the resilience ledger.  Injections are
+    counted here at the point of injection; recovery layers (the
+    LibUtimer watchdog, the server's wedge handler) report back through
+    {!mark_detected} / {!mark_recovered}.  Both marks are clamped so the
+    per-point invariants
+
+    - [detected <= injected]
+    - [recovered <= detected]
+    - [undetected = injected - detected >= 0]
+
+    hold by construction, even when one injected fault causes several
+    observable anomalies (a corrupted UITT entry swallows every
+    subsequent send) or one anomaly is re-detected by several retries. *)
+
+type trigger =
+  | Never
+  | Always
+  | Probability of float  (** each evaluation fires with this probability *)
+  | One_shot of int
+      (** fires on exactly the [n]-th evaluation of the point (1-based) *)
+  | Window of { from_ns : int; until_ns : int; prob : float }
+      (** fires with probability [prob] while [from_ns <= now < until_ns] *)
+
+type t
+(** A fault plan: registry of points, their triggers, and the ledger. *)
+
+type point
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh plan with every future point at {!Never}. Default seed 7. *)
+
+val point : t -> string -> point
+(** [point t name] returns the injection point called [name],
+    registering it (trigger {!Never}) on first use.  Components call
+    this once at construction and keep the handle. *)
+
+val set : t -> string -> trigger -> unit
+(** Attach a trigger to a named point (registering it if needed). *)
+
+val trigger : point -> trigger
+val name : point -> string
+
+val fires : point -> now:int -> bool
+(** Evaluate the point at simulation time [now].  Counts the evaluation
+    and, when the trigger fires, the injection. *)
+
+val count_injection : point -> unit
+(** Manually record an injection at a point whose effect was decided
+    elsewhere (rarely needed; {!fires} already counts). *)
+
+val evals : point -> int
+val injected : point -> int
+
+val mark_detected : t -> ?hint:string -> unit -> unit
+(** A recovery layer observed an anomaly.  Attributes the detection to
+    the [hint] point when given and under-detected, otherwise to any
+    point with [detected < injected]; a no-op when every injection is
+    already accounted detected (re-detection of the same fault). *)
+
+val mark_recovered : t -> ?hint:string -> unit -> unit
+(** A recovery layer repaired an anomaly; attribution mirrors
+    {!mark_detected} with the clamp [recovered <= detected]. *)
+
+type point_report = {
+  pname : string;
+  pevals : int;
+  pinjected : int;
+  pdetected : int;
+  precovered : int;
+}
+
+type report = {
+  injected : int;
+  detected : int;
+  recovered : int;
+  undetected : int;  (** [injected - detected] *)
+  points : point_report list;  (** registration order *)
+}
+
+val report : t -> report
+
+val parse : t -> string -> (unit, string) result
+(** Install a schedule from a spec string:
+    [point=kind(,point=kind)*] where [kind] is one of
+    [p:FLOAT] (probability), [once:N] (n-th evaluation),
+    [win:FROM-UNTIL:FLOAT] (window), [always], [never].
+    Example: ["uipi.drop=p:0.01,utimer.crash=once:2000"]. *)
+
+val pp_trigger : Format.formatter -> trigger -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -6,16 +6,34 @@ type stats = {
   deliveries_blocked : int;
   suppressed_posts : int;
   coalesced : int;
+  dropped_notifications : int;
+  delayed_notifications : int;
+  corrupt_dropped : int;
+  stuck_sn_faults : int;
+}
+
+(* Fault-injection points consulted on the SENDUIPI path (see lib/fault). *)
+type fault_points = {
+  f_drop : Fault.point;
+  f_delay : Fault.point;
+  f_stuck_sn : Fault.point;
+  f_corrupt : Fault.point;
+  delay_ns : int;
 }
 
 type t = {
   sim : Engine.Sim.t;
   p : Params.t;
+  faults : fault_points option;
   mutable sends : int;
   mutable deliveries_running : int;
   mutable deliveries_blocked : int;
   mutable suppressed_posts : int;
   mutable coalesced : int;
+  mutable dropped_notifications : int;
+  mutable delayed_notifications : int;
+  mutable corrupt_dropped : int;
+  mutable stuck_sn_faults : int;
 }
 
 type receiver = {
@@ -25,22 +43,42 @@ type receiver = {
   mutable pir : int64; (* posted interrupt requests, bit per vector *)
   mutable on : bool; (* outstanding notification *)
   mutable sn : bool; (* suppress notification *)
+  mutable sn_stuck : bool; (* fault: SN bit stuck set until repaired *)
+  mutable deliveries : int; (* vectors delivered, for loss detection *)
   handler : receiver -> vector:int -> unit;
 }
 
-type uitt_entry = { target : receiver; vector : int }
+type uitt_entry = { target : receiver; vector : int; mutable corrupted : bool }
 
 type sender = { sfabric : t; sname : string; mutable uitt : uitt_entry array; mutable uitt_len : int }
 
-let create sim p =
+let create ?faults ?(fault_delay_ns = 2_000) sim p =
+  let faults =
+    match faults with
+    | None -> None
+    | Some f ->
+      Some
+        {
+          f_drop = Fault.point f "uipi.drop";
+          f_delay = Fault.point f "uipi.delay";
+          f_stuck_sn = Fault.point f "uipi.stuck_sn";
+          f_corrupt = Fault.point f "uipi.uitt_corrupt";
+          delay_ns = fault_delay_ns;
+        }
+  in
   {
     sim;
     p;
+    faults;
     sends = 0;
     deliveries_running = 0;
     deliveries_blocked = 0;
     suppressed_posts = 0;
     coalesced = 0;
+    dropped_notifications = 0;
+    delayed_notifications = 0;
+    corrupt_dropped = 0;
+    stuck_sn_faults = 0;
   }
 
 let params t = t.p
@@ -53,12 +91,15 @@ let register_receiver t ?(name = "receiver") ~handler () =
     pir = 0L;
     on = false;
     sn = false;
+    sn_stuck = false;
+    deliveries = 0;
     handler;
   }
 
 let receiver_name r = r.rname
 let state r = r.rstate
 let suppressed r = r.sn
+let deliveries r = r.deliveries
 
 let pending_vectors r =
   let rec collect v acc =
@@ -75,19 +116,21 @@ let deliver r =
   r.on <- false;
   let vectors = pending_vectors r in
   r.pir <- 0L;
+  r.deliveries <- r.deliveries + List.length vectors;
   List.iter (fun vector -> r.handler r ~vector) vectors
 
 (* Send a notification for pending posted interrupts.  The path depends
    on the receiver state *at delivery decision time*; a blocked receiver
    is woken through the kernel (ordinary interrupt + inject), which both
-   costs more and leaves the receiver running. *)
-let notify r =
+   costs more and leaves the receiver running.  [extra] models
+   fault-injected fabric delay on top of the architectural latency. *)
+let notify ?(extra = 0) r =
   let t = r.fabric in
   r.on <- true;
   match r.rstate with
   | Running ->
     ignore
-      (Engine.Sim.after t.sim t.p.Params.uintr_delivery_ns (fun () ->
+      (Engine.Sim.after t.sim (t.p.Params.uintr_delivery_ns + extra) (fun () ->
            if r.on then begin
              (* The receiver may have blocked between notification and
                 delivery; the kernel assist path then applies. *)
@@ -107,7 +150,7 @@ let notify r =
   | Blocked ->
     ignore
       (Engine.Sim.after t.sim
-         (t.p.Params.uintr_delivery_ns + t.p.Params.uintr_blocked_extra_ns)
+         (t.p.Params.uintr_delivery_ns + t.p.Params.uintr_blocked_extra_ns + extra)
          (fun () ->
            if r.on then begin
              t.deliveries_blocked <- t.deliveries_blocked + 1;
@@ -115,13 +158,14 @@ let notify r =
              deliver r
            end))
 
-let post r ~vector =
+let post ?(extra = 0) ?(lose_notify = false) r ~vector =
   let t = r.fabric in
   let bit = Int64.shift_left 1L vector in
   if Int64.logand r.pir bit <> 0L then t.coalesced <- t.coalesced + 1;
   r.pir <- Int64.logor r.pir bit;
   if r.sn then t.suppressed_posts <- t.suppressed_posts + 1
-  else if not r.on then notify r
+  else if lose_notify then t.dropped_notifications <- t.dropped_notifications + 1
+  else if not r.on then notify ~extra r
 
 let set_state r s =
   let was = r.rstate in
@@ -131,8 +175,16 @@ let set_state r s =
 
 let set_suppressed r b =
   let was = r.sn in
-  r.sn <- b;
-  if was && (not b) && r.pir <> 0L && not r.on then notify r
+  (* A stuck SN bit ignores attempts to clear it until repaired. *)
+  if (not b) && r.sn_stuck then ()
+  else begin
+    r.sn <- b;
+    if was && (not b) && r.pir <> 0L && not r.on then notify r
+  end
+
+let repair_receiver r =
+  r.sn_stuck <- false;
+  set_suppressed r false
 
 let create_sender t ?(name = "sender") () =
   { sfabric = t; sname = name; uitt = [||]; uitt_len = 0 }
@@ -144,21 +196,58 @@ let connect s r ~vector =
       (Printf.sprintf "Uintr.connect: UITT of sender %s is full (%d entries)" s.sname
          s.sfabric.p.Params.uitt_size);
   if s.uitt_len = Array.length s.uitt then begin
-    let arr = Array.make (max 8 (2 * Array.length s.uitt)) { target = r; vector } in
+    let arr =
+      Array.make (max 8 (2 * Array.length s.uitt)) { target = r; vector; corrupted = false }
+    in
     Array.blit s.uitt 0 arr 0 s.uitt_len;
     s.uitt <- arr
   end;
-  s.uitt.(s.uitt_len) <- { target = r; vector };
+  s.uitt.(s.uitt_len) <- { target = r; vector; corrupted = false };
   s.uitt_len <- s.uitt_len + 1;
   s.uitt_len - 1
 
-let senduipi s idx =
+let check_idx s idx ctx =
   if idx < 0 || idx >= s.uitt_len then
-    invalid_arg (Printf.sprintf "Uintr.senduipi: invalid UITT index %d" idx);
+    invalid_arg (Printf.sprintf "Uintr.%s: invalid UITT index %d" ctx idx)
+
+let uitt_corrupted s idx =
+  check_idx s idx "uitt_corrupted";
+  s.uitt.(idx).corrupted
+
+let repair_uitt s idx =
+  check_idx s idx "repair_uitt";
+  s.uitt.(idx).corrupted <- false
+
+let senduipi s idx =
+  check_idx s idx "senduipi";
   let t = s.sfabric in
   t.sends <- t.sends + 1;
-  let { target; vector } = s.uitt.(idx) in
-  post target ~vector
+  let entry = s.uitt.(idx) in
+  let { target; vector; _ } = entry in
+  let now = Engine.Sim.now t.sim in
+  match t.faults with
+  | None -> post target ~vector
+  | Some f ->
+    (* Corruption is sticky: once an entry is hit, every send through it
+       is silently lost until the entry is rewritten (repair_uitt). *)
+    if Fault.fires f.f_corrupt ~now then entry.corrupted <- true;
+    if entry.corrupted then t.corrupt_dropped <- t.corrupt_dropped + 1
+    else begin
+      if Fault.fires f.f_stuck_sn ~now then begin
+        target.sn_stuck <- true;
+        target.sn <- true;
+        t.stuck_sn_faults <- t.stuck_sn_faults + 1
+      end;
+      let lose_notify = Fault.fires f.f_drop ~now in
+      let extra =
+        if Fault.fires f.f_delay ~now then begin
+          t.delayed_notifications <- t.delayed_notifications + 1;
+          f.delay_ns
+        end
+        else 0
+      in
+      post ~extra ~lose_notify target ~vector
+    end
 
 let send_cost_ns t = t.p.Params.senduipi_ns
 
@@ -169,4 +258,8 @@ let stats t =
     deliveries_blocked = t.deliveries_blocked;
     suppressed_posts = t.suppressed_posts;
     coalesced = t.coalesced;
+    dropped_notifications = t.dropped_notifications;
+    delayed_notifications = t.delayed_notifications;
+    corrupt_dropped = t.corrupt_dropped;
+    stuck_sn_faults = t.stuck_sn_faults;
   }

@@ -20,7 +20,20 @@
 
 type t
 
-val create : Engine.Sim.t -> Params.t -> t
+val create : ?faults:Fault.t -> ?fault_delay_ns:int -> Engine.Sim.t -> Params.t -> t
+(** [create ?faults sim params] builds the interrupt fabric.  When a
+    fault plan is supplied, the SENDUIPI path consults four injection
+    points:
+
+    - ["uipi.drop"] — the vector is posted into the PIR but the
+      notification is lost (classic lost-interrupt: the bit sits in the
+      descriptor until something re-notifies);
+    - ["uipi.delay"] — delivery is delayed by [fault_delay_ns]
+      (default 2000) beyond the architectural latency;
+    - ["uipi.stuck_sn"] — the target's SN bit latches set and ignores
+      clears until {!repair_receiver};
+    - ["uipi.uitt_corrupt"] — the UITT entry is corrupted; every send
+      through it is silently lost until {!repair_uitt}. *)
 
 val params : t -> Params.t
 
@@ -49,8 +62,28 @@ val set_suppressed : receiver -> bool -> unit
 
 val suppressed : receiver -> bool
 
+val deliveries : receiver -> int
+(** Vectors delivered to this receiver so far.  Watchdogs snapshot this
+    around a send to confirm (or detect the loss of) a delivery. *)
+
+val repair_receiver : receiver -> unit
+(** Clear a stuck SN bit (and SN itself), re-notifying if vectors are
+    pending — the recovery action for the ["uipi.stuck_sn"] fault. *)
+
 val pending_vectors : receiver -> int list
 (** Vectors currently posted in the PIR, descending. *)
+
+val post : ?extra:int -> ?lose_notify:bool -> receiver -> vector:int -> unit
+(** Post a vector directly into the PIR, bypassing any UITT — the
+    primitive under {!senduipi}, exposed for harnesses that drive the
+    descriptor state machine directly.  [lose_notify] posts the bit but
+    drops the notification (the ["uipi.drop"] fault's effect); [extra]
+    adds fabric delay to the delivery. *)
+
+val notify : ?extra:int -> receiver -> unit
+(** Issue a notification for whatever is pending in the PIR — what a
+    recovery layer does after repairing a receiver whose notification
+    was lost. *)
 
 type sender
 
@@ -67,6 +100,13 @@ val senduipi : sender -> int -> unit
     unallocated index. The sender-side cost is NOT advanced here: the
     caller models its own CPU time using {!send_cost_ns}. *)
 
+val uitt_corrupted : sender -> int -> bool
+
+val repair_uitt : sender -> int -> unit
+(** Rewrite a (possibly corrupted) UITT entry — the recovery action for
+    the ["uipi.uitt_corrupt"] fault. Raises [Invalid_argument] on an
+    unallocated index. *)
+
 val send_cost_ns : t -> int
 
 type stats = {
@@ -75,6 +115,10 @@ type stats = {
   deliveries_blocked : int;  (** kernel-assisted deliveries *)
   suppressed_posts : int;  (** posts absorbed by SN *)
   coalesced : int;  (** posts whose vector bit was already set *)
+  dropped_notifications : int;  (** fault: posted but notification lost *)
+  delayed_notifications : int;  (** fault: delivery delayed *)
+  corrupt_dropped : int;  (** sends swallowed by a corrupted UITT entry *)
+  stuck_sn_faults : int;  (** fault: SN latched set *)
 }
 
 val stats : t -> stats

@@ -3,21 +3,27 @@ type waiter = { hold_ns : int; k : unit -> unit; enq_at : int }
 type t = {
   sim : Engine.Sim.t;
   contended_wake_ns : int;
+  fault_stall : Fault.point option;
+  fault_stall_ns : int;
   waiting : waiter Queue.t;
   mutable held : bool;
   mutable n_acquisitions : int;
   mutable n_contended : int;
+  mutable n_fault_stalls : int;
   mutable wait_ns : int;
 }
 
-let create ?(contended_wake_ns = 0) sim =
+let create ?(contended_wake_ns = 0) ?faults ?(fault_stall_ns = 50_000) sim =
   {
     sim;
     contended_wake_ns;
+    fault_stall = Option.map (fun f -> Fault.point f "klock.holder_stall") faults;
+    fault_stall_ns;
     waiting = Queue.create ();
     held = false;
     n_acquisitions = 0;
     n_contended = 0;
+    n_fault_stalls = 0;
     wait_ns = 0;
   }
 
@@ -27,7 +33,16 @@ let rec grant t w =
   let waited = Engine.Sim.now t.sim - w.enq_at in
   if waited > 0 then t.n_contended <- t.n_contended + 1;
   t.wait_ns <- t.wait_ns + waited;
-  let hold = w.hold_ns + (if waited > 0 then t.contended_wake_ns else 0) in
+  (* Fault: the holder is preempted/stalled while holding the lock,
+     serializing every queued waiter behind the stall. *)
+  let stall =
+    match t.fault_stall with
+    | Some p when Fault.fires p ~now:(Engine.Sim.now t.sim) ->
+      t.n_fault_stalls <- t.n_fault_stalls + 1;
+      t.fault_stall_ns
+    | Some _ | None -> 0
+  in
+  let hold = w.hold_ns + stall + (if waited > 0 then t.contended_wake_ns else 0) in
   ignore
     (Engine.Sim.after t.sim hold (fun () ->
          t.held <- false;
@@ -41,6 +56,7 @@ let acquire t ~hold_ns k =
   if t.held then Queue.push w t.waiting else grant t w
 
 let busy t = t.held
+let fault_stalls t = t.n_fault_stalls
 let queue_length t = Queue.length t.waiting
 let acquisitions t = t.n_acquisitions
 let contended_acquisitions t = t.n_contended

@@ -8,10 +8,15 @@
 
 type t
 
-val create : ?contended_wake_ns:int -> Engine.Sim.t -> t
+val create : ?contended_wake_ns:int -> ?faults:Fault.t -> ?fault_stall_ns:int -> Engine.Sim.t -> t
 (** [contended_wake_ns] (default 0): extra serialized cost paid by an
     acquirer that had to sleep on the lock (futex wake + scheduler
-    hop) — this is what makes aligned timer signals superlinear. *)
+    hop) — this is what makes aligned timer signals superlinear.
+
+    When [faults] is supplied, the injection point
+    ["klock.holder_stall"] is consulted on every grant: a firing stalls
+    the holder for [fault_stall_ns] (default 50000) while the lock is
+    held, queueing every later acquirer behind it. *)
 
 val acquire : t -> hold_ns:int -> (unit -> unit) -> unit
 (** Request the lock; once granted, hold it for [hold_ns] and run the
@@ -29,3 +34,6 @@ val contended_acquisitions : t -> int
 
 val total_wait_ns : t -> int
 (** Cumulative time spent waiting for the lock. *)
+
+val fault_stalls : t -> int
+(** Holder stalls injected through ["klock.holder_stall"]. *)

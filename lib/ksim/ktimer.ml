@@ -3,17 +3,39 @@ type t = {
   c : Costs.t;
   rng : Engine.Rng.t;
   signal : Signal.t;
+  fault_overrun : Fault.point option;
+  fault_overrun_ns : int;
   mutable n_expirations : int;
+  mutable n_overruns : int;
 }
 
 type timer = { mutable live : bool }
 
-let create sim c ~rng ~signal = { sim; c; rng; signal; n_expirations = 0 }
+let create ?faults ?(fault_overrun_ns = 100_000) sim c ~rng ~signal =
+  {
+    sim;
+    c;
+    rng;
+    signal;
+    fault_overrun = Option.map (fun f -> Fault.point f "ktimer.overrun") faults;
+    fault_overrun_ns;
+    n_expirations = 0;
+    n_overruns = 0;
+  }
 
 let effective_interval t interval = max interval t.c.Costs.ktimer_floor_ns
 
 let jitter t =
-  int_of_float (Engine.Rng.exponential t.rng ~mean:(float_of_int t.c.Costs.ktimer_jitter_mean_ns))
+  let overrun =
+    match t.fault_overrun with
+    | Some p when Fault.fires p ~now:(Engine.Sim.now t.sim) ->
+      t.n_overruns <- t.n_overruns + 1;
+      t.fault_overrun_ns
+    | Some _ | None -> 0
+  in
+  overrun
+  + int_of_float
+      (Engine.Rng.exponential t.rng ~mean:(float_of_int t.c.Costs.ktimer_jitter_mean_ns))
 
 let expire t tm handler =
   if tm.live then begin
@@ -48,5 +70,6 @@ let arm_periodic t ~interval_ns ~handler =
   tm
 
 let cancel tm = tm.live <- false
+let overruns t = t.n_overruns
 let arm_cost_ns t = t.c.Costs.syscall_ns
 let expirations t = t.n_expirations

@@ -9,7 +9,13 @@
 
 type t
 
-val create : Engine.Sim.t -> Costs.t -> rng:Engine.Rng.t -> signal:Signal.t -> t
+val create :
+  ?faults:Fault.t -> ?fault_overrun_ns:int -> Engine.Sim.t -> Costs.t ->
+  rng:Engine.Rng.t -> signal:Signal.t -> t
+(** When [faults] is supplied, the injection point ["ktimer.overrun"]
+    is consulted on every expiry scheduling: a firing adds
+    [fault_overrun_ns] (default 100000) to that expiry — the kernel
+    timer wheel overrunning under interrupt pressure. *)
 
 type timer
 
@@ -30,3 +36,6 @@ val arm_cost_ns : t -> int
 (** Syscall cost of (re)arming, charged to the caller. *)
 
 val expirations : t -> int
+
+val overruns : t -> int
+(** Expiries delayed through the ["ktimer.overrun"] fault point. *)

@@ -22,6 +22,9 @@ type config = {
   work_stealing : bool;
   costs : Ksim.Costs.t;
   hw : Hw.Params.t;
+  faults : Fault.t option;
+  watchdog : Utimer.watchdog option;
+  wedge_ns : int;
   seed : int64;
   max_events : int;
 }
@@ -42,6 +45,9 @@ let default_config ~n_workers ~policy ~mechanism =
     work_stealing = true;
     costs = Ksim.Costs.default;
     hw = Hw.Params.default;
+    faults = None;
+    watchdog = None;
+    wedge_ns = 2_000;
     seed = 42L;
     max_events = 400_000_000;
   }
@@ -53,6 +59,14 @@ type probes = {
 
 let no_probes =
   { on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ()); on_window = (fun _ ~quantum_ns:_ -> ()) }
+
+type resilience = {
+  fault_report : Fault.report;
+  wd : Utimer.wd_stats option;
+  timer_health : Utimer.health option;
+  wedged : int;
+  fallback_engaged : bool;
+}
 
 type result = {
   duration_ns : int;
@@ -73,6 +87,7 @@ type result = {
   worker_busy_frac : float;
   long_queue_hwm : int;
   dispatch_queue_hwm : int;
+  resilience : resilience option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -128,6 +143,10 @@ type st = {
   mutable spurious : int;
   mutable next_id : int;
   mutable window_ev : Engine.Sim.event option;
+  wedge_point : Fault.point option;
+  mutable wedged : int;
+  mutable ut : Utimer.t option;
+  mutable fallback_engaged : bool;
 }
 
 let now st = Engine.Sim.now st.sim
@@ -276,11 +295,29 @@ and check_drain st =
     | None -> ()
   end
 
+(* Fault "server.wedge": the interrupt caught the worker inside a
+   non-preemptible critical section.  The handler cannot switch the
+   function out; it defers by re-arming a short retry quantum and
+   returns, and the section runs [wedge_ns] longer. *)
+let wedge_fires st ~now =
+  match st.wedge_point with
+  | Some p -> Fault.fires p ~now
+  | None -> false
+
 (* Preemption interrupt landing on worker [i]. *)
 let on_interrupt st i =
   let w = st.workers.(i) in
   let t = now st in
   match w.current with
+  | Some _ when Hw.Core.busy w.core && t >= w.cur_deadline && wedge_fires st ~now:t ->
+    st.wedged <- st.wedged + 1;
+    (match st.cfg.faults with
+    | Some f ->
+      Fault.mark_detected f ~hint:"server.wedge" ();
+      Fault.mark_recovered f ~hint:"server.wedge" ()
+    | None -> ());
+    Hw.Core.stall w.core st.cfg.wedge_ns;
+    st.mech.mech_arm i ~quantum_ns:st.cfg.wedge_ns
   | Some fn when Hw.Core.busy w.core && t >= w.cur_deadline ->
     st.preemptions <- st.preemptions + 1;
     let executed = Hw.Core.abort w.core in
@@ -335,8 +372,12 @@ let make_mech st =
       mech_fired = (fun () -> 0);
     }
   | Uintr_utimer ucfg ->
-    let fabric = Hw.Uintr.create sim cfg.hw in
-    let ut = Utimer.create sim ~uintr:fabric ~config:ucfg () in
+    let fabric = Hw.Uintr.create ?faults:cfg.faults sim cfg.hw in
+    let ut =
+      Utimer.create ?faults:cfg.faults ?watchdog:cfg.watchdog sim ~uintr:fabric
+        ~config:ucfg ()
+    in
+    st.ut <- Some ut;
     let slots =
       Array.init cfg.n_workers (fun i ->
           let receiver =
@@ -347,6 +388,54 @@ let make_mech st =
           in
           Utimer.register ut ~receiver ~vector:0)
     in
+    (* Last line of defence: the timer declared itself Degraded (dead
+       core, no spares).  Swap the mechanism to per-worker kernel
+       timers mid-run — slower preemption beats none — re-arming every
+       in-flight quantum from the worker-side intents. *)
+    Utimer.set_on_degraded ut (fun () ->
+        if not st.fallback_engaged then begin
+          st.fallback_engaged <- true;
+          let signal = Ksim.Signal.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) in
+          let kt =
+            Ksim.Ktimer.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) ~signal
+          in
+          let handles = Array.make cfg.n_workers None in
+          let cancel i =
+            match handles.(i) with
+            | Some h ->
+              Ksim.Ktimer.cancel h;
+              handles.(i) <- None
+            | None -> ()
+          in
+          let karm i ~quantum_ns =
+            cancel i;
+            handles.(i) <-
+              Some
+                (Ksim.Ktimer.arm_oneshot kt ~delay_ns:(max 0 quantum_ns)
+                   ~handler:(fun () -> on_interrupt st i))
+          in
+          st.mech <-
+            {
+              mech_arm = karm;
+              mech_disarm = cancel;
+              arm_cost_ns = cfg.costs.Ksim.Costs.syscall_ns;
+              disarm_cost_ns = cfg.costs.Ksim.Costs.syscall_ns;
+              entry_cost_ns = 0;
+              exit_cost_ns = cfg.costs.Ksim.Costs.syscall_ns;
+              mech_shutdown =
+                (fun () ->
+                  Utimer.stop ut;
+                  Array.iteri (fun i _ -> cancel i) handles);
+              mech_fired = (fun () -> Utimer.fired ut + Ksim.Ktimer.expirations kt);
+            };
+          let t = Engine.Sim.now sim in
+          Array.iteri
+            (fun i slot ->
+              match Utimer.intent_ns slot with
+              | Some d -> karm i ~quantum_ns:(d - t)
+              | None -> ())
+            slots
+        end);
     Utimer.start ut;
     {
       mech_arm = (fun i ~quantum_ns -> Utimer.arm_after slots.(i) ~ns:quantum_ns);
@@ -596,6 +685,10 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       spurious = 0;
       next_id = 0;
       window_ev = None;
+      wedge_point = Option.map (fun f -> Fault.point f "server.wedge") cfg.faults;
+      wedged = 0;
+      ut = None;
+      fallback_engaged = false;
     }
   in
   st.mech <- make_mech st;
@@ -634,6 +727,18 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
        else float_of_int busy /. (float_of_int cfg.n_workers *. float_of_int final));
     long_queue_hwm = Rqueue.max_length st.long_q;
     dispatch_queue_hwm = Rqueue.max_length st.dispatch_q;
+    resilience =
+      (match cfg.faults with
+      | None -> None
+      | Some f ->
+        Some
+          {
+            fault_report = Fault.report f;
+            wd = Option.map Utimer.watchdog_stats st.ut;
+            timer_health = Option.map Utimer.health st.ut;
+            wedged = st.wedged;
+            fallback_engaged = st.fallback_engaged;
+          });
   }
 
 let run ?(probes = no_probes) ?(warmup_ns = 0) cfg ~arrival ~source ~duration_ns =
@@ -641,6 +746,24 @@ let run ?(probes = no_probes) ?(warmup_ns = 0) cfg ~arrival ~source ~duration_ns
 
 let run_trace ?(probes = no_probes) ?(warmup_ns = 0) cfg ~requests ~duration_ns =
   run_with ~probes ~warmup_ns cfg ~feed:(fun st -> inject_trace st requests) ~duration_ns
+
+let pp_resilience fmt r =
+  let health =
+    match r.timer_health with
+    | Some Utimer.Healthy -> "healthy"
+    | Some Utimer.Failed_over -> "failed-over"
+    | Some Utimer.Degraded -> "degraded"
+    | None -> "n/a"
+  in
+  Format.fprintf fmt "@[<v>%a@ timer=%s wedged=%d fallback=%b" Fault.pp_report
+    r.fault_report health r.wedged r.fallback_engaged;
+  (match r.wd with
+  | Some w ->
+    Format.fprintf fmt "@ watchdog: detected=%d recovered=%d retries=%d failovers=%d degraded_slots=%d"
+      w.Utimer.wd_detected w.Utimer.wd_recovered w.Utimer.wd_retries w.Utimer.wd_failovers
+      w.Utimer.wd_degraded_slots
+  | None -> ());
+  Format.fprintf fmt "@]"
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -64,6 +64,18 @@ type config = {
           most loaded sibling (ZygOS-style; on by default) *)
   costs : Ksim.Costs.t;
   hw : Hw.Params.t;
+  faults : Fault.t option;
+      (** fault plan threaded through the interrupt fabric, the timer
+          core and the server itself; [None] (default) injects nothing
+          and adds no overhead *)
+  watchdog : Utimer.watchdog option;
+      (** enable the LibUtimer recovery layer (lost-UIPI retry,
+          timer-core failover, kernel-timer fallback); [None] (default)
+          keeps the fault-free fire-and-forget behaviour *)
+  wedge_ns : int;
+      (** how long the ["server.wedge"] fault keeps a worker pinned in
+          a non-preemptible section before the deferred retry interrupt
+          can preempt it *)
   seed : int64;
   max_events : int;  (** safety cap on simulation events *)
 }
@@ -79,6 +91,18 @@ type probes = {
 }
 
 val no_probes : probes
+
+type resilience = {
+  fault_report : Fault.report;
+      (** the ledger: injected / detected / recovered per point, with
+          [detected <= injected] and [recovered <= detected] by
+          construction *)
+  wd : Utimer.wd_stats option;  (** present when the run used LibUtimer *)
+  timer_health : Utimer.health option;
+  wedged : int;  (** interrupts deferred by the ["server.wedge"] fault *)
+  fallback_engaged : bool;
+      (** the timer degraded and preemption fell back to kernel timers *)
+}
 
 type result = {
   duration_ns : int;
@@ -102,6 +126,8 @@ type result = {
   worker_busy_frac : float;
   long_queue_hwm : int;
   dispatch_queue_hwm : int;
+  resilience : resilience option;
+      (** [Some] exactly when the run was configured with a fault plan *)
 }
 
 val run :
@@ -131,3 +157,5 @@ val run_trace :
     All requests must arrive before [duration_ns]. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val pp_resilience : Format.formatter -> resilience -> unit

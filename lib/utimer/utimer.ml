@@ -23,11 +23,59 @@ let default_config =
     contention_prob = 0.0;
   }
 
+type watchdog = {
+  wd_poll_ns : int;
+  wd_grace_ns : int;
+  wd_max_retries : int;
+  wd_backoff_ns : int;
+  wd_core_dead_ns : int;
+  wd_spare_cores : int;
+  wd_failover_ns : int;
+}
+
+let default_watchdog =
+  {
+    wd_poll_ns = 2_000;
+    wd_grace_ns = 5_000;
+    wd_max_retries = 6;
+    wd_backoff_ns = 1_000;
+    wd_core_dead_ns = 25_000;
+    wd_spare_cores = 1;
+    wd_failover_ns = 5_000;
+  }
+
+type health = Healthy | Failed_over | Degraded
+
+type wd_stats = {
+  wd_detected : int;
+  wd_recovered : int;
+  wd_retries : int;
+  wd_failovers : int;
+  wd_degraded_slots : int;
+  wd_detection_latency : Stat.Summary.report option;
+}
+
+(* Fault points consulted by the timer core itself. *)
+type fault_points = {
+  f_stall : Fault.point;
+  f_crash : Fault.point;
+  f_slot_lost : Fault.point;
+  plan : Fault.t;
+}
+
 type slot = {
   owner : t;
   uitt_index : int;
-  mutable deadline_ns : int; (* max_int = disarmed *)
+  receiver : Hw.Uintr.receiver;
+  mutable deadline_ns : int; (* the scanned memory word; max_int = disarmed *)
+  mutable intent_ns : int; (* the worker's armed deadline (ground truth) *)
+  mutable armed_at_ns : int;
   mutable wheel_handle : slot Timing_wheel.handle option;
+  mutable fire_issued_at : int; (* when SENDUIPI was issued; max_int = none *)
+  mutable deliveries_snap : int; (* receiver delivery count at issue time *)
+  mutable retries : int;
+  mutable next_retry_at : int;
+  mutable slot_degraded : bool; (* retry budget exhausted *)
 }
 
 and t = {
@@ -35,23 +83,55 @@ and t = {
   uintr : Hw.Uintr.t;
   sender : Hw.Uintr.sender;
   config : config;
+  watchdog : watchdog option;
+  faults : fault_points option;
+  fault_stall_ns : int;
   rng : Engine.Rng.t;
   mutable slots : slot list;
   mutable n_slots : int;
   wheel : slot Timing_wheel.t option;
   mutable is_running : bool;
+  mutable crashed : bool; (* fault: the timer core went dark *)
+  mutable core_dead : bool; (* watchdog gave up on timer cores *)
+  mutable failing_over : bool;
+  mutable last_scan_ns : int;
+  mutable spares_left : int;
   mutable loop_ev : Engine.Sim.event option;
+  mutable wd_ev : Engine.Sim.event option;
+  mutable on_degraded : (unit -> unit) option;
   mutable n_fired : int;
+  mutable n_detected : int;
+  mutable n_recovered : int;
+  mutable n_retries : int;
+  mutable n_failovers : int;
+  mutable n_degraded_slots : int;
   lateness_stat : Stat.Summary.t;
+  detect_stat : Stat.Summary.t;
 }
 
-let create sim ~uintr ?(config = default_config) () =
+let create ?faults ?watchdog ?(fault_stall_ns = 50_000) sim ~uintr ?(config = default_config)
+    () =
   if config.poll_ns <= 0 then invalid_arg "Utimer.create: poll_ns must be positive";
+  let faults =
+    match faults with
+    | None -> None
+    | Some f ->
+      Some
+        {
+          f_stall = Fault.point f "utimer.stall";
+          f_crash = Fault.point f "utimer.crash";
+          f_slot_lost = Fault.point f "utimer.slot_lost";
+          plan = f;
+        }
+  in
   {
     sim;
     uintr;
     sender = Hw.Uintr.create_sender uintr ~name:"utimer" ();
     config;
+    watchdog;
+    faults;
+    fault_stall_ns;
     rng = Engine.Sim.fork_rng sim;
     slots = [];
     n_slots = 0;
@@ -60,51 +140,146 @@ let create sim ~uintr ?(config = default_config) () =
       | Linear -> None
       | Wheel -> Some (Timing_wheel.create ~tick:config.wheel_tick_ns ()));
     is_running = false;
+    crashed = false;
+    core_dead = false;
+    failing_over = false;
+    last_scan_ns = 0;
+    spares_left = (match watchdog with Some w -> w.wd_spare_cores | None -> 0);
     loop_ev = None;
+    wd_ev = None;
+    on_degraded = None;
     n_fired = 0;
+    n_detected = 0;
+    n_recovered = 0;
+    n_retries = 0;
+    n_failovers = 0;
+    n_degraded_slots = 0;
     lateness_stat = Stat.Summary.create ();
+    detect_stat = Stat.Summary.create ();
   }
+
+let set_on_degraded t f = t.on_degraded <- Some f
 
 let register t ~receiver ~vector =
   let uitt_index = Hw.Uintr.connect t.sender receiver ~vector in
-  let slot = { owner = t; uitt_index; deadline_ns = max_int; wheel_handle = None } in
+  let slot =
+    {
+      owner = t;
+      uitt_index;
+      receiver;
+      deadline_ns = max_int;
+      intent_ns = max_int;
+      armed_at_ns = 0;
+      wheel_handle = None;
+      fire_issued_at = max_int;
+      deliveries_snap = 0;
+      retries = 0;
+      next_retry_at = 0;
+      slot_degraded = false;
+    }
+  in
   t.slots <- slot :: t.slots;
   t.n_slots <- t.n_slots + 1;
   slot
 
-let disarm slot =
-  slot.deadline_ns <- max_int;
+let cancel_wheel_entry slot =
   match (slot.owner.wheel, slot.wheel_handle) with
   | Some wheel, Some h ->
     Timing_wheel.cancel wheel h;
     slot.wheel_handle <- None
   | _ -> ()
 
-let arm_at slot ~time_ns =
-  disarm slot;
-  slot.deadline_ns <- time_ns;
+let disarm slot =
+  let t = slot.owner in
+  (* The worker closing an episode the watchdog had already retried is
+     the delivery confirmation arriving from the other side: the retry
+     landed and the handler ran.  Credit the recovery here, since the
+     re-arm/disarm usually beats the watchdog's next poll. *)
+  if
+    slot.fire_issued_at <> max_int && slot.retries > 0
+    && Hw.Uintr.deliveries slot.receiver > slot.deliveries_snap
+  then begin
+    t.n_recovered <- t.n_recovered + 1;
+    match t.faults with Some f -> Fault.mark_recovered f.plan () | None -> ()
+  end;
+  slot.deadline_ns <- max_int;
+  slot.intent_ns <- max_int;
+  slot.fire_issued_at <- max_int;
+  slot.retries <- 0;
+  cancel_wheel_entry slot
+
+let add_to_wheel slot ~time_ns =
   match slot.owner.wheel with
   | None -> ()
   | Some wheel ->
     let deadline = max time_ns (Timing_wheel.now wheel + 1) in
     slot.wheel_handle <- Some (Timing_wheel.add wheel ~deadline slot)
 
+(* [arm_at] with a deadline already in the past is legal: the slot
+   expires on the very next scan and its lateness is measured from the
+   arm instant (zero-clamped), not from the fictitious past deadline. *)
+let arm_at slot ~time_ns =
+  disarm slot;
+  let t = slot.owner in
+  slot.intent_ns <- time_ns;
+  slot.armed_at_ns <- Engine.Sim.now t.sim;
+  slot.slot_degraded <- false;
+  let lost =
+    match t.faults with
+    | Some f -> Fault.fires f.f_slot_lost ~now:slot.armed_at_ns
+    | None -> false
+  in
+  if not lost then begin
+    (* The plain store into the 64-byte deadline slot. A lost store
+       leaves the scanned word disarmed while the worker believes the
+       deadline is set; only the watchdog can notice. *)
+    slot.deadline_ns <- time_ns;
+    add_to_wheel slot ~time_ns
+  end
+
 let arm_after slot ~ns =
   if ns < 0 then invalid_arg "Utimer.arm_after: negative delay";
   arm_at slot ~time_ns:(Engine.Sim.now slot.owner.sim + ns)
 
-let is_armed slot = slot.deadline_ns <> max_int
+let is_armed slot = slot.intent_ns <> max_int
+let intent_ns slot = if slot.intent_ns = max_int then None else Some slot.intent_ns
+let slot_degraded slot = slot.slot_degraded
+
+(* Issue the SENDUIPI for a slot and start the delivery-confirmation
+   episode the watchdog tracks.  [count_fired] distinguishes the first
+   issue of a deadline (a preemption interrupt, counted and measured)
+   from a watchdog re-issue of the same deadline (counted as a retry). *)
+let issue t now slot ~count_fired =
+  let intent = slot.intent_ns in
+  slot.deadline_ns <- max_int;
+  cancel_wheel_entry slot;
+  (match t.watchdog with
+  | Some wd ->
+    (* Open a delivery-confirmation episode the watchdog will close. *)
+    slot.fire_issued_at <- now;
+    slot.deliveries_snap <- Hw.Uintr.deliveries slot.receiver;
+    slot.next_retry_at <- now + wd.wd_grace_ns
+  | None ->
+    (* Fire-and-forget: the slot reads as disarmed immediately. *)
+    slot.intent_ns <- max_int;
+    slot.fire_issued_at <- max_int);
+  if count_fired then begin
+    t.n_fired <- t.n_fired + 1;
+    (* Lateness is measured against the armed deadline; a deadline that
+       was already in the past when armed measures from the arm instant,
+       zero-clamped. *)
+    let reference = max slot.armed_at_ns (min intent now) in
+    Stat.Summary.record t.lateness_stat (float_of_int (max 0 (now - reference)))
+  end;
+  Hw.Uintr.senduipi t.sender slot.uitt_index
 
 let fire t now slot =
   (* The worker may have disarmed between the scan decision and the
-     SENDUIPI issue point; the timer thread re-checks the slot. *)
-  if slot.deadline_ns <> max_int then begin
-    t.n_fired <- t.n_fired + 1;
-    Stat.Summary.record t.lateness_stat (float_of_int (now - slot.deadline_ns));
-    slot.deadline_ns <- max_int;
-    slot.wheel_handle <- None;
-    Hw.Uintr.senduipi t.sender slot.uitt_index
-  end
+     SENDUIPI issue point; the timer thread re-checks the slot.  A core
+     that was stopped or crashed meanwhile never reaches the issue
+     point. *)
+  if t.is_running && (not t.crashed) && slot.deadline_ns <> max_int then
+    issue t now slot ~count_fired:true
 
 (* One scan iteration.  Returns its modeled CPU cost; expired slots are
    fired sequentially, each after the work needed to reach it. *)
@@ -119,7 +294,12 @@ let iteration t =
         (Engine.Rng.exponential t.rng ~mean:(float_of_int t.config.contention_mean_ns))
     else 0
   in
-  let cost = ref (t.config.loop_overhead_ns + stall) in
+  let fault_stall =
+    match t.faults with
+    | Some f when Fault.fires f.f_stall ~now -> t.fault_stall_ns
+    | Some _ | None -> 0
+  in
+  let cost = ref (t.config.loop_overhead_ns + stall + fault_stall) in
   let fire_one slot =
     cost := !cost + Hw.Uintr.send_cost_ns t.uintr;
     let at = now + !cost in
@@ -142,30 +322,218 @@ let iteration t =
   !cost
 
 let rec loop t () =
-  if t.is_running then begin
-    let cost = iteration t in
-    let next = max t.config.poll_ns cost in
-    t.loop_ev <- Some (Engine.Sim.after t.sim next (loop t))
+  if t.is_running && (not t.crashed) && not t.core_dead then begin
+    let crash =
+      match t.faults with
+      | Some f -> Fault.fires f.f_crash ~now:(Engine.Sim.now t.sim)
+      | None -> false
+    in
+    if crash then t.crashed <- true (* the core goes dark: no rescheduling *)
+    else begin
+      let cost = iteration t in
+      t.last_scan_ns <- Engine.Sim.now t.sim;
+      let next = max t.config.poll_ns cost in
+      t.loop_ev <- Some (Engine.Sim.after t.sim next (loop t))
+    end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: deadline-miss detection, SENDUIPI retry, core failover     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite every surviving armed slot's deadline word (and wheel entry)
+   from the worker's intent — used when a spare core takes over and on
+   restart after [stop], and incidentally repairs lost slot stores. *)
+let resync_slots t =
+  List.iter
+    (fun slot ->
+      if slot.intent_ns <> max_int && slot.fire_issued_at = max_int
+         && not slot.slot_degraded
+      then begin
+        let stale =
+          slot.deadline_ns <> slot.intent_ns
+          || (match t.wheel with
+             | Some _ -> Option.is_none slot.wheel_handle
+             | None -> false)
+        in
+        if stale then begin
+          slot.deadline_ns <- slot.intent_ns;
+          cancel_wheel_entry slot;
+          add_to_wheel slot ~time_ns:slot.intent_ns
+        end
+      end)
+    t.slots
+
+let mark_detected t latency =
+  t.n_detected <- t.n_detected + 1;
+  Stat.Summary.record t.detect_stat (float_of_int (max 0 latency))
+
+let declare_degraded t =
+  t.core_dead <- true;
+  (match t.loop_ev with
+  | Some ev ->
+    Engine.Sim.cancel ev;
+    t.loop_ev <- None
+  | None -> ());
+  match t.on_degraded with Some f -> f () | None -> ()
+
+let wd_check_core t wd now =
+  if
+    (not t.failing_over)
+    && now - t.last_scan_ns > wd.wd_core_dead_ns
+  then begin
+    (* The scan loop stopped making progress: crashed, or stalled past
+       the liveness bound.  Either way the core is declared dead. *)
+    mark_detected t (now - t.last_scan_ns - t.config.poll_ns);
+    (match t.faults with Some f -> Fault.mark_detected f.plan ~hint:"utimer.crash" () | None -> ());
+    if t.spares_left > 0 then begin
+      t.spares_left <- t.spares_left - 1;
+      t.n_failovers <- t.n_failovers + 1;
+      t.failing_over <- true;
+      (match t.loop_ev with
+      | Some ev ->
+        Engine.Sim.cancel ev;
+        t.loop_ev <- None
+      | None -> ());
+      ignore
+        (Engine.Sim.after t.sim wd.wd_failover_ns (fun () ->
+             if t.is_running then begin
+               (* The spare core starts scanning: re-arm survivors so
+                  in-flight quanta keep their deadlines. *)
+               t.failing_over <- false;
+               t.crashed <- false;
+               t.last_scan_ns <- Engine.Sim.now t.sim;
+               resync_slots t;
+               t.n_recovered <- t.n_recovered + 1;
+               (match t.faults with
+               | Some f -> Fault.mark_recovered f.plan ~hint:"utimer.crash" ()
+               | None -> ());
+               loop t ()
+             end))
+    end
+    else declare_degraded t
+  end
+
+let wd_check_slot t wd now slot =
+  if (not slot.slot_degraded) && slot.intent_ns <> max_int then begin
+    if slot.fire_issued_at = max_int then begin
+      (* Armed, past deadline + grace, and the scanner never issued the
+         preemption: the deadline store was lost or the scanner is not
+         keeping up.  Repair the slot and fire it from here. *)
+      if now > slot.intent_ns + wd.wd_grace_ns then begin
+        mark_detected t (now - slot.intent_ns);
+        (match t.faults with
+        | Some f -> Fault.mark_detected f.plan ~hint:"utimer.slot_lost" ()
+        | None -> ());
+        issue t now slot ~count_fired:true;
+        (match t.faults with
+        | Some f -> Fault.mark_recovered f.plan ~hint:"utimer.slot_lost" ()
+        | None -> ())
+      end
+    end
+    else if Hw.Uintr.deliveries slot.receiver > slot.deliveries_snap then begin
+      (* Delivery confirmed: close the episode. *)
+      if slot.retries > 0 then begin
+        t.n_recovered <- t.n_recovered + 1;
+        match t.faults with Some f -> Fault.mark_recovered f.plan () | None -> ()
+      end;
+      slot.intent_ns <- max_int;
+      slot.fire_issued_at <- max_int;
+      slot.retries <- 0
+    end
+    else if now >= slot.next_retry_at then begin
+      if slot.retries >= wd.wd_max_retries then begin
+        (* Retry budget exhausted: surface Degraded instead of raising
+           or retrying forever. *)
+        slot.slot_degraded <- true;
+        slot.intent_ns <- max_int;
+        slot.fire_issued_at <- max_int;
+        t.n_degraded_slots <- t.n_degraded_slots + 1
+      end
+      else begin
+        (* SENDUIPI was issued but nothing arrived within the grace:
+           lost notification.  Re-issue with exponential backoff,
+           escalating to UITT + SN repair from the second retry. *)
+        if slot.retries = 0 then begin
+          mark_detected t (now - slot.fire_issued_at);
+          match t.faults with Some f -> Fault.mark_detected f.plan () | None -> ()
+        end;
+        slot.retries <- slot.retries + 1;
+        t.n_retries <- t.n_retries + 1;
+        if slot.retries >= 2 then begin
+          Hw.Uintr.repair_uitt t.sender slot.uitt_index;
+          Hw.Uintr.repair_receiver slot.receiver
+        end;
+        issue t now slot ~count_fired:false;
+        slot.next_retry_at <-
+          now + wd.wd_grace_ns + (wd.wd_backoff_ns * (1 lsl min (slot.retries - 1) 16))
+      end
+    end
+  end
+
+let rec wd_loop t wd () =
+  if t.is_running && not t.core_dead then begin
+    let now = Engine.Sim.now t.sim in
+    wd_check_core t wd now;
+    if not t.core_dead then List.iter (wd_check_slot t wd now) t.slots;
+    if not t.core_dead then
+      t.wd_ev <- Some (Engine.Sim.after t.sim wd.wd_poll_ns (wd_loop t wd))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let start t =
   if not t.is_running then begin
     t.is_running <- true;
-    loop t ()
+    t.crashed <- false;
+    t.core_dead <- false;
+    t.failing_over <- false;
+    t.last_scan_ns <- Engine.Sim.now t.sim;
+    (* Restart after [stop]: surviving armed slots are re-armed exactly
+       once; deadlines that lapsed while stopped fire on the first scan
+       with zero-clamped lateness and are not double-counted. *)
+    resync_slots t;
+    loop t ();
+    match t.watchdog with Some wd -> wd_loop t wd () | None -> ()
   end
 
 let stop t =
   t.is_running <- false;
-  match t.loop_ev with
+  (match t.loop_ev with
   | Some ev ->
     Engine.Sim.cancel ev;
     t.loop_ev <- None
+  | None -> ());
+  match t.wd_ev with
+  | Some ev ->
+    Engine.Sim.cancel ev;
+    t.wd_ev <- None
   | None -> ()
 
 let running t = t.is_running
 let fired t = t.n_fired
 let lateness t = t.lateness_stat
 let slot_count t = t.n_slots
+let spares_left t = t.spares_left
+
+let health t =
+  if t.core_dead || t.n_degraded_slots > 0 then Degraded
+  else if t.n_failovers > 0 then Failed_over
+  else Healthy
+
+let watchdog_stats t =
+  {
+    wd_detected = t.n_detected;
+    wd_recovered = t.n_recovered;
+    wd_retries = t.n_retries;
+    wd_failovers = t.n_failovers;
+    wd_degraded_slots = t.n_degraded_slots;
+    wd_detection_latency =
+      (if Stat.Summary.count t.detect_stat = 0 then None
+       else Some (Stat.Summary.report t.detect_stat));
+  }
 
 (* UMWAIT-parked polling measured at ~1.2 W (Sec V-B); a loop too hot
    to park approaches typical full-core active power. *)

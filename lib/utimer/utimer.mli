@@ -11,7 +11,19 @@
     its precision (Fig 12) and its scalability across slot counts
     (Fig 11, ablation AB1) are emergent.  Scanning can be linear (the
     paper's default) or through a {!Timing_wheel} (the paper's opt-in
-    for large thread counts). *)
+    for large thread counts).
+
+    {2 Fault tolerance}
+
+    The timer core sits on the critical path of every preemption, so it
+    gets a recovery layer: an optional {e watchdog} loop that tracks the
+    worker's {e intent} (the armed deadline, ground truth) independently
+    of the scanned deadline word, confirms that every issued SENDUIPI
+    actually delivered, re-issues lost interrupts with bounded
+    exponential-backoff retry, fails over to a spare timer core when the
+    scan loop stops making progress, and — once every spare and retry is
+    exhausted — degrades gracefully (reports {!health} [Degraded] and
+    invokes {!set_on_degraded}) instead of raising or hanging. *)
 
 module Timing_wheel = Timing_wheel
 (** Re-exported so library users reach the wheel as
@@ -37,11 +49,63 @@ type config = {
 
 val default_config : config
 
+type watchdog = {
+  wd_poll_ns : int;  (** watchdog check period *)
+  wd_grace_ns : int;
+      (** slack past a deadline (or past a SENDUIPI issue) before the
+          watchdog calls it a miss; must exceed the worst natural
+          delivery latency or the watchdog self-fires *)
+  wd_max_retries : int;
+      (** re-issue budget per episode; exhaustion degrades the slot *)
+  wd_backoff_ns : int;  (** base of the exponential retry backoff *)
+  wd_core_dead_ns : int;
+      (** scan-loop silence that declares the timer core dead *)
+  wd_spare_cores : int;  (** failover budget *)
+  wd_failover_ns : int;  (** time for a spare core to take over *)
+}
+
+val default_watchdog : watchdog
+
+type health =
+  | Healthy
+  | Failed_over  (** running on a spare core *)
+  | Degraded
+      (** out of spares, or some slot exhausted its retry budget *)
+
+type wd_stats = {
+  wd_detected : int;  (** anomalies noticed (lost fires, dead cores) *)
+  wd_recovered : int;  (** anomalies repaired *)
+  wd_retries : int;  (** SENDUIPI re-issues *)
+  wd_failovers : int;  (** spare-core takeovers *)
+  wd_degraded_slots : int;  (** slots that exhausted their retries *)
+  wd_detection_latency : Stat.Summary.report option;
+      (** anomaly onset → detection, ns *)
+}
+
 type t
 
 type slot
 
-val create : Engine.Sim.t -> uintr:Hw.Uintr.t -> ?config:config -> unit -> t
+val create :
+  ?faults:Fault.t ->
+  ?watchdog:watchdog ->
+  ?fault_stall_ns:int ->
+  Engine.Sim.t ->
+  uintr:Hw.Uintr.t ->
+  ?config:config ->
+  unit ->
+  t
+(** Without [watchdog] the timer behaves exactly as the fault-free
+    baseline: fire-and-forget, no recovery.  When a fault plan is
+    supplied, three injection points model timer-core failures:
+
+    - ["utimer.stall"] — one scan iteration stalls for [fault_stall_ns]
+      (default 50000), delaying every fire behind it;
+    - ["utimer.crash"] — the scan loop goes dark and stops rescheduling
+      (only a watchdog failover or {!stop}/{!start} brings it back);
+    - ["utimer.slot_lost"] — an [arm_at] store to the deadline slot is
+      lost: the worker believes the deadline is set, the scanner never
+      sees it. *)
 
 val register : t -> receiver:Hw.Uintr.receiver -> vector:int -> slot
 (** [utimer_register]: allocate a deadline slot for a worker and wire a
@@ -52,27 +116,56 @@ val arm_after : slot -> ns:int -> unit
     memory write, no syscall. Re-arming overwrites. *)
 
 val arm_at : slot -> time_ns:int -> unit
-(** Arm with an absolute simulation time. *)
+(** Arm with an absolute simulation time.  A [time_ns] already in the
+    past is legal: the slot fires on the next scan and its lateness is
+    measured from the arm instant (zero-clamped). *)
 
 val disarm : slot -> unit
 
 val is_armed : slot -> bool
+(** True while the worker-side intent is set (armed and not yet fired,
+    or fired but delivery not yet confirmed under a watchdog). *)
+
+val intent_ns : slot -> int option
+(** The armed deadline as the worker believes it, if any — what a
+    failover re-arms from. *)
+
+val slot_degraded : slot -> bool
+(** The slot exhausted its watchdog retry budget. *)
 
 val start : t -> unit
-(** Start the timer thread's poll loop. Idempotent. *)
+(** Start the timer thread's poll loop (and the watchdog, if
+    configured). Idempotent.  Restarting after {!stop} re-arms every
+    surviving armed slot exactly once; deadlines that lapsed while
+    stopped fire on the first scan with zero-clamped lateness and are
+    not double-counted. *)
 
 val stop : t -> unit
+(** Stop the poll loop and watchdog.  Armed slots keep their intent;
+    fires already in flight are suppressed. *)
 
 val running : t -> bool
 
 val fired : t -> int
-(** Total preemption interrupts issued. *)
+(** Total preemption interrupts issued (watchdog re-issues of the same
+    deadline are counted in {!watchdog_stats}, not here). *)
 
 val lateness : t -> Stat.Summary.t
 (** Distribution of (fire time − armed deadline) in ns — the timer's
     precision (Fig 12). *)
 
 val slot_count : t -> int
+
+val health : t -> health
+
+val spares_left : t -> int
+
+val watchdog_stats : t -> wd_stats
+
+val set_on_degraded : t -> (unit -> unit) -> unit
+(** Callback invoked once when the timer declares itself [Degraded] at
+    the core level (crashed with no spares left) — the hook a server
+    uses to fall back to kernel timers. *)
 
 val power_watts : t -> float
 (** Estimated power draw of the dedicated timer core.  The paper

@@ -1,0 +1,512 @@
+(* The fault-injection substrate and the recovery layer on top of it:
+   the DSL itself, the hardware-level injection points, the LibUtimer
+   watchdog (lost-UIPI retry, failover, graceful degradation), and the
+   server-level resilience accounting. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fault DSL                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let f = Fault.create () in
+  (match
+     Fault.parse f "uipi.drop=p:0.25,utimer.crash=once:3,a=win:100-200:0.5,b=always,c=never"
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (match Fault.trigger (Fault.point f "uipi.drop") with
+  | Fault.Probability p -> check_bool "prob" true (abs_float (p -. 0.25) < 1e-9)
+  | _ -> Alcotest.fail "wrong trigger for uipi.drop");
+  (match Fault.trigger (Fault.point f "utimer.crash") with
+  | Fault.One_shot 3 -> ()
+  | _ -> Alcotest.fail "wrong trigger for utimer.crash");
+  (match Fault.trigger (Fault.point f "a") with
+  | Fault.Window { from_ns = 100; until_ns = 200; prob } ->
+    check_bool "window prob" true (abs_float (prob -. 0.5) < 1e-9)
+  | _ -> Alcotest.fail "wrong trigger for a");
+  check_bool "always" true (Fault.trigger (Fault.point f "b") = Fault.Always);
+  check_bool "never" true (Fault.trigger (Fault.point f "c") = Fault.Never)
+
+let test_parse_errors () =
+  let f = Fault.create () in
+  check_bool "missing =" true (Result.is_error (Fault.parse f "nope"));
+  check_bool "bad kind" true (Result.is_error (Fault.parse f "x=banana"));
+  check_bool "bad prob" true (Result.is_error (Fault.parse f "x=p:notafloat"))
+
+let test_one_shot_exact () =
+  let f = Fault.create () in
+  Fault.set f "x" (Fault.One_shot 5);
+  let p = Fault.point f "x" in
+  let fires = List.init 10 (fun _ -> Fault.fires p ~now:0) in
+  check_int "only the 5th eval" 1 (List.length (List.filter Fun.id fires));
+  check_bool "exactly the 5th" true (List.nth fires 4);
+  check_int "evals counted" 10 (Fault.evals p);
+  check_int "injections counted" 1 (Fault.injected p)
+
+let test_window_bounds () =
+  let f = Fault.create () in
+  Fault.set f "x" (Fault.Window { from_ns = 100; until_ns = 200; prob = 1.0 });
+  let p = Fault.point f "x" in
+  check_bool "before" false (Fault.fires p ~now:99);
+  check_bool "inside" true (Fault.fires p ~now:100);
+  check_bool "inside late" true (Fault.fires p ~now:199);
+  check_bool "after" false (Fault.fires p ~now:200)
+
+let test_probability_deterministic () =
+  let seq seed =
+    let f = Fault.create ~seed () in
+    Fault.set f "x" (Fault.Probability 0.3);
+    let p = Fault.point f "x" in
+    List.init 200 (fun _ -> Fault.fires p ~now:0)
+  in
+  check_bool "same seed, same schedule" true (seq 11L = seq 11L);
+  let a = seq 11L and b = seq 12L in
+  check_bool "fires sometimes" true (List.exists Fun.id a);
+  check_bool "different seed, different schedule" true (a <> b)
+
+let test_ledger_clamps () =
+  let f = Fault.create () in
+  Fault.set f "x" Fault.Always;
+  let p = Fault.point f "x" in
+  ignore (Fault.fires p ~now:0);
+  ignore (Fault.fires p ~now:0);
+  (* Detect three times for two injections: third is a no-op. *)
+  Fault.mark_detected f ~hint:"x" ();
+  Fault.mark_detected f ~hint:"x" ();
+  Fault.mark_detected f ~hint:"x" ();
+  (* Recover more than detected: clamped too. *)
+  Fault.mark_recovered f ~hint:"x" ();
+  Fault.mark_recovered f ~hint:"x" ();
+  Fault.mark_recovered f ~hint:"x" ();
+  let r = Fault.report f in
+  check_int "injected" 2 r.Fault.injected;
+  check_int "detected clamped" 2 r.Fault.detected;
+  check_int "recovered clamped" 2 r.Fault.recovered;
+  check_int "undetected" 0 r.Fault.undetected
+
+(* ------------------------------------------------------------------ *)
+(* Uintr injection points                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fabric_with spec =
+  let sim = Sim.create () in
+  let f = Fault.create () in
+  (match Fault.parse f spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "spec: %s" m);
+  let fabric = Hw.Uintr.create ~faults:f sim Hw.Params.default in
+  (sim, fabric)
+
+let test_uipi_drop_coalesces_on_retry () =
+  let sim, fabric = fabric_with "uipi.drop=once:1" in
+  let hits = ref 0 in
+  let r = Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> incr hits) () in
+  let s = Hw.Uintr.create_sender fabric () in
+  let idx = Hw.Uintr.connect s r ~vector:0 in
+  Hw.Uintr.senduipi s idx;
+  Sim.run sim;
+  check_int "dropped: no delivery" 0 !hits;
+  check_bool "vector parked in PIR" true (Hw.Uintr.pending_vectors r = [ 0 ]);
+  (* The retry posts the same vector: PIR coalesces, one delivery. *)
+  Hw.Uintr.senduipi s idx;
+  Sim.run sim;
+  check_int "exactly one delivery" 1 !hits;
+  check_int "deliveries counter" 1 (Hw.Uintr.deliveries r);
+  let st = Hw.Uintr.stats fabric in
+  check_int "drop counted" 1 st.Hw.Uintr.dropped_notifications;
+  check_int "coalesce counted" 1 st.Hw.Uintr.coalesced
+
+let test_stuck_sn_until_repair () =
+  let sim, fabric = fabric_with "uipi.stuck_sn=once:1" in
+  let hits = ref 0 in
+  let r = Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> incr hits) () in
+  let s = Hw.Uintr.create_sender fabric () in
+  let idx = Hw.Uintr.connect s r ~vector:3 in
+  Hw.Uintr.senduipi s idx;
+  Sim.run sim;
+  check_int "suppressed by stuck SN" 0 !hits;
+  (* An ordinary SN clear is ignored while the bit is stuck. *)
+  Hw.Uintr.set_suppressed r false;
+  Sim.run sim;
+  check_int "still suppressed" 0 !hits;
+  Hw.Uintr.repair_receiver r;
+  Sim.run sim;
+  check_int "repair releases the pending vector" 1 !hits
+
+let test_uitt_corruption_until_repair () =
+  let sim, fabric = fabric_with "uipi.uitt_corrupt=once:1" in
+  let hits = ref 0 in
+  let r = Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> incr hits) () in
+  let s = Hw.Uintr.create_sender fabric () in
+  let idx = Hw.Uintr.connect s r ~vector:0 in
+  Hw.Uintr.senduipi s idx;
+  Hw.Uintr.senduipi s idx;
+  Sim.run sim;
+  check_int "all sends swallowed" 0 !hits;
+  check_bool "entry marked corrupted" true (Hw.Uintr.uitt_corrupted s idx);
+  check_int "corrupt drops counted" 2 (Hw.Uintr.stats fabric).Hw.Uintr.corrupt_dropped;
+  Hw.Uintr.repair_uitt s idx;
+  Hw.Uintr.senduipi s idx;
+  Sim.run sim;
+  check_int "rewritten entry works" 1 !hits
+
+(* ------------------------------------------------------------------ *)
+(* LibUtimer watchdog                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_ut ?spec ?watchdog () =
+  let sim = Sim.create () in
+  let faults =
+    Option.map
+      (fun s ->
+        let f = Fault.create () in
+        (match Fault.parse f s with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "spec: %s" m);
+        f)
+      spec
+  in
+  let fabric = Hw.Uintr.create ?faults sim Hw.Params.default in
+  let ut = Utimer.create ?faults ?watchdog sim ~uintr:fabric () in
+  (sim, fabric, ut)
+
+let hits_worker sim fabric hits =
+  Hw.Uintr.register_receiver fabric
+    ~handler:(fun _ ~vector:_ -> hits := Sim.now sim :: !hits)
+    ()
+
+let test_wd_retries_lost_uipi () =
+  let sim, fabric, ut =
+    make_ut ~spec:"uipi.drop=once:1" ~watchdog:Utimer.default_watchdog ()
+  in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:10_000;
+  Sim.run_until sim 100_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  (match !hits with
+  | [ t ] ->
+    (* deadline + grace + one watchdog poll bounds the repair time *)
+    check_bool "recovered within grace+poll" true (t < 10_000 + 5_000 + 2_500)
+  | l -> Alcotest.failf "expected exactly one delivery, got %d" (List.length l));
+  check_int "fired counts the deadline once" 1 (Utimer.fired ut);
+  let wd = Utimer.watchdog_stats ut in
+  check_int "one anomaly detected" 1 wd.Utimer.wd_detected;
+  check_int "one retry issued" 1 wd.Utimer.wd_retries;
+  check_int "recovered" 1 wd.Utimer.wd_recovered;
+  check_bool "healthy again" true (Utimer.health ut = Utimer.Healthy)
+
+let test_wd_quiet_without_faults () =
+  (* Grace boundary: a healthy timer delivering within its natural
+     latency must never trip the watchdog. *)
+  let sim, fabric, ut = make_ut ~watchdog:Utimer.default_watchdog () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  let rec rearm i =
+    if i < 50 then begin
+      Utimer.arm_after slot ~ns:3_000;
+      ignore (Sim.after sim 5_000 (fun () -> rearm (i + 1)))
+    end
+  in
+  rearm 0;
+  Sim.run_until sim 400_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  check_int "all deadlines fired" 50 (Utimer.fired ut);
+  let wd = Utimer.watchdog_stats ut in
+  check_int "no false detections" 0 wd.Utimer.wd_detected;
+  check_int "no retries" 0 wd.Utimer.wd_retries
+
+let test_wd_retry_exhaustion_degrades () =
+  (* Every send is lost: the watchdog must burn its retry budget and
+     surface Degraded — not raise, not retry forever. *)
+  let sim, fabric, ut =
+    make_ut ~spec:"uipi.drop=always"
+      ~watchdog:{ Utimer.default_watchdog with Utimer.wd_max_retries = 2 }
+      ()
+  in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:5_000;
+  Sim.run_until sim (Units.ms 1);
+  Utimer.stop ut;
+  Sim.run sim;
+  check_int "nothing ever delivered" 0 (List.length !hits);
+  check_bool "slot degraded" true (Utimer.slot_degraded slot);
+  check_bool "timer reports Degraded" true (Utimer.health ut = Utimer.Degraded);
+  let wd = Utimer.watchdog_stats ut in
+  check_int "budget spent exactly" 2 wd.Utimer.wd_retries;
+  check_int "degraded slot counted" 1 wd.Utimer.wd_degraded_slots
+
+let test_wd_recovers_lost_slot_store () =
+  let sim, fabric, ut =
+    make_ut ~spec:"utimer.slot_lost=once:1" ~watchdog:Utimer.default_watchdog ()
+  in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:10_000;
+  Sim.run_until sim 100_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  (match !hits with
+  | [ t ] -> check_bool "watchdog fired the lost slot" true (t > 15_000 && t < 20_000)
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l));
+  check_int "counted as a (late) fire" 1 (Utimer.fired ut)
+
+let test_wd_failover_preserves_deadline () =
+  (* The scan loop dies before an armed deadline expires; the spare
+     core must take over and fire it exactly once. *)
+  let sim, fabric, ut =
+    make_ut ~spec:"utimer.crash=once:5" ~watchdog:Utimer.default_watchdog ()
+  in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:50_000;
+  Sim.run_until sim 200_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  check_int "deadline survived the crash" 1 (List.length !hits);
+  check_int "fired once" 1 (Utimer.fired ut);
+  check_bool "running on the spare" true (Utimer.health ut = Utimer.Failed_over);
+  check_int "spares spent" 0 (Utimer.spares_left ut);
+  check_int "one failover" 1 (Utimer.watchdog_stats ut).Utimer.wd_failovers
+
+let test_wd_no_spares_degrades_with_callback () =
+  let sim, fabric, ut =
+    make_ut ~spec:"utimer.crash=once:5"
+      ~watchdog:{ Utimer.default_watchdog with Utimer.wd_spare_cores = 0 }
+      ()
+  in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  let degraded_at = ref None in
+  Utimer.set_on_degraded ut (fun () -> degraded_at := Some (Sim.now sim));
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:50_000;
+  Sim.run_until sim 200_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  check_bool "degraded callback ran" true (!degraded_at <> None);
+  check_bool "health Degraded" true (Utimer.health ut = Utimer.Degraded);
+  check_int "no deliveries from a dead core" 0 (List.length !hits)
+
+(* ------------------------------------------------------------------ *)
+(* Utimer lifecycle (stop/start)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let make_plain_ut () =
+  let sim = Sim.create () in
+  let fabric = Hw.Uintr.create sim Hw.Params.default in
+  let ut = Utimer.create sim ~uintr:fabric () in
+  (sim, fabric, ut)
+
+let test_restart_rearms_surviving_slot () =
+  let sim, fabric, ut = make_plain_ut () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:10_000;
+  ignore (Sim.at sim 5_000 (fun () -> Utimer.stop ut));
+  ignore (Sim.at sim 20_000 (fun () -> Utimer.start ut));
+  Sim.run_until sim 60_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  (match !hits with
+  | [ t ] -> check_bool "fired on first scan after restart" true (t >= 20_000 && t < 22_000)
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l));
+  check_int "not double-counted" 1 (Utimer.fired ut);
+  check_bool "slot consumed" false (Utimer.is_armed slot)
+
+let test_restart_does_not_refire () =
+  let sim, fabric, ut = make_plain_ut () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  Utimer.arm_after slot ~ns:5_000;
+  ignore (Sim.at sim 8_000 (fun () -> Utimer.stop ut));
+  ignore (Sim.at sim 10_000 (fun () -> Utimer.start ut));
+  Sim.run_until sim 40_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  check_int "one delivery total" 1 (List.length !hits);
+  check_int "one fire total across restart" 1 (Utimer.fired ut)
+
+let test_arm_at_past_deadline () =
+  let sim, fabric, ut = make_plain_ut () in
+  let hits = ref [] in
+  let slot = Utimer.register ut ~receiver:(hits_worker sim fabric hits) ~vector:0 in
+  Utimer.start ut;
+  ignore (Sim.at sim 20_000 (fun () -> Utimer.arm_at slot ~time_ns:5_000));
+  Sim.run_until sim 60_000;
+  Utimer.stop ut;
+  Sim.run sim;
+  (match !hits with
+  | [ t ] -> check_bool "fires on the next scan" true (t >= 20_000 && t < 22_000)
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l));
+  let lateness = Stat.Summary.report (Utimer.lateness ut) in
+  (* Lateness measured from the arm instant, not the fictitious past
+     deadline: bounded by a poll period + delivery, never 15us. *)
+  check_bool "lateness zero-clamped" true (lateness.Stat.Summary.max < 2_000.0);
+  check_bool "lateness non-negative" true (lateness.Stat.Summary.min >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Server-level resilience                                             *)
+(* ------------------------------------------------------------------ *)
+
+let server_run ?watchdog ~spec () =
+  let faults =
+    let f = Fault.create ~seed:7L () in
+    (match Fault.parse f spec with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "spec: %s" m);
+    f
+  in
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:2
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(Units.us 5))
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let cfg = { cfg with Preemptible.Server.faults = Some faults; watchdog; seed = 7L } in
+  Preemptible.Server.run cfg
+    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:300_000.0)
+    ~source:
+      (Workload.Source.of_dist Workload.Service_dist.workload_a1
+         ~cls:Workload.Request.Latency_critical)
+    ~duration_ns:(Units.ms 20)
+
+let ledger_invariants r =
+  match r.Preemptible.Server.resilience with
+  | None -> Alcotest.fail "expected a resilience report"
+  | Some res ->
+    let fr = res.Preemptible.Server.fault_report in
+    check_bool "detected <= injected" true (fr.Fault.detected <= fr.Fault.injected);
+    check_bool "recovered <= detected" true (fr.Fault.recovered <= fr.Fault.detected);
+    check_int "injected = detected + undetected" fr.Fault.injected
+      (fr.Fault.detected + fr.Fault.undetected);
+    List.iter
+      (fun p ->
+        check_bool (p.Fault.pname ^ ": det<=inj") true (p.Fault.pdetected <= p.Fault.pinjected);
+        check_bool (p.Fault.pname ^ ": rec<=det") true
+          (p.Fault.precovered <= p.Fault.pdetected))
+      fr.Fault.points;
+    res
+
+let test_server_drop_recovery_ledger () =
+  let res =
+    ledger_invariants
+      (server_run ~spec:"uipi.drop=p:0.02" ~watchdog:Utimer.default_watchdog ())
+  in
+  let fr = res.Preemptible.Server.fault_report in
+  check_bool "faults actually injected" true (fr.Fault.injected > 0);
+  check_bool "most injections detected" true (fr.Fault.detected > 0)
+
+let test_server_wedge_deferred_preemption () =
+  let r = server_run ~spec:"server.wedge=p:0.3" () in
+  let res = ledger_invariants r in
+  check_bool "wedges happened" true (res.Preemptible.Server.wedged > 0);
+  check_bool "requests still complete" true (r.Preemptible.Server.completed > 0)
+
+let test_server_fallback_to_kernel_timer () =
+  (* Timer core dies, no spares: preemption must keep working through
+     the kernel-timer fallback and the run must complete. *)
+  let r =
+    server_run ~spec:"utimer.crash=once:2000"
+      ~watchdog:{ Utimer.default_watchdog with Utimer.wd_spare_cores = 0 }
+      ()
+  in
+  let res = ledger_invariants r in
+  check_bool "fallback engaged" true res.Preemptible.Server.fallback_engaged;
+  check_bool "timer degraded" true
+    (res.Preemptible.Server.timer_health = Some Utimer.Degraded);
+  check_bool "run completed" true (r.Preemptible.Server.completed > 0);
+  check_bool "still preempting after fallback" true (r.Preemptible.Server.preemptions > 0)
+
+let test_server_failover_mid_quantum () =
+  let r =
+    server_run ~spec:"utimer.crash=once:2000" ~watchdog:Utimer.default_watchdog ()
+  in
+  let res = ledger_invariants r in
+  check_bool "failed over, not degraded" true
+    (res.Preemptible.Server.timer_health = Some Utimer.Failed_over);
+  check_bool "no fallback needed" false res.Preemptible.Server.fallback_engaged;
+  (match res.Preemptible.Server.wd with
+  | Some wd -> check_int "one failover" 1 wd.Utimer.wd_failovers
+  | None -> Alcotest.fail "expected watchdog stats");
+  check_bool "run completed" true (r.Preemptible.Server.completed > 0)
+
+let test_server_no_faults_no_report () =
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:2
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(Units.us 5))
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let r =
+    Preemptible.Server.run cfg
+      ~arrival:(Workload.Arrival.poisson ~rate_per_sec:200_000.0)
+      ~source:
+        (Workload.Source.of_dist Workload.Service_dist.workload_a1
+           ~cls:Workload.Request.Latency_critical)
+      ~duration_ns:(Units.ms 10)
+  in
+  check_bool "no resilience block without a plan" true
+    (r.Preemptible.Server.resilience = None)
+
+let suites =
+  [
+    ( "fault.dsl",
+      [
+        Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "one-shot exact" `Quick test_one_shot_exact;
+        Alcotest.test_case "window bounds" `Quick test_window_bounds;
+        Alcotest.test_case "probability deterministic" `Quick test_probability_deterministic;
+        Alcotest.test_case "ledger clamps" `Quick test_ledger_clamps;
+      ] );
+    ( "fault.uintr",
+      [
+        Alcotest.test_case "drop coalesces on retry" `Quick test_uipi_drop_coalesces_on_retry;
+        Alcotest.test_case "stuck SN until repair" `Quick test_stuck_sn_until_repair;
+        Alcotest.test_case "UITT corruption until repair" `Quick
+          test_uitt_corruption_until_repair;
+      ] );
+    ( "fault.watchdog",
+      [
+        Alcotest.test_case "retries lost UIPI" `Quick test_wd_retries_lost_uipi;
+        Alcotest.test_case "quiet without faults" `Quick test_wd_quiet_without_faults;
+        Alcotest.test_case "retry exhaustion degrades" `Quick
+          test_wd_retry_exhaustion_degrades;
+        Alcotest.test_case "recovers lost slot store" `Quick test_wd_recovers_lost_slot_store;
+        Alcotest.test_case "failover preserves deadline" `Quick
+          test_wd_failover_preserves_deadline;
+        Alcotest.test_case "no spares: degraded + callback" `Quick
+          test_wd_no_spares_degrades_with_callback;
+      ] );
+    ( "fault.lifecycle",
+      [
+        Alcotest.test_case "restart re-arms surviving slot" `Quick
+          test_restart_rearms_surviving_slot;
+        Alcotest.test_case "restart does not refire" `Quick test_restart_does_not_refire;
+        Alcotest.test_case "arm_at past deadline" `Quick test_arm_at_past_deadline;
+      ] );
+    ( "fault.server",
+      [
+        Alcotest.test_case "drop recovery ledger" `Quick test_server_drop_recovery_ledger;
+        Alcotest.test_case "wedge defers preemption" `Quick
+          test_server_wedge_deferred_preemption;
+        Alcotest.test_case "fallback to kernel timer" `Quick
+          test_server_fallback_to_kernel_timer;
+        Alcotest.test_case "failover mid-quantum" `Quick test_server_failover_mid_quantum;
+        Alcotest.test_case "no faults, no report" `Quick test_server_no_faults_no_report;
+      ] );
+  ]

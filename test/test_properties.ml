@@ -177,6 +177,92 @@ let dist_mean_property =
       abs_float (empirical -. analytic) /. analytic < 0.08)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection + recovery                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Under a random schedule of delivery faults (loss, delay, stuck SN,
+   lost slot store) and with the watchdog on, every armed deadline that
+   is never disarmed fires EXACTLY once — the retry path must neither
+   lose the interrupt nor double-deliver it (PIR coalescing absorbs a
+   retry racing a delayed original).  The only allowed exception is a
+   slot that exhausted its (generous) retry budget, which must then be
+   reported Degraded rather than silently dropped. *)
+let fault_recovery_exactly_once =
+  QCheck.Test.make ~name:"fault: armed deadline fires exactly once under recovery"
+    ~count:150
+    QCheck.(
+      quad (int_range 0 40 (* drop% *)) (int_range 0 40 (* delay% *))
+        (int_range 0 20 (* slot-lost% *)) (int_bound 1000 (* fault seed *)))
+    (fun (drop, delay, lost, seed) ->
+      let sim = Sim.create () in
+      let f = Fault.create ~seed:(Int64.of_int seed) () in
+      Fault.set f "uipi.drop" (Fault.Probability (float_of_int drop /. 100.0));
+      Fault.set f "uipi.delay" (Fault.Probability (float_of_int delay /. 100.0));
+      Fault.set f "utimer.slot_lost" (Fault.Probability (float_of_int lost /. 100.0));
+      let fabric = Hw.Uintr.create ~faults:f sim Hw.Params.default in
+      let ut =
+        Utimer.create ~faults:f
+          ~watchdog:{ Utimer.default_watchdog with Utimer.wd_max_retries = 12 }
+          sim ~uintr:fabric ()
+      in
+      let hits = ref 0 in
+      let r =
+        Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> incr hits) ()
+      in
+      let slot = Utimer.register ut ~receiver:r ~vector:0 in
+      Utimer.start ut;
+      Utimer.arm_after slot ~ns:(1_000 + (seed mod 9_000));
+      Sim.run_until sim (Units.ms 2);
+      Utimer.stop ut;
+      Sim.run sim;
+      if Utimer.slot_degraded slot then !hits = 0 && Utimer.health ut = Utimer.Degraded
+      else !hits = 1 && Utimer.fired ut = 1)
+
+(* UPID invariants: whatever interleaving of posts (some with the
+   notification faulted away), suppression windows and blocked phases a
+   receiver lives through, once SN is repaired, the receiver runs, and a
+   notification is re-issued, no posted vector stays parked in the PIR —
+   and coalescing only ever reduces the delivery count. *)
+let fault_pir_never_leaks =
+  QCheck.Test.make ~name:"fault: repaired receiver leaks no posted vector" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (triple (int_bound 7 (* vector *)) bool (* lose notification *)
+           (int_bound 2 (* 0 nothing, 1 toggle SN, 2 toggle state *))))
+    (fun ops ->
+      let sim = Sim.create () in
+      let delivered = ref 0 in
+      let fabric = Hw.Uintr.create sim Hw.Params.default in
+      let r =
+        Hw.Uintr.register_receiver fabric ~handler:(fun _ ~vector:_ -> incr delivered) ()
+      in
+      List.iteri
+        (fun i (vector, lose, knob) ->
+          ignore
+            (Sim.at sim ((i + 1) * 500) (fun () ->
+                 (match knob with
+                 | 1 -> Hw.Uintr.set_suppressed r (not (Hw.Uintr.suppressed r))
+                 | 2 ->
+                   Hw.Uintr.set_state r
+                     (match Hw.Uintr.state r with
+                     | Hw.Uintr.Running -> Hw.Uintr.Blocked
+                     | Hw.Uintr.Blocked -> Hw.Uintr.Running)
+                 | _ -> ());
+                 Hw.Uintr.post ~lose_notify:lose r ~vector)))
+        ops;
+      Sim.run sim;
+      (* Recovery actions: unblock, clear SN, re-notify pending bits. *)
+      Hw.Uintr.set_state r Hw.Uintr.Running;
+      Hw.Uintr.repair_receiver r;
+      (match Hw.Uintr.pending_vectors r with
+      | [] -> ()
+      | _ -> Hw.Uintr.notify r);
+      Sim.run sim;
+      Hw.Uintr.pending_vectors r = []
+      && !delivered <= List.length ops
+      && !delivered = Hw.Uintr.deliveries r)
+
+(* ------------------------------------------------------------------ *)
 (* Goruntime baseline sanity                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -214,6 +300,8 @@ let suites =
         QCheck_alcotest.to_alcotest utimer_scan_equivalence;
         QCheck_alcotest.to_alcotest pacer_schedule_property;
         QCheck_alcotest.to_alcotest dist_mean_property;
+        QCheck_alcotest.to_alcotest fault_recovery_exactly_once;
+        QCheck_alcotest.to_alcotest fault_pir_never_leaks;
         Alcotest.test_case "goruntime 10ms useless at us-scale" `Slow
           test_goruntime_ms_granularity_useless;
       ] );
