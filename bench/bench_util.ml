@@ -126,11 +126,16 @@ let no_preempt () =
           ~source:(lc_source dist) ~duration_ns);
   }
 
+(* Environment knobs: an empty value means unset (a cleared variable in
+   CI should behave like an absent one). *)
+let getenv_nonempty name =
+  match Sys.getenv_opt name with None | Some "" -> None | Some v -> Some v
+
 (* CSV export: when LP_BENCH_CSV names a directory, figure benches also
    dump their series there for external plotting. *)
 let csv ~name ~header ~rows =
-  match Sys.getenv_opt "LP_BENCH_CSV" with
-  | None | Some "" -> ()
+  match getenv_nonempty "LP_BENCH_CSV" with
+  | None -> ()
   | Some dir ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let oc = open_out (Filename.concat dir (name ^ ".csv")) in

@@ -24,6 +24,7 @@ let elements =
     ("--security", "Sec VII: interrupt-storm DoS scenarios", Bench_security.run);
     ("--faults", "Resilience: fault-rate sweep, lost-UIPI retry, failover", Bench_faults.run);
     ("--micro", "Bechamel micro-benchmarks", Bench_micro.run);
+    ("--trace", "Traced run: Perfetto export + latency breakdown", fun () -> Bench_trace.run ());
   ]
 
 let list_elements () =
@@ -40,12 +41,20 @@ let () =
     Format.printf "@.done in %.1fs@." (Unix.gettimeofday () -. t0)
   | [ "--list" ] -> list_elements ()
   | flags ->
-    List.iter
-      (fun flag ->
-        match List.find_opt (fun (f, _, _) -> f = flag) elements with
+    (* --trace optionally consumes a following FILE operand; every other
+       element is a bare flag. *)
+    let rec go = function
+      | [] -> ()
+      | "--trace" :: file :: rest when String.length file > 0 && file.[0] <> '-' ->
+        Bench_trace.run ~out:file ();
+        go rest
+      | flag :: rest ->
+        (match List.find_opt (fun (f, _, _) -> f = flag) elements with
         | Some (_, _, run) -> run ()
         | None ->
           Format.printf "unknown element %s@." flag;
           list_elements ();
-          exit 1)
-      flags
+          exit 1);
+        go rest
+    in
+    go flags

@@ -331,6 +331,130 @@ let faults_cmd =
       const faults $ rate $ spec $ recovery $ seed $ workers $ quantum $ load $ duration)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_categories s =
+  if String.trim s = "" then Obs.Trace.all_cats
+  else
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+    |> List.map (fun c ->
+           match Obs.Trace.cat_of_string c with
+           | Ok cat -> cat
+           | Error m ->
+             prerr_endline ("bad --categories: " ^ m);
+             exit 1)
+
+let trace out categories buffer_events breakdown workload rate quantum_us workers
+    duration_ms seed =
+  let duration_ns = ms duration_ms in
+  (* Validate every knob before the simulation spends any time. *)
+  if buffer_events <= 0 then begin
+    prerr_endline "--buffer-events must be positive";
+    exit 1
+  end;
+  if workers <= 0 then begin
+    prerr_endline "--workers must be positive";
+    exit 1
+  end;
+  if quantum_us <= 0 then begin
+    prerr_endline "--quantum must be positive";
+    exit 1
+  end;
+  if rate <= 0.0 then begin
+    prerr_endline "--rate must be positive";
+    exit 1
+  end;
+  if duration_ms <= 0 then begin
+    prerr_endline "--duration must be positive";
+    exit 1
+  end;
+  let categories = parse_categories categories in
+  let out =
+    match out with
+    | "" -> (
+      (* An empty LP_TRACE_OUT counts as unset, matching the bench
+         harness convention. *)
+      match Sys.getenv_opt "LP_TRACE_OUT" with
+      | Some f when f <> "" -> f
+      | Some _ | None -> "trace.json")
+    | f -> f
+  in
+  match workload_of_string duration_ns workload with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    exit 1
+  | Ok dist ->
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:workers
+        ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(us quantum_us))
+        ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+    in
+    let cfg =
+      {
+        cfg with
+        Preemptible.Server.seed;
+        trace = Some { Obs.Trace.capacity = buffer_events; categories };
+      }
+    in
+    let r =
+      Preemptible.Server.run cfg
+        ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+        ~source:(Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical)
+        ~duration_ns
+    in
+    pp_result r;
+    (match r.Preemptible.Server.trace with
+    | None -> ()
+    | Some tr ->
+      Obs.Export.perfetto_to_file tr ~path:out;
+      Format.printf "trace: %d events recorded, %d dropped -> %s@." (Obs.Trace.recorded tr)
+        (Obs.Trace.dropped tr) out;
+      if breakdown then begin
+        let bd = Obs.Breakdown.of_trace tr in
+        Format.printf "%a@." Obs.Breakdown.pp bd;
+        if not (Obs.Breakdown.sums_ok bd) then begin
+          prerr_endline "breakdown components do not telescope to total latency";
+          exit 1
+        end
+      end);
+    Format.printf "metrics:@.%a@." Obs.Metrics.pp_snapshot r.Preemptible.Server.metrics
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt string ""
+      & info [ "out" ] ~doc:"Perfetto JSON output path (default \\$LP_TRACE_OUT or trace.json)")
+  in
+  let categories =
+    Arg.(
+      value & opt string ""
+      & info [ "categories" ]
+          ~doc:"comma-separated category filter (uipi,klock,utimer,sched,server,request,fault,fiber); empty = all")
+  in
+  let buffer_events =
+    Arg.(
+      value
+      & opt int Obs.Trace.default_config.Obs.Trace.capacity
+      & info [ "buffer-events" ] ~doc:"trace ring capacity in events")
+  in
+  let breakdown =
+    Arg.(value & flag & info [ "breakdown" ] ~doc:"print the per-request latency breakdown")
+  in
+  let workload = Arg.(value & opt string "a1" & info [ "workload" ] ~doc:"a1|a2|b|c") in
+  let rate = Arg.(value & opt float 500_000.0 & info [ "rate" ] ~doc:"offered load, requests/s") in
+  let quantum = Arg.(value & opt int 5 & info [ "quantum" ] ~doc:"time quantum, us") in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"worker threads") in
+  let duration = Arg.(value & opt int 100 & info [ "duration" ] ~doc:"run length, ms") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"simulation seed") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"traced LibPreemptible run: Perfetto export + latency breakdown")
+    Term.(
+      const trace $ out $ categories $ buffer_events $ breakdown $ workload $ rate $ quantum
+      $ workers $ duration $ seed)
+
+(* ------------------------------------------------------------------ *)
 (* attack                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,4 +488,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lpctl" ~doc)
-          [ serve_cmd; ipc_cmd; timer_cmd; colocate_cmd; precision_cmd; attack_cmd; faults_cmd ]))
+          [
+            serve_cmd;
+            ipc_cmd;
+            timer_cmd;
+            colocate_cmd;
+            precision_cmd;
+            attack_cmd;
+            faults_cmd;
+            trace_cmd;
+          ]))

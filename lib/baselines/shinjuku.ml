@@ -344,4 +344,6 @@ let run ?(probes = Preemptible.Server.no_probes) ?(warmup_ns = 0) cfg ~arrival ~
     long_queue_hwm = Preemptible.Rqueue.max_length st.central_q;
     dispatch_queue_hwm = 0;
     resilience = None;
+    trace = None;
+    metrics = [];
   }

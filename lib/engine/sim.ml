@@ -1,4 +1,4 @@
-type event = { etime : int; mutable live : bool }
+type event = { etime : int; mutable live : bool; live_count : int ref }
 
 type cell = { ev : event; fn : unit -> unit }
 
@@ -7,10 +7,17 @@ type t = {
   mutable seq : int;
   heap : cell Event_heap.t;
   root_rng : Rng.t;
+  n_live : int ref;
 }
 
 let create ?(seed = 42L) () =
-  { clock = 0; seq = 0; heap = Event_heap.create (); root_rng = Rng.create seed }
+  {
+    clock = 0;
+    seq = 0;
+    heap = Event_heap.create ();
+    root_rng = Rng.create seed;
+    n_live = ref 0;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -20,7 +27,8 @@ let at t time fn =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %d is in the past (now %d)" time t.clock);
-  let ev = { etime = time; live = true } in
+  let ev = { etime = time; live = true; live_count = t.n_live } in
+  incr t.n_live;
   t.seq <- t.seq + 1;
   Event_heap.add t.heap ~time ~seq:t.seq { ev; fn };
   ev
@@ -29,11 +37,17 @@ let after t d fn =
   if d < 0 then invalid_arg "Sim.after: negative delay";
   at t (t.clock + d) fn
 
-let cancel ev = ev.live <- false
+let cancel ev =
+  if ev.live then begin
+    ev.live <- false;
+    decr ev.live_count
+  end
+
 let is_pending ev = ev.live
 let time_of ev = ev.etime
 
 let pending t = Event_heap.size t.heap
+let live_events t = !(t.n_live)
 
 let step t =
   let rec next () =
@@ -44,6 +58,7 @@ let step t =
       else begin
         t.clock <- time;
         ev.live <- false;
+        decr t.n_live;
         fn ();
         true
       end
@@ -70,6 +85,7 @@ let run_until t limit =
         | Some (time, _, { ev; fn }) when ev.live ->
           t.clock <- time;
           ev.live <- false;
+          decr t.n_live;
           fn ()
         | Some _ | None -> ()
       end

@@ -44,8 +44,13 @@ val time_of : event -> int
 (** The time the event is (or was) scheduled for. *)
 
 val pending : t -> int
-(** Number of live events in the queue (cancelled events may be counted
-    until they are lazily discarded). *)
+(** Number of events still in the queue, {e including} cancelled ones
+    awaiting lazy discard — an overestimate of outstanding work.  Use
+    {!live_events} for queue-depth accounting. *)
+
+val live_events : t -> int
+(** Exact number of scheduled events that have neither fired nor been
+    cancelled ([live_events t <= pending t] always). *)
 
 val step : t -> bool
 (** Run the next event, advancing the clock. Returns [false] when the

@@ -7,6 +7,8 @@ type trigger =
 
 type point = {
   pt_name : string;
+  pt_idx : int; (* registration order; doubles as the trace track *)
+  trace : Obs.Trace.t option ref; (* shared with the owning plan *)
   rng : Engine.Rng.t;
   mutable pt_trigger : trigger;
   mutable n_evals : int;
@@ -17,10 +19,19 @@ type point = {
 
 type t = {
   root : Engine.Rng.t;
+  trace : Obs.Trace.t option ref;
   mutable pts : point list; (* reverse registration order *)
 }
 
-let create ?(seed = 7L) () = { root = Engine.Rng.create seed; pts = [] }
+let create ?(seed = 7L) () =
+  { root = Engine.Rng.create seed; trace = ref None; pts = [] }
+
+let set_trace t trace = t.trace := Some trace
+
+let tr (p : point) ~name ~arg =
+  match !(p.trace) with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Fault ~name ~track:p.pt_idx ~arg
+  | None -> ()
 
 let find t name = List.find_opt (fun p -> p.pt_name = name) t.pts
 
@@ -31,6 +42,8 @@ let point t name =
     let p =
       {
         pt_name = name;
+        pt_idx = List.length t.pts;
+        trace = t.trace;
         (* Each point draws from its own split stream so adding a point
            does not perturb the draws of unrelated points. *)
         rng = Engine.Rng.split t.root;
@@ -67,10 +80,15 @@ let fires p ~now =
     | Window { from_ns; until_ns; prob } ->
       now >= from_ns && now < until_ns && Engine.Rng.float p.rng < prob
   in
-  if hit then p.n_injected <- p.n_injected + 1;
+  if hit then begin
+    p.n_injected <- p.n_injected + 1;
+    tr p ~name:"fault.inject" ~arg:p.n_injected
+  end;
   hit
 
-let count_injection p = p.n_injected <- p.n_injected + 1
+let count_injection p =
+  p.n_injected <- p.n_injected + 1;
+  tr p ~name:"fault.inject" ~arg:p.n_injected
 let evals p = p.n_evals
 let injected p = p.n_injected
 
@@ -91,13 +109,17 @@ let attribute t ?hint ~eligible ~bump () =
 let mark_detected t ?hint () =
   attribute t ?hint
     ~eligible:(fun p -> p.n_detected < p.n_injected)
-    ~bump:(fun p -> p.n_detected <- p.n_detected + 1)
+    ~bump:(fun p ->
+      p.n_detected <- p.n_detected + 1;
+      tr p ~name:"fault.detected" ~arg:p.n_detected)
     ()
 
 let mark_recovered t ?hint () =
   attribute t ?hint
     ~eligible:(fun p -> p.n_recovered < p.n_detected)
-    ~bump:(fun p -> p.n_recovered <- p.n_recovered + 1)
+    ~bump:(fun p ->
+      p.n_recovered <- p.n_recovered + 1;
+      tr p ~name:"fault.recovered" ~arg:p.n_recovered)
     ()
 
 type point_report = {

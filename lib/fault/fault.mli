@@ -39,6 +39,13 @@ type point
 val create : ?seed:int64 -> unit -> t
 (** Fresh plan with every future point at {!Never}. Default seed 7. *)
 
+val set_trace : t -> Obs.Trace.t -> unit
+(** Mirror the ledger onto a trace: every injection, detection and
+    recovery emits an {!Obs.Trace.cat.Fault} instant (["fault.inject"],
+    ["fault.detected"], ["fault.recovered"]) whose track is the point's
+    registration index and whose arg is the running count.  Applies to
+    points registered before and after the call. *)
+
 val point : t -> string -> point
 (** [point t name] returns the injection point called [name],
     registering it (trigger {!Never}) on first use.  Components call

@@ -13,6 +13,7 @@ type t = {
   mutable in_fn : bool;
   mutable on_preempt : unit -> unit;
   mutable total_preemptions : int;
+  trace : Obs.Trace.t option;
 }
 
 type 'a state =
@@ -39,7 +40,7 @@ let timer_loop t () =
     Domain.cpu_relax ()
   done
 
-let create ?(quantum_ns = 1_000_000) ?(timer = Inline) ~clock () =
+let create ?(quantum_ns = 1_000_000) ?(timer = Inline) ?trace ~clock () =
   if quantum_ns <= 0 then invalid_arg "Fiber.create: quantum must be positive";
   if timer = Timer_domain && Deadline_clock.is_virtual clock then
     invalid_arg "Fiber.create: a timer domain cannot watch a virtual clock";
@@ -55,6 +56,7 @@ let create ?(quantum_ns = 1_000_000) ?(timer = Inline) ~clock () =
       in_fn = false;
       on_preempt = ignore;
       total_preemptions = 0;
+      trace;
     }
   in
   if timer = Timer_domain then t.timer_domain <- Some (Domain.spawn (timer_loop t));
@@ -77,9 +79,15 @@ let set_quantum_ns t q =
   if q <= 0 then invalid_arg "Fiber.set_quantum_ns: quantum must be positive";
   t.quantum <- q
 
+let tr t ~name ~arg =
+  match t.trace with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Fiber ~name ~track:0 ~arg
+  | None -> ()
+
 let arm t q =
   Atomic.set t.flag false;
-  Atomic.set t.deadline (Deadline_clock.now_ns t.clk + q)
+  Atomic.set t.deadline (Deadline_clock.now_ns t.clk + q);
+  tr t ~name:"fiber.arm" ~arg:q
 
 let disarm t =
   Atomic.set t.deadline 0;
@@ -149,6 +157,7 @@ let checkpoint t =
     if fire then begin
       disarm t;
       t.total_preemptions <- t.total_preemptions + 1;
+      tr t ~name:"fiber.preempt" ~arg:t.total_preemptions;
       t.on_preempt ();
       Effect.perform Yield
     end
@@ -156,6 +165,7 @@ let checkpoint t =
 
 let yield t =
   if not t.in_fn then invalid_arg "Fiber.yield: no function is running";
+  tr t ~name:"fiber.yield" ~arg:0;
   Effect.perform Yield
 
 let preemptions t = t.total_preemptions

@@ -35,9 +35,22 @@ type timer_mode =
           flag — the LibUtimer split; requires a wall clock *)
 
 val create :
-  ?quantum_ns:int -> ?timer:timer_mode -> clock:Deadline_clock.t -> unit -> t
+  ?quantum_ns:int ->
+  ?timer:timer_mode ->
+  ?trace:Obs.Trace.t ->
+  clock:Deadline_clock.t ->
+  unit ->
+  t
 (** Default quantum 1 ms, timer [Inline]. [Timer_domain] with a virtual
-    clock raises [Invalid_argument] (nothing would advance it). *)
+    clock raises [Invalid_argument] (nothing would advance it).
+
+    When [trace] is supplied (built on the same clock — pass
+    [Deadline_clock.now_ns clock] as its clock closure), the runtime
+    emits {!Obs.Trace.cat.Fiber} instants on track 0: ["fiber.arm"]
+    (arg = slice ns) per armed slice, ["fiber.preempt"] (arg = running
+    preemption count) per involuntary switch, and ["fiber.yield"] per
+    cooperative yield.  Only worker-side paths emit, so the timer
+    domain never touches the ring. *)
 
 val shutdown : t -> unit
 (** Stop the timer domain if any. Idempotent. *)

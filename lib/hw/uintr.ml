@@ -25,6 +25,8 @@ type t = {
   sim : Engine.Sim.t;
   p : Params.t;
   faults : fault_points option;
+  trace : Obs.Trace.t option;
+  mutable n_receivers : int;
   mutable sends : int;
   mutable deliveries_running : int;
   mutable deliveries_blocked : int;
@@ -39,6 +41,7 @@ type t = {
 type receiver = {
   fabric : t;
   rname : string;
+  rid : int; (* trace track id *)
   mutable rstate : receiver_state;
   mutable pir : int64; (* posted interrupt requests, bit per vector *)
   mutable on : bool; (* outstanding notification *)
@@ -52,7 +55,7 @@ type uitt_entry = { target : receiver; vector : int; mutable corrupted : bool }
 
 type sender = { sfabric : t; sname : string; mutable uitt : uitt_entry array; mutable uitt_len : int }
 
-let create ?faults ?(fault_delay_ns = 2_000) sim p =
+let create ?faults ?trace ?(fault_delay_ns = 2_000) sim p =
   let faults =
     match faults with
     | None -> None
@@ -70,6 +73,8 @@ let create ?faults ?(fault_delay_ns = 2_000) sim p =
     sim;
     p;
     faults;
+    trace;
+    n_receivers = 0;
     sends = 0;
     deliveries_running = 0;
     deliveries_blocked = 0;
@@ -83,10 +88,18 @@ let create ?faults ?(fault_delay_ns = 2_000) sim p =
 
 let params t = t.p
 
+(* Probe helper: one instant event on the receiver's track. *)
+let tr t ~name ~track ~arg =
+  match t.trace with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Uipi ~name ~track ~arg
+  | None -> ()
+
 let register_receiver t ?(name = "receiver") ~handler () =
+  t.n_receivers <- t.n_receivers + 1;
   {
     fabric = t;
     rname = name;
+    rid = t.n_receivers - 1;
     rstate = Running;
     pir = 0L;
     on = false;
@@ -97,6 +110,7 @@ let register_receiver t ?(name = "receiver") ~handler () =
   }
 
 let receiver_name r = r.rname
+let receiver_track r = r.rid
 let state r = r.rstate
 let suppressed r = r.sn
 let deliveries r = r.deliveries
@@ -117,7 +131,11 @@ let deliver r =
   let vectors = pending_vectors r in
   r.pir <- 0L;
   r.deliveries <- r.deliveries + List.length vectors;
-  List.iter (fun vector -> r.handler r ~vector) vectors
+  List.iter
+    (fun vector ->
+      tr r.fabric ~name:"uipi.deliver" ~track:r.rid ~arg:vector;
+      r.handler r ~vector)
+    vectors
 
 (* Send a notification for pending posted interrupts.  The path depends
    on the receiver state *at delivery decision time*; a blocked receiver
@@ -143,6 +161,7 @@ let notify ?(extra = 0) r =
                  (Engine.Sim.after t.sim t.p.Params.uintr_blocked_extra_ns (fun () ->
                       if r.on then begin
                         t.deliveries_blocked <- t.deliveries_blocked + 1;
+                        tr t ~name:"uipi.kassist" ~track:r.rid ~arg:0;
                         r.rstate <- Running;
                         deliver r
                       end))
@@ -154,6 +173,7 @@ let notify ?(extra = 0) r =
          (fun () ->
            if r.on then begin
              t.deliveries_blocked <- t.deliveries_blocked + 1;
+             tr t ~name:"uipi.kassist" ~track:r.rid ~arg:0;
              r.rstate <- Running;
              deliver r
            end))
@@ -161,15 +181,26 @@ let notify ?(extra = 0) r =
 let post ?(extra = 0) ?(lose_notify = false) r ~vector =
   let t = r.fabric in
   let bit = Int64.shift_left 1L vector in
-  if Int64.logand r.pir bit <> 0L then t.coalesced <- t.coalesced + 1;
+  if Int64.logand r.pir bit <> 0L then begin
+    t.coalesced <- t.coalesced + 1;
+    tr t ~name:"uipi.coalesce" ~track:r.rid ~arg:vector
+  end;
   r.pir <- Int64.logor r.pir bit;
-  if r.sn then t.suppressed_posts <- t.suppressed_posts + 1
-  else if lose_notify then t.dropped_notifications <- t.dropped_notifications + 1
+  if r.sn then begin
+    t.suppressed_posts <- t.suppressed_posts + 1;
+    tr t ~name:"uipi.suppress" ~track:r.rid ~arg:vector
+  end
+  else if lose_notify then begin
+    t.dropped_notifications <- t.dropped_notifications + 1;
+    tr t ~name:"uipi.lost" ~track:r.rid ~arg:vector
+  end
   else if not r.on then notify ~extra r
 
 let set_state r s =
   let was = r.rstate in
   r.rstate <- s;
+  if was <> s then
+    tr r.fabric ~name:"upid.state" ~track:r.rid ~arg:(match s with Running -> 1 | Blocked -> 0);
   if was = Blocked && s = Running && r.pir <> 0L && (not r.on) && not r.sn then
     notify r
 
@@ -179,6 +210,7 @@ let set_suppressed r b =
   if (not b) && r.sn_stuck then ()
   else begin
     r.sn <- b;
+    if was <> b then tr r.fabric ~name:"upid.sn" ~track:r.rid ~arg:(if b then 1 else 0);
     if was && (not b) && r.pir <> 0L && not r.on then notify r
   end
 
@@ -224,6 +256,7 @@ let senduipi s idx =
   t.sends <- t.sends + 1;
   let entry = s.uitt.(idx) in
   let { target; vector; _ } = entry in
+  tr t ~name:"uipi.send" ~track:target.rid ~arg:vector;
   let now = Engine.Sim.now t.sim in
   match t.faults with
   | None -> post target ~vector
@@ -231,7 +264,10 @@ let senduipi s idx =
     (* Corruption is sticky: once an entry is hit, every send through it
        is silently lost until the entry is rewritten (repair_uitt). *)
     if Fault.fires f.f_corrupt ~now then entry.corrupted <- true;
-    if entry.corrupted then t.corrupt_dropped <- t.corrupt_dropped + 1
+    if entry.corrupted then begin
+      t.corrupt_dropped <- t.corrupt_dropped + 1;
+      tr t ~name:"uipi.uitt_drop" ~track:target.rid ~arg:vector
+    end
     else begin
       if Fault.fires f.f_stuck_sn ~now then begin
         target.sn_stuck <- true;

@@ -20,7 +20,8 @@
 
 type t
 
-val create : ?faults:Fault.t -> ?fault_delay_ns:int -> Engine.Sim.t -> Params.t -> t
+val create :
+  ?faults:Fault.t -> ?trace:Obs.Trace.t -> ?fault_delay_ns:int -> Engine.Sim.t -> Params.t -> t
 (** [create ?faults sim params] builds the interrupt fabric.  When a
     fault plan is supplied, the SENDUIPI path consults four injection
     points:
@@ -48,6 +49,10 @@ val register_receiver :
     delivery time, once per pending vector, highest vector first. *)
 
 val receiver_name : receiver -> string
+
+val receiver_track : receiver -> int
+(** Registration-order index; the trace track carrying this receiver's
+    UIPI and UPID events (category {!Obs.Trace.cat.Uipi}). *)
 
 val state : receiver -> receiver_state
 

@@ -5,6 +5,8 @@ type t = {
   contended_wake_ns : int;
   fault_stall : Fault.point option;
   fault_stall_ns : int;
+  trace : Obs.Trace.t option;
+  track : int;
   waiting : waiter Queue.t;
   mutable held : bool;
   mutable n_acquisitions : int;
@@ -13,12 +15,15 @@ type t = {
   mutable wait_ns : int;
 }
 
-let create ?(contended_wake_ns = 0) ?faults ?(fault_stall_ns = 50_000) sim =
+let create ?(contended_wake_ns = 0) ?faults ?(fault_stall_ns = 50_000) ?trace ?(track = 0)
+    sim =
   {
     sim;
     contended_wake_ns;
     fault_stall = Option.map (fun f -> Fault.point f "klock.holder_stall") faults;
     fault_stall_ns;
+    trace;
+    track;
     waiting = Queue.create ();
     held = false;
     n_acquisitions = 0;
@@ -27,12 +32,25 @@ let create ?(contended_wake_ns = 0) ?faults ?(fault_stall_ns = 50_000) sim =
     wait_ns = 0;
   }
 
+let tr_i t ~name ~arg =
+  match t.trace with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Klock ~name ~track:t.track ~arg
+  | None -> ()
+
 let rec grant t w =
   t.held <- true;
   t.n_acquisitions <- t.n_acquisitions + 1;
   let waited = Engine.Sim.now t.sim - w.enq_at in
-  if waited > 0 then t.n_contended <- t.n_contended + 1;
+  if waited > 0 then begin
+    t.n_contended <- t.n_contended + 1;
+    tr_i t ~name:"klock.wait" ~arg:waited
+  end;
   t.wait_ns <- t.wait_ns + waited;
+  (match t.trace with
+  | Some trace ->
+    Obs.Trace.span_begin trace Obs.Trace.Klock ~name:"klock.hold" ~track:t.track
+      ~arg:w.hold_ns
+  | None -> ());
   (* Fault: the holder is preempted/stalled while holding the lock,
      serializing every queued waiter behind the stall. *)
   let stall =
@@ -46,6 +64,10 @@ let rec grant t w =
   ignore
     (Engine.Sim.after t.sim hold (fun () ->
          t.held <- false;
+         (match t.trace with
+         | Some trace ->
+           Obs.Trace.span_end trace Obs.Trace.Klock ~name:"klock.hold" ~track:t.track
+         | None -> ());
          w.k ();
          if (not t.held) && not (Queue.is_empty t.waiting) then
            grant t (Queue.pop t.waiting)))
@@ -53,7 +75,11 @@ let rec grant t w =
 let acquire t ~hold_ns k =
   if hold_ns < 0 then invalid_arg "Klock.acquire: negative hold";
   let w = { hold_ns; k; enq_at = Engine.Sim.now t.sim } in
-  if t.held then Queue.push w t.waiting else grant t w
+  if t.held then begin
+    Queue.push w t.waiting;
+    tr_i t ~name:"klock.enqueue" ~arg:(Queue.length t.waiting)
+  end
+  else grant t w
 
 let busy t = t.held
 let fault_stalls t = t.n_fault_stalls

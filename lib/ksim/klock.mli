@@ -8,7 +8,14 @@
 
 type t
 
-val create : ?contended_wake_ns:int -> ?faults:Fault.t -> ?fault_stall_ns:int -> Engine.Sim.t -> t
+val create :
+  ?contended_wake_ns:int ->
+  ?faults:Fault.t ->
+  ?fault_stall_ns:int ->
+  ?trace:Obs.Trace.t ->
+  ?track:int ->
+  Engine.Sim.t ->
+  t
 (** [contended_wake_ns] (default 0): extra serialized cost paid by an
     acquirer that had to sleep on the lock (futex wake + scheduler
     hop) — this is what makes aligned timer signals superlinear.
@@ -16,7 +23,13 @@ val create : ?contended_wake_ns:int -> ?faults:Fault.t -> ?fault_stall_ns:int ->
     When [faults] is supplied, the injection point
     ["klock.holder_stall"] is consulted on every grant: a firing stalls
     the holder for [fault_stall_ns] (default 50000) while the lock is
-    held, queueing every later acquirer behind it. *)
+    held, queueing every later acquirer behind it.
+
+    When [trace] is supplied, the lock emits {!Obs.Trace.cat.Klock}
+    events on [track] (default 0): ["klock.enqueue"] (arg = queue
+    depth) when an acquirer must wait, ["klock.wait"] (arg = waited ns)
+    when a waiter is granted, and ["klock.hold"] spans covering each
+    hold. *)
 
 val acquire : t -> hold_ns:int -> (unit -> unit) -> unit
 (** Request the lock; once granted, hold it for [hold_ns] and run the

@@ -6,12 +6,12 @@ type t = {
   mutable n_delivered : int;
 }
 
-let create sim c ~rng =
+let create ?trace ?(lock_track = 0) sim c ~rng =
   {
     sim;
     c;
     rng;
-    klock = Klock.create ~contended_wake_ns:c.Costs.sighand_wake_ns sim;
+    klock = Klock.create ~contended_wake_ns:c.Costs.sighand_wake_ns ?trace ~track:lock_track sim;
     n_delivered = 0;
   }
 

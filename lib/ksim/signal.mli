@@ -8,7 +8,9 @@
 
 type t
 
-val create : Engine.Sim.t -> Costs.t -> rng:Engine.Rng.t -> t
+val create : ?trace:Obs.Trace.t -> ?lock_track:int -> Engine.Sim.t -> Costs.t -> rng:Engine.Rng.t -> t
+(** [trace]/[lock_track] are forwarded to the sighand {!Klock.t}, so
+    lock queueing on the signal path lands on the shared timeline. *)
 
 val deliver : t -> ?jitter:bool -> handler:(unit -> unit) -> unit -> unit
 (** Deliver one signal; [handler] runs when the receiver's signal

@@ -1,0 +1,188 @@
+type components = {
+  id : int;
+  arrival_ns : int;
+  total_ns : int;
+  dispatch_ns : int;
+  sched_ns : int;
+  service_ns : int;
+  preempted_ns : int;
+  segments : int;
+}
+
+type agg = {
+  n : int;
+  a_total : Stat.Summary.report;
+  a_dispatch : Stat.Summary.report;
+  a_sched : Stat.Summary.report;
+  a_service : Stat.Summary.report;
+  a_preempted : Stat.Summary.report;
+}
+
+type report = {
+  requests : components list;
+  complete : int;
+  incomplete : int;
+  cancelled : int;
+  agg : agg option;
+}
+
+(* Per-request fold state; [-1] marks "not seen".  [bad] flags a request
+   whose event sequence is inconsistent — which happens exactly when the
+   ring evicted part of its lifecycle. *)
+type st = {
+  mutable arrive : int;
+  mutable assign : int;
+  mutable first_run : int;
+  mutable running_since : int;
+  mutable last_preempt : int;
+  mutable service : int;
+  mutable preempted : int;
+  mutable segs : int;
+  mutable done_ts : int;
+  mutable cancelled : bool;
+  mutable bad : bool;
+}
+
+let of_trace trace =
+  let tbl : (int, st) Hashtbl.t = Hashtbl.create 1024 in
+  let get id =
+    match Hashtbl.find_opt tbl id with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          arrive = -1;
+          assign = -1;
+          first_run = -1;
+          running_since = -1;
+          last_preempt = -1;
+          service = 0;
+          preempted = 0;
+          segs = 0;
+          done_ts = -1;
+          cancelled = false;
+          bad = false;
+        }
+      in
+      Hashtbl.add tbl id s;
+      s
+  in
+  Trace.iter trace (fun e ->
+      if e.Trace.cat = Trace.Request then begin
+        let s = get e.Trace.track in
+        let ts = e.Trace.ts in
+        match e.Trace.name with
+        | "req.arrive" -> if s.arrive >= 0 then s.bad <- true else s.arrive <- ts
+        | "req.assign" -> if s.arrive < 0 || s.assign >= 0 then s.bad <- true else s.assign <- ts
+        | "req.run" ->
+          if s.running_since >= 0 then s.bad <- true
+          else begin
+            (if s.segs = 0 then
+               if s.assign < 0 then s.bad <- true else s.first_run <- ts
+             else if s.last_preempt < 0 then s.bad <- true
+             else begin
+               s.preempted <- s.preempted + (ts - s.last_preempt);
+               s.last_preempt <- -1
+             end);
+            s.running_since <- ts;
+            s.segs <- s.segs + 1
+          end
+        | "req.preempt" ->
+          if s.running_since < 0 then s.bad <- true
+          else begin
+            s.service <- s.service + (ts - s.running_since);
+            s.running_since <- -1;
+            s.last_preempt <- ts
+          end
+        | "req.done" ->
+          if s.running_since < 0 || s.done_ts >= 0 then s.bad <- true
+          else begin
+            s.service <- s.service + (ts - s.running_since);
+            s.running_since <- -1;
+            s.done_ts <- ts
+          end
+        | "req.cancel" -> s.cancelled <- true
+        | _ -> ()
+      end);
+  let requests = ref [] in
+  let incomplete = ref 0 and cancelled = ref 0 in
+  Hashtbl.iter
+    (fun id s ->
+      if s.cancelled then incr cancelled
+      else if
+        s.bad || s.arrive < 0 || s.assign < 0 || s.first_run < 0 || s.done_ts < 0
+      then incr incomplete
+      else
+        requests :=
+          {
+            id;
+            arrival_ns = s.arrive;
+            total_ns = s.done_ts - s.arrive;
+            dispatch_ns = s.assign - s.arrive;
+            sched_ns = s.first_run - s.assign;
+            service_ns = s.service;
+            preempted_ns = s.preempted;
+            segments = s.segs;
+          }
+          :: !requests)
+    tbl;
+  let requests = List.sort (fun a b -> compare a.id b.id) !requests in
+  let agg =
+    if requests = [] then None
+    else begin
+      let total = Stat.Summary.create ()
+      and dispatch = Stat.Summary.create ()
+      and sched = Stat.Summary.create ()
+      and service = Stat.Summary.create ()
+      and preempted = Stat.Summary.create () in
+      List.iter
+        (fun c ->
+          Stat.Summary.record total (float_of_int c.total_ns);
+          Stat.Summary.record dispatch (float_of_int c.dispatch_ns);
+          Stat.Summary.record sched (float_of_int c.sched_ns);
+          Stat.Summary.record service (float_of_int c.service_ns);
+          Stat.Summary.record preempted (float_of_int c.preempted_ns))
+        requests;
+      Some
+        {
+          n = List.length requests;
+          a_total = Stat.Summary.report total;
+          a_dispatch = Stat.Summary.report dispatch;
+          a_sched = Stat.Summary.report sched;
+          a_service = Stat.Summary.report service;
+          a_preempted = Stat.Summary.report preempted;
+        }
+    end
+  in
+  {
+    requests;
+    complete = List.length requests;
+    incomplete = !incomplete;
+    cancelled = !cancelled;
+    agg;
+  }
+
+let sums_ok r =
+  List.for_all
+    (fun c ->
+      abs (c.dispatch_ns + c.sched_ns + c.service_ns + c.preempted_ns - c.total_ns) <= 1)
+    r.requests
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>per-request breakdown: %d complete, %d incomplete, %d cancelled"
+    r.complete r.incomplete r.cancelled;
+  (match r.agg with
+  | None -> ()
+  | Some a ->
+    let row name (rep : Stat.Summary.report) =
+      Format.fprintf fmt "@ %-14s %9.2f %9.2f %9.2f %9.2f" name (rep.Stat.Summary.mean /. 1e3)
+        (rep.Stat.Summary.p50 /. 1e3) (rep.Stat.Summary.p99 /. 1e3)
+        (rep.Stat.Summary.max /. 1e3)
+    in
+    Format.fprintf fmt "@ %-14s %9s %9s %9s %9s" "component (us)" "mean" "p50" "p99" "max";
+    row "dispatch" a.a_dispatch;
+    row "sched-wait" a.a_sched;
+    row "service" a.a_service;
+    row "preempt-wait" a.a_preempted;
+    row "total" a.a_total);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,58 @@
+(** Per-request latency breakdown — a software Table IV.
+
+    Folds the per-request lifecycle events that {!Trace.cat.Request}
+    probes emit (["req.arrive"], ["req.assign"], ["req.run"],
+    ["req.preempt"], ["req.done"], ["req.cancel"]; [track] = request
+    id) into additive latency components:
+
+    - [dispatch_ns]: arrival → dispatcher assignment (central dispatch
+      queue + dispatcher service time);
+    - [sched_ns]: assignment → first activation on a core (worker local
+      queue wait + launch cost);
+    - [service_ns]: on-core time, summed over activation segments
+      (includes fault-injected stalls, which physically occupy the
+      core);
+    - [preempted_ns]: preemption → next activation, summed over
+      episodes (long-queue wait + context-switch overheads).
+
+    The components telescope: for every completed request,
+    [dispatch + sched + service + preempted = total] {e exactly} (the
+    invariant the qcheck suite enforces to 1 ns).  Requests whose
+    lifecycle is incomplete — events evicted by ring wraparound, or
+    still in flight — are counted in [incomplete] and excluded. *)
+
+type components = {
+  id : int;
+  arrival_ns : int;
+  total_ns : int;  (** completion - arrival *)
+  dispatch_ns : int;
+  sched_ns : int;
+  service_ns : int;
+  preempted_ns : int;
+  segments : int;  (** activation count = preemptions + 1 *)
+}
+
+type agg = {
+  n : int;
+  a_total : Stat.Summary.report;
+  a_dispatch : Stat.Summary.report;
+  a_sched : Stat.Summary.report;
+  a_service : Stat.Summary.report;
+  a_preempted : Stat.Summary.report;
+}
+
+type report = {
+  requests : components list;  (** ascending request id *)
+  complete : int;
+  incomplete : int;
+  cancelled : int;
+  agg : agg option;  (** [None] when no request completed *)
+}
+
+val of_trace : Trace.t -> report
+
+val sums_ok : report -> bool
+(** Components of every request sum to [total_ns] within 1 ns. *)
+
+val pp : Format.formatter -> report -> unit
+(** Component table (mean/p50/p99/max in µs). *)

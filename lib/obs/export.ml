@@ -1,0 +1,88 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One Perfetto "process" per category keeps worker tracks (Sched) from
+   colliding with receiver tracks (Uipi) that share small integer ids. *)
+let pid_of_cat c = 1 + List.length (List.filter (fun x -> x < c) Trace.all_cats)
+
+let perfetto trace =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let emit_sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '\n'
+  in
+  (* Name each category's process so the Perfetto UI groups tracks. *)
+  let cats_seen = Hashtbl.create 8 in
+  Trace.iter trace (fun e ->
+      if not (Hashtbl.mem cats_seen e.Trace.cat) then begin
+        Hashtbl.add cats_seen e.Trace.cat ();
+        emit_sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+             (pid_of_cat e.Trace.cat)
+             (json_escape (Trace.cat_name e.Trace.cat)))
+      end;
+      let pid = pid_of_cat e.Trace.cat in
+      let ts = Printf.sprintf "%.3f" (float_of_int e.Trace.ts /. 1000.0) in
+      let name = json_escape e.Trace.name in
+      let cat = Trace.cat_name e.Trace.cat in
+      emit_sep ();
+      match e.Trace.kind with
+      | Trace.Span_begin ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%d}}"
+             name cat ts pid e.Trace.track e.Trace.arg)
+      | Trace.Span_end ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"ts\":%s,\"pid\":%d,\"tid\":%d}" name
+             cat ts pid e.Trace.track)
+      | Trace.Instant ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%d}}"
+             name cat ts pid e.Trace.track e.Trace.arg)
+      | Trace.Counter ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"%s\":%d}}"
+             name cat ts pid e.Trace.track name e.Trace.arg));
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let kind_name = function
+  | Trace.Span_begin -> "B"
+  | Trace.Span_end -> "E"
+  | Trace.Instant -> "I"
+  | Trace.Counter -> "C"
+
+let csv trace =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "ts_ns,kind,cat,name,track,arg\n";
+  Trace.iter trace (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s,%d,%d\n" e.Trace.ts (kind_name e.Trace.kind)
+           (Trace.cat_name e.Trace.cat) e.Trace.name e.Trace.track e.Trace.arg));
+  Buffer.contents buf
+
+let to_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let perfetto_to_file trace ~path = to_file path (perfetto trace)
+let csv_to_file trace ~path = to_file path (csv trace)

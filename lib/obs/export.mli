@@ -1,0 +1,19 @@
+(** Trace exporters.
+
+    {!perfetto} renders the ring as Chrome/Perfetto [trace_event] JSON
+    (loadable in [ui.perfetto.dev] or [chrome://tracing]): spans become
+    ["B"]/["E"] duration events, instants ["i"], counter samples ["C"].
+    Timestamps are emitted in microseconds with nanosecond precision
+    ([displayTimeUnit: "ns"]); tracks map to thread ids under one
+    process per category.
+
+    {!csv} renders the same events as a flat
+    [ts_ns,kind,cat,name,track,arg] table for ad-hoc analysis. *)
+
+val perfetto : Trace.t -> string
+
+val csv : Trace.t -> string
+
+val perfetto_to_file : Trace.t -> path:string -> unit
+
+val csv_to_file : Trace.t -> path:string -> unit

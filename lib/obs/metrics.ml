@@ -1,0 +1,70 @@
+type counter = { mutable n : int }
+type histogram = Stat.Summary.t
+
+type entry =
+  | E_counter of counter
+  | E_gauge of (unit -> int)
+  | E_hist of histogram
+
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (E_counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+  | None ->
+    let c = { n = 0 } in
+    Hashtbl.replace t.tbl name (E_counter c);
+    c
+
+let incr c = c.n <- c.n + 1
+let add c d = c.n <- c.n + d
+let value c = c.n
+
+let gauge t name read = Hashtbl.replace t.tbl name (E_gauge read)
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (E_hist h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+  | None ->
+    let h = Stat.Summary.create () in
+    Hashtbl.replace t.tbl name (E_hist h);
+    h
+
+let observe h v = Stat.Summary.record h v
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of Stat.Summary.report
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name entry acc ->
+      match entry with
+      | E_counter c -> (name, Counter c.n) :: acc
+      | E_gauge read -> (name, Gauge (read ())) :: acc
+      | E_hist h ->
+        if Stat.Summary.count h = 0 then acc
+        else (name, Histogram (Stat.Summary.report h)) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let pp_snapshot fmt snap =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf fmt "@ ";
+      match v with
+      | Counter n -> Format.fprintf fmt "%-24s %d" name n
+      | Gauge n -> Format.fprintf fmt "%-24s %d (gauge)" name n
+      | Histogram r -> Format.fprintf fmt "%-24s %a" name Stat.Summary.pp_report_us r)
+    snap;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Named metrics registry: counters, callback gauges, histograms.
+
+    Components register metrics once and update them through O(1)
+    handles; {!snapshot} materializes a sorted, self-describing list
+    suitable for reports and CSV export.  Histograms reuse
+    {!Stat.Summary} so tail quantiles come out with the same fidelity
+    as the benchmark summaries.
+
+    Gauges are callbacks, evaluated at snapshot time — the natural fit
+    for instantaneous quantities like [Sim.live_events] or queue
+    depths that already live in the instrumented component. *)
+
+type t
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** [counter t name] registers (or retrieves) the counter [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** [gauge t name read] registers [name]; [read] is called at snapshot
+    time.  Re-registering replaces the callback. *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of Stat.Summary.report
+
+type snapshot = (string * value) list
+
+val snapshot : t -> snapshot
+(** All metrics, sorted by name.  Histograms with no observations are
+    omitted. *)
+
+val find : snapshot -> string -> value option
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

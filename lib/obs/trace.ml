@@ -1,0 +1,158 @@
+type cat = Uipi | Klock | Utimer | Sched | Server | Request | Fault | Fiber
+
+let all_cats = [ Uipi; Klock; Utimer; Sched; Server; Request; Fault; Fiber ]
+
+let cat_index = function
+  | Uipi -> 0
+  | Klock -> 1
+  | Utimer -> 2
+  | Sched -> 3
+  | Server -> 4
+  | Request -> 5
+  | Fault -> 6
+  | Fiber -> 7
+
+let n_cats = 8
+
+let cat_name = function
+  | Uipi -> "uipi"
+  | Klock -> "klock"
+  | Utimer -> "utimer"
+  | Sched -> "sched"
+  | Server -> "server"
+  | Request -> "request"
+  | Fault -> "fault"
+  | Fiber -> "fiber"
+
+let cat_of_string s =
+  match String.lowercase_ascii s with
+  | "uipi" -> Ok Uipi
+  | "klock" -> Ok Klock
+  | "utimer" -> Ok Utimer
+  | "sched" -> Ok Sched
+  | "server" -> Ok Server
+  | "request" -> Ok Request
+  | "fault" -> Ok Fault
+  | "fiber" -> Ok Fiber
+  | other ->
+    Error
+      (Printf.sprintf "unknown category %S (%s)" other
+         (String.concat "|" (List.map cat_name all_cats)))
+
+type kind = Span_begin | Span_end | Instant | Counter
+
+let kind_index = function Span_begin -> 0 | Span_end -> 1 | Instant -> 2 | Counter -> 3
+let kind_of_index = function
+  | 0 -> Span_begin
+  | 1 -> Span_end
+  | 2 -> Instant
+  | _ -> Counter
+
+let cat_of_index = function
+  | 0 -> Uipi
+  | 1 -> Klock
+  | 2 -> Utimer
+  | 3 -> Sched
+  | 4 -> Server
+  | 5 -> Request
+  | 6 -> Fault
+  | _ -> Fiber
+
+type event = { ts : int; kind : kind; cat : cat; name : string; track : int; arg : int }
+
+type config = { capacity : int; categories : cat list }
+
+let default_config = { capacity = 1 lsl 20; categories = all_cats }
+
+(* Struct-of-arrays ring: one event = five scalar stores plus a string
+   pointer store, no allocation. *)
+type t = {
+  clock : unit -> int;
+  cap : int;
+  e_ts : int array;
+  e_kc : int array; (* kind * n_cats + cat *)
+  e_name : string array;
+  e_track : int array;
+  e_arg : int array;
+  on : bool array; (* category enable mask *)
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mutable n_recorded : int;
+  mutable n_dropped : int;
+}
+
+let create ?(config = default_config) ~clock () =
+  if config.capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  let on = Array.make n_cats false in
+  List.iter (fun c -> on.(cat_index c) <- true) config.categories;
+  {
+    clock;
+    cap = config.capacity;
+    e_ts = Array.make config.capacity 0;
+    e_kc = Array.make config.capacity 0;
+    e_name = Array.make config.capacity "";
+    e_track = Array.make config.capacity 0;
+    e_arg = Array.make config.capacity 0;
+    on;
+    head = 0;
+    len = 0;
+    n_recorded = 0;
+    n_dropped = 0;
+  }
+
+let set_categories t cats =
+  Array.fill t.on 0 n_cats false;
+  List.iter (fun c -> t.on.(cat_index c) <- true) cats
+
+let enabled t c = t.on.(cat_index c)
+
+let emit t kind cat name track arg =
+  let ci = cat_index cat in
+  if t.on.(ci) then begin
+    let i = t.head in
+    t.e_ts.(i) <- t.clock ();
+    t.e_kc.(i) <- (kind_index kind * n_cats) + ci;
+    t.e_name.(i) <- name;
+    t.e_track.(i) <- track;
+    t.e_arg.(i) <- arg;
+    t.head <- (if i + 1 = t.cap then 0 else i + 1);
+    if t.len = t.cap then t.n_dropped <- t.n_dropped + 1 else t.len <- t.len + 1;
+    t.n_recorded <- t.n_recorded + 1
+  end
+
+let span_begin t cat ~name ~track ~arg = emit t Span_begin cat name track arg
+let span_end t cat ~name ~track = emit t Span_end cat name track 0
+let instant t cat ~name ~track ~arg = emit t Instant cat name track arg
+let counter t cat ~name ~value = emit t Counter cat name 0 value
+
+let recorded t = t.n_recorded
+let dropped t = t.n_dropped
+let length t = t.len
+let capacity t = t.cap
+
+let iter t f =
+  let start = (t.head - t.len + t.cap) mod t.cap in
+  for k = 0 to t.len - 1 do
+    let i = (start + k) mod t.cap in
+    let kc = t.e_kc.(i) in
+    f
+      {
+        ts = t.e_ts.(i);
+        kind = kind_of_index (kc / n_cats);
+        cat = cat_of_index (kc mod n_cats);
+        name = t.e_name.(i);
+        track = t.e_track.(i);
+        arg = t.e_arg.(i);
+      }
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.n_recorded <- 0;
+  t.n_dropped <- 0

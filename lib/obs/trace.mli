@@ -1,0 +1,90 @@
+(** Simulation-wide trace ring buffer.
+
+    A bounded, allocation-free-on-the-hot-path event log.  Components
+    emit typed events (span begin/end, instant, counter sample) stamped
+    with the owning clock — `Sim.now` for simulated components, a
+    wall/virtual clock for `fiber_rt`.  Storage is a fixed-capacity
+    struct-of-arrays ring: recording one event writes five scalar cells
+    and never allocates (event names must be static strings).  When the
+    ring is full the oldest event is overwritten and counted in
+    {!dropped}, so tracing can stay enabled during long benches while
+    keeping the most recent window.
+
+    Per-component {e categories} can be enabled or disabled; a disabled
+    category's emissions cost one array read.  Recording is passive: it
+    never schedules simulation events, so a traced run and an untraced
+    run of the same seed produce bit-identical results. *)
+
+type cat =
+  | Uipi  (** UINTR fabric: SENDUIPI, posting, delivery, UPID bits *)
+  | Klock  (** kernel lock: enqueue, hold spans *)
+  | Utimer  (** timer core: scans, fires, watchdog episodes *)
+  | Sched  (** worker scheduling: quantum spans, grants *)
+  | Server  (** server-level: queue depths, wedges, fallback *)
+  | Request  (** per-request lifecycle: arrive/assign/run/preempt/done *)
+  | Fault  (** fault injections, detections, recoveries *)
+  | Fiber  (** fiber_rt real-execution runtime *)
+
+val all_cats : cat list
+val cat_name : cat -> string
+
+val cat_of_string : string -> (cat, string) result
+(** Case-insensitive parse of {!cat_name}; [Error] names the valid set. *)
+
+type kind = Span_begin | Span_end | Instant | Counter
+
+type event = {
+  ts : int;  (** clock value at emission, nanoseconds *)
+  kind : kind;
+  cat : cat;
+  name : string;
+  track : int;  (** worker id / receiver id / request id — Perfetto tid *)
+  arg : int;  (** payload: vector, latency, counter value, ... *)
+}
+
+type config = {
+  capacity : int;  (** ring capacity in events *)
+  categories : cat list;  (** enabled categories *)
+}
+
+val default_config : config
+(** 1 Mi events, every category enabled. *)
+
+type t
+
+val create : ?config:config -> clock:(unit -> int) -> unit -> t
+(** [create ~clock ()] builds a trace whose events are stamped with
+    [clock ()].  Raises [Invalid_argument] on non-positive capacity. *)
+
+val set_categories : t -> cat list -> unit
+val enabled : t -> cat -> bool
+
+val span_begin : t -> cat -> name:string -> track:int -> arg:int -> unit
+(** Open a span on [track].  Spans on one track must nest; the layer
+    emitting them is responsible for pairing (checked in tests). *)
+
+val span_end : t -> cat -> name:string -> track:int -> unit
+
+val instant : t -> cat -> name:string -> track:int -> arg:int -> unit
+
+val counter : t -> cat -> name:string -> value:int -> unit
+(** A counter sample; exported as a Perfetto counter track. *)
+
+val recorded : t -> int
+(** Events accepted (enabled category), including later-overwritten. *)
+
+val dropped : t -> int
+(** Events lost to ring wraparound (the oldest are evicted first). *)
+
+val length : t -> int
+(** Events currently held, [<= capacity]. *)
+
+val capacity : t -> int
+
+val iter : t -> (event -> unit) -> unit
+(** Iterate held events oldest-first (emission order). *)
+
+val to_list : t -> event list
+
+val clear : t -> unit
+(** Empty the ring and zero {!recorded}/{!dropped}. *)

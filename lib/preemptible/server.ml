@@ -27,6 +27,7 @@ type config = {
   wedge_ns : int;
   seed : int64;
   max_events : int;
+  trace : Obs.Trace.config option;
 }
 
 let default_config ~n_workers ~policy ~mechanism =
@@ -50,6 +51,7 @@ let default_config ~n_workers ~policy ~mechanism =
     wedge_ns = 2_000;
     seed = 42L;
     max_events = 400_000_000;
+    trace = None;
   }
 
 type probes = {
@@ -88,6 +90,8 @@ type result = {
   long_queue_hwm : int;
   dispatch_queue_hwm : int;
   resilience : resilience option;
+  trace : Obs.Trace.t option;
+  metrics : Obs.Metrics.snapshot;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -147,6 +151,9 @@ type st = {
   mutable wedged : int;
   mutable ut : Utimer.t option;
   mutable fallback_engaged : bool;
+  trace : Obs.Trace.t option;
+  metrics : Obs.Metrics.t;
+  m_lat : Obs.Metrics.histogram;
 }
 
 let now st = Engine.Sim.now st.sim
@@ -158,18 +165,49 @@ let total_qlen st =
 
 let measured st (req : Workload.Request.t) = req.Workload.Request.arrival_ns >= st.warmup_ns
 
+(* Trace probes.  Request-lifecycle events use the request id as track
+   (cat Request); scheduling spans use the worker id (cat Sched).  All
+   emission is passive — no sim events, no RNG — so traced and untraced
+   runs of the same seed are bit-identical. *)
+
+let tr_req st (req : Workload.Request.t) ~name ~arg =
+  match st.trace with
+  | Some trace ->
+    Obs.Trace.instant trace Obs.Trace.Request ~name ~track:req.Workload.Request.id ~arg
+  | None -> ()
+
+let tr_server st ~name ~track ~arg =
+  match st.trace with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Server ~name ~track ~arg
+  | None -> ()
+
+let quantum_span_begin st w ~quantum_ns =
+  match st.trace with
+  | Some trace ->
+    Obs.Trace.span_begin trace Obs.Trace.Sched ~name:"quantum" ~track:w.wid
+      ~arg:(if quantum_ns = max_int then 0 else quantum_ns)
+  | None -> ()
+
+let quantum_span_end st w =
+  match st.trace with
+  | Some trace -> Obs.Trace.span_end trace Obs.Trace.Sched ~name:"quantum" ~track:w.wid
+  | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Worker scheduling                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let rec start_segment st w fn quantum_ns =
   w.cur_deadline <- Fn.deadline_ns fn;
+  quantum_span_begin st w ~quantum_ns;
   if quantum_ns <> max_int then st.mech.mech_arm w.wid ~quantum_ns;
   Hw.Core.begin_work w.core ~duration:(Fn.remaining_ns fn) ~on_done:(fun () ->
       complete_current st w fn)
 
 and complete_current st w fn =
   let t = now st in
+  quantum_span_end st w;
+  tr_req st (Fn.request fn) ~name:"req.done" ~arg:w.wid;
   st.mech.mech_disarm w.wid;
   Fn.note_progress fn ~executed_ns:(Fn.remaining_ns fn);
   Fn.complete fn;
@@ -186,6 +224,7 @@ and complete_current st w fn =
     (match req.Workload.Request.cls with
     | Workload.Request.Latency_critical -> Stat.Summary.record st.sum_lc (float_of_int latency)
     | Workload.Request.Best_effort -> Stat.Summary.record st.sum_be (float_of_int latency));
+    Obs.Metrics.observe st.m_lat (float_of_int latency);
     st.probes.on_complete ~now:t ~latency_ns:latency ~cls:req.Workload.Request.cls
   end;
   w.current <- None;
@@ -268,6 +307,7 @@ and launch_new st w ~from =
              st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
            in
            Fn.launch fn ~now:t ~quantum_ns;
+           tr_req st req ~name:"req.run" ~arg:w.wid;
            start_segment st w fn quantum_ns))
 
 and resume_preempted st w =
@@ -284,6 +324,7 @@ and resume_preempted st w =
              st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
            in
            Fn.resume fn ~now:t ~quantum_ns;
+           tr_req st req ~name:"req.run" ~arg:w.wid;
            start_segment st w fn quantum_ns))
 
 and check_drain st =
@@ -311,6 +352,7 @@ let on_interrupt st i =
   match w.current with
   | Some _ when Hw.Core.busy w.core && t >= w.cur_deadline && wedge_fires st ~now:t ->
     st.wedged <- st.wedged + 1;
+    tr_server st ~name:"server.wedge" ~track:i ~arg:st.cfg.wedge_ns;
     (match st.cfg.faults with
     | Some f ->
       Fault.mark_detected f ~hint:"server.wedge" ();
@@ -320,6 +362,8 @@ let on_interrupt st i =
     st.mech.mech_arm i ~quantum_ns:st.cfg.wedge_ns
   | Some fn when Hw.Core.busy w.core && t >= w.cur_deadline ->
     st.preemptions <- st.preemptions + 1;
+    quantum_span_end st w;
+    tr_req st (Fn.request fn) ~name:"req.preempt" ~arg:w.wid;
     let executed = Hw.Core.abort w.core in
     Fn.note_progress fn ~executed_ns:executed;
     Fn.preempt fn;
@@ -331,6 +375,7 @@ let on_interrupt st i =
     if doomed then begin
       (* Sec III-B: the request already blew its SLO; cancel it and
          release its resources instead of letting it consume more. *)
+      tr_req st (Fn.request fn) ~name:"req.cancel" ~arg:w.wid;
       Context.release st.pool (Fn.context fn);
       st.outstanding <- st.outstanding - 1;
       let req = Fn.request fn in
@@ -350,8 +395,11 @@ let on_interrupt st i =
     (* Stale interrupt (the function it was armed for already left the
        core): the handler still runs and steals cycles. *)
     st.spurious <- st.spurious + 1;
+    tr_server st ~name:"server.spurious" ~track:i ~arg:1;
     Hw.Core.stall w.core (st.mech.entry_cost_ns + st.mech.exit_cost_ns)
-  | Some _ | None -> st.spurious <- st.spurious + 1
+  | Some _ | None ->
+    st.spurious <- st.spurious + 1;
+    tr_server st ~name:"server.spurious" ~track:i ~arg:0
 
 (* ------------------------------------------------------------------ *)
 (* Preemption mechanisms                                               *)
@@ -372,10 +420,10 @@ let make_mech st =
       mech_fired = (fun () -> 0);
     }
   | Uintr_utimer ucfg ->
-    let fabric = Hw.Uintr.create ?faults:cfg.faults sim cfg.hw in
+    let fabric = Hw.Uintr.create ?faults:cfg.faults ?trace:st.trace sim cfg.hw in
     let ut =
-      Utimer.create ?faults:cfg.faults ?watchdog:cfg.watchdog sim ~uintr:fabric
-        ~config:ucfg ()
+      Utimer.create ?faults:cfg.faults ?watchdog:cfg.watchdog ?trace:st.trace sim
+        ~uintr:fabric ~config:ucfg ()
     in
     st.ut <- Some ut;
     let slots =
@@ -395,7 +443,11 @@ let make_mech st =
     Utimer.set_on_degraded ut (fun () ->
         if not st.fallback_engaged then begin
           st.fallback_engaged <- true;
-          let signal = Ksim.Signal.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) in
+          tr_server st ~name:"server.fallback" ~track:0 ~arg:0;
+          let signal =
+            Ksim.Signal.create ?trace:st.trace sim cfg.costs
+              ~rng:(Engine.Sim.fork_rng sim)
+          in
           let kt =
             Ksim.Ktimer.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) ~signal
           in
@@ -449,7 +501,7 @@ let make_mech st =
       mech_fired = (fun () -> Utimer.fired ut);
     }
   | Uintr_hw_offload ->
-    let fabric = Hw.Uintr.create sim cfg.hw in
+    let fabric = Hw.Uintr.create ?trace:st.trace sim cfg.hw in
     let hwt = Hw.Hwtimer.create sim fabric in
     let slots =
       Array.init cfg.n_workers (fun i ->
@@ -474,7 +526,9 @@ let make_mech st =
     }
   | Signal_utimer { poll_ns } ->
     if poll_ns <= 0 then invalid_arg "Server: Signal_utimer poll must be positive";
-    let signal = Ksim.Signal.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) in
+    let signal =
+      Ksim.Signal.create ?trace:st.trace sim cfg.costs ~rng:(Engine.Sim.fork_rng sim)
+    in
     let deadlines = Array.make cfg.n_workers max_int in
     let fired = ref 0 in
     let running = ref true in
@@ -510,7 +564,9 @@ let make_mech st =
       mech_fired = (fun () -> !fired);
     }
   | Kernel_timer ->
-    let signal = Ksim.Signal.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) in
+    let signal =
+      Ksim.Signal.create ?trace:st.trace sim cfg.costs ~rng:(Engine.Sim.fork_rng sim)
+    in
     let ktimer =
       Ksim.Ktimer.create sim cfg.costs ~rng:(Engine.Sim.fork_rng sim) ~signal
     in
@@ -549,6 +605,7 @@ let assign st req =
   let best = ref st.workers.(0) in
   let score w = Rqueue.length w.local + (match w.current with Some _ -> 1 | None -> 0) in
   Array.iter (fun w -> if score w < score !best then best := w) st.workers;
+  tr_req st req ~name:"req.assign" ~arg:!best.wid;
   Rqueue.push !best.local ~now:(now st) req;
   schedule_next st !best
 
@@ -563,6 +620,7 @@ let rec pump_dispatcher st =
 (* Admit one request into the dispatch pipeline. *)
 let admit st (req : Workload.Request.t) =
   st.outstanding <- st.outstanding + 1;
+  tr_req st req ~name:"req.arrive" ~arg:(Rqueue.length st.dispatch_q);
   if measured st req then st.measured_offered <- st.measured_offered + 1;
   Stats_window.note_arrival st.window ~now:(now st);
   Stats_window.note_qlen st.window (total_qlen st);
@@ -620,6 +678,19 @@ let window_loop st =
                  st.cfg.policy.Policy.quantum_ns ~now:t
                    ~cls:Workload.Request.Latency_critical
                in
+               (match st.trace with
+               | Some trace ->
+                 Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.dispatch"
+                   ~value:(Rqueue.length st.dispatch_q);
+                 Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.long"
+                   ~value:(Rqueue.length st.long_q);
+                 Obs.Trace.counter trace Obs.Trace.Server ~name:"quantum"
+                   ~value:quantum_ns;
+                 Obs.Trace.counter trace Obs.Trace.Server ~name:"sim.live"
+                   ~value:(Engine.Sim.live_events st.sim);
+                 Obs.Trace.counter trace Obs.Trace.Server ~name:"sim.pending"
+                   ~value:(Engine.Sim.pending st.sim)
+               | None -> ());
                st.probes.on_window snapshot ~quantum_ns;
                tick ()
              end))
@@ -636,6 +707,22 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
   if warmup_ns < 0 || warmup_ns >= duration_ns then
     invalid_arg "Server.run: warmup must lie within the run";
   let sim = Engine.Sim.create ~seed:cfg.seed () in
+  let trace =
+    Option.map
+      (fun tc -> Obs.Trace.create ~config:tc ~clock:(fun () -> Engine.Sim.now sim) ())
+      cfg.trace
+  in
+  (match (cfg.faults, trace) with
+  | Some f, Some tr -> Fault.set_trace f tr
+  | _ -> ());
+  let metrics = Obs.Metrics.create () in
+  Obs.Metrics.gauge metrics "sim.live_events" (fun () -> Engine.Sim.live_events sim);
+  Obs.Metrics.gauge metrics "sim.pending" (fun () -> Engine.Sim.pending sim);
+  (match trace with
+  | Some tr ->
+    Obs.Metrics.gauge metrics "trace.recorded" (fun () -> Obs.Trace.recorded tr);
+    Obs.Metrics.gauge metrics "trace.dropped" (fun () -> Obs.Trace.dropped tr)
+  | None -> ());
   let st =
     {
       sim;
@@ -689,6 +776,9 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       wedged = 0;
       ut = None;
       fallback_engaged = false;
+      trace;
+      metrics;
+      m_lat = Obs.Metrics.histogram metrics "latency.all_ns";
     }
   in
   st.mech <- make_mech st;
@@ -706,6 +796,15 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
   let measured_ns = duration_ns - warmup_ns in
   let final = Engine.Sim.now sim in
   let busy = Array.fold_left (fun acc w -> acc + Hw.Core.busy_ns w.core) 0 st.workers in
+  (* End-of-run totals, folded into the registry so one snapshot carries
+     the whole story. *)
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "requests.offered") st.measured_offered;
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "requests.completed") st.measured_completed;
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "requests.cancelled") st.cancelled_measured;
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "preemptions") st.preemptions;
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "interrupts.timer") (st.mech.mech_fired ());
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "interrupts.spurious") st.spurious;
+  Obs.Metrics.add (Obs.Metrics.counter st.metrics "wedged") st.wedged;
   {
     duration_ns;
     measured_ns;
@@ -739,6 +838,8 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
             wedged = st.wedged;
             fallback_engaged = st.fallback_engaged;
           });
+    trace = st.trace;
+    metrics = Obs.Metrics.snapshot st.metrics;
   }
 
 let run ?(probes = no_probes) ?(warmup_ns = 0) cfg ~arrival ~source ~duration_ns =

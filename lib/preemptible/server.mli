@@ -78,6 +78,13 @@ type config = {
           can preempt it *)
   seed : int64;
   max_events : int;  (** safety cap on simulation events *)
+  trace : Obs.Trace.config option;
+      (** enable the observability layer: the server builds an
+          {!Obs.Trace.t} on its internal simulation clock, threads it
+          through the interrupt fabric, the timer core, kernel locks and
+          the fault ledger, and returns it in {!result.trace}.  [None]
+          (default) emits nothing and perturbs nothing — a traced and an
+          untraced run of the same seed are bit-identical. *)
 }
 
 val default_config : n_workers:int -> policy:Policy.t -> mechanism:mechanism -> config
@@ -128,6 +135,14 @@ type result = {
   dispatch_queue_hwm : int;
   resilience : resilience option;
       (** [Some] exactly when the run was configured with a fault plan *)
+  trace : Obs.Trace.t option;
+      (** [Some] exactly when {!config.trace} was set; feed it to
+          {!Obs.Export.perfetto} / {!Obs.Breakdown.of_trace} *)
+  metrics : Obs.Metrics.snapshot;
+      (** registry snapshot taken after the drain: request totals,
+          interrupt counts, [sim.live_events] / [sim.pending] gauges,
+          the end-to-end latency histogram, and (when tracing)
+          [trace.recorded] / [trace.dropped] *)
 }
 
 val run :

@@ -85,6 +85,7 @@ and t = {
   config : config;
   watchdog : watchdog option;
   faults : fault_points option;
+  trace : Obs.Trace.t option;
   fault_stall_ns : int;
   rng : Engine.Rng.t;
   mutable slots : slot list;
@@ -109,8 +110,8 @@ and t = {
   detect_stat : Stat.Summary.t;
 }
 
-let create ?faults ?watchdog ?(fault_stall_ns = 50_000) sim ~uintr ?(config = default_config)
-    () =
+let create ?faults ?watchdog ?trace ?(fault_stall_ns = 50_000) sim ~uintr
+    ?(config = default_config) () =
   if config.poll_ns <= 0 then invalid_arg "Utimer.create: poll_ns must be positive";
   let faults =
     match faults with
@@ -131,6 +132,7 @@ let create ?faults ?watchdog ?(fault_stall_ns = 50_000) sim ~uintr ?(config = de
     config;
     watchdog;
     faults;
+    trace;
     fault_stall_ns;
     rng = Engine.Sim.fork_rng sim;
     slots = [];
@@ -159,6 +161,16 @@ let create ?faults ?watchdog ?(fault_stall_ns = 50_000) sim ~uintr ?(config = de
   }
 
 let set_on_degraded t f = t.on_degraded <- Some f
+
+(* Trace track conventions: per-slot events land on 900 + uitt_index,
+   core-level events (scan loop, watchdog core checks) on 999. *)
+let core_track = 999
+let slot_track slot = 900 + slot.uitt_index
+
+let tr t ~name ~track ~arg =
+  match t.trace with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Utimer ~name ~track ~arg
+  | None -> ()
 
 let register t ~receiver ~vector =
   let uitt_index = Hw.Uintr.connect t.sender receiver ~vector in
@@ -200,6 +212,11 @@ let disarm slot =
     && Hw.Uintr.deliveries slot.receiver > slot.deliveries_snap
   then begin
     t.n_recovered <- t.n_recovered + 1;
+    (match t.trace with
+    | Some trace ->
+      Obs.Trace.instant trace Obs.Trace.Utimer ~name:"wd.recovered"
+        ~track:(900 + slot.uitt_index) ~arg:slot.retries
+    | None -> ());
     match t.faults with Some f -> Fault.mark_recovered f.plan () | None -> ()
   end;
   slot.deadline_ns <- max_int;
@@ -269,7 +286,9 @@ let issue t now slot ~count_fired =
        was already in the past when armed measures from the arm instant,
        zero-clamped. *)
     let reference = max slot.armed_at_ns (min intent now) in
-    Stat.Summary.record t.lateness_stat (float_of_int (max 0 (now - reference)))
+    let late = max 0 (now - reference) in
+    Stat.Summary.record t.lateness_stat (float_of_int late);
+    tr t ~name:"utimer.fire" ~track:(slot_track slot) ~arg:late
   end;
   Hw.Uintr.senduipi t.sender slot.uitt_index
 
@@ -300,7 +319,9 @@ let iteration t =
     | Some _ | None -> 0
   in
   let cost = ref (t.config.loop_overhead_ns + stall + fault_stall) in
+  let n_expired = ref 0 in
   let fire_one slot =
+    incr n_expired;
     cost := !cost + Hw.Uintr.send_cost_ns t.uintr;
     let at = now + !cost in
     ignore (Engine.Sim.at t.sim at (fun () -> fire t at slot))
@@ -319,6 +340,9 @@ let iteration t =
     List.iter
       (fun slot -> if slot.deadline_ns <= now then fire_one slot)
       expired);
+  (* Only scans that issued fires are traced: an idle poll loop would
+     otherwise flood the ring with one event per poll_ns. *)
+  if !n_expired > 0 then tr t ~name:"utimer.scan" ~track:core_track ~arg:!cost;
   !cost
 
 let rec loop t () =
@@ -369,6 +393,7 @@ let mark_detected t latency =
   Stat.Summary.record t.detect_stat (float_of_int (max 0 latency))
 
 let declare_degraded t =
+  tr t ~name:"wd.degraded" ~track:core_track ~arg:0;
   t.core_dead <- true;
   (match t.loop_ev with
   | Some ev ->
@@ -385,11 +410,13 @@ let wd_check_core t wd now =
     (* The scan loop stopped making progress: crashed, or stalled past
        the liveness bound.  Either way the core is declared dead. *)
     mark_detected t (now - t.last_scan_ns - t.config.poll_ns);
+    tr t ~name:"wd.core_dead" ~track:core_track ~arg:(now - t.last_scan_ns);
     (match t.faults with Some f -> Fault.mark_detected f.plan ~hint:"utimer.crash" () | None -> ());
     if t.spares_left > 0 then begin
       t.spares_left <- t.spares_left - 1;
       t.n_failovers <- t.n_failovers + 1;
       t.failing_over <- true;
+      tr t ~name:"wd.failover" ~track:core_track ~arg:t.spares_left;
       (match t.loop_ev with
       | Some ev ->
         Engine.Sim.cancel ev;
@@ -405,6 +432,7 @@ let wd_check_core t wd now =
                t.last_scan_ns <- Engine.Sim.now t.sim;
                resync_slots t;
                t.n_recovered <- t.n_recovered + 1;
+               tr t ~name:"wd.recovered" ~track:core_track ~arg:0;
                (match t.faults with
                | Some f -> Fault.mark_recovered f.plan ~hint:"utimer.crash" ()
                | None -> ());
@@ -422,6 +450,7 @@ let wd_check_slot t wd now slot =
          keeping up.  Repair the slot and fire it from here. *)
       if now > slot.intent_ns + wd.wd_grace_ns then begin
         mark_detected t (now - slot.intent_ns);
+        tr t ~name:"wd.late_fire" ~track:(slot_track slot) ~arg:(now - slot.intent_ns);
         (match t.faults with
         | Some f -> Fault.mark_detected f.plan ~hint:"utimer.slot_lost" ()
         | None -> ());
@@ -435,6 +464,7 @@ let wd_check_slot t wd now slot =
       (* Delivery confirmed: close the episode. *)
       if slot.retries > 0 then begin
         t.n_recovered <- t.n_recovered + 1;
+        tr t ~name:"wd.recovered" ~track:(slot_track slot) ~arg:slot.retries;
         match t.faults with Some f -> Fault.mark_recovered f.plan () | None -> ()
       end;
       slot.intent_ns <- max_int;
@@ -448,7 +478,8 @@ let wd_check_slot t wd now slot =
         slot.slot_degraded <- true;
         slot.intent_ns <- max_int;
         slot.fire_issued_at <- max_int;
-        t.n_degraded_slots <- t.n_degraded_slots + 1
+        t.n_degraded_slots <- t.n_degraded_slots + 1;
+        tr t ~name:"wd.slot_degraded" ~track:(slot_track slot) ~arg:slot.retries
       end
       else begin
         (* SENDUIPI was issued but nothing arrived within the grace:
@@ -460,6 +491,7 @@ let wd_check_slot t wd now slot =
         end;
         slot.retries <- slot.retries + 1;
         t.n_retries <- t.n_retries + 1;
+        tr t ~name:"wd.retry" ~track:(slot_track slot) ~arg:slot.retries;
         if slot.retries >= 2 then begin
           Hw.Uintr.repair_uitt t.sender slot.uitt_index;
           Hw.Uintr.repair_receiver slot.receiver

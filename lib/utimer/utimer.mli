@@ -89,6 +89,7 @@ type slot
 val create :
   ?faults:Fault.t ->
   ?watchdog:watchdog ->
+  ?trace:Obs.Trace.t ->
   ?fault_stall_ns:int ->
   Engine.Sim.t ->
   uintr:Hw.Uintr.t ->
@@ -96,8 +97,18 @@ val create :
   unit ->
   t
 (** Without [watchdog] the timer behaves exactly as the fault-free
-    baseline: fire-and-forget, no recovery.  When a fault plan is
-    supplied, three injection points model timer-core failures:
+    baseline: fire-and-forget, no recovery.
+
+    When [trace] is supplied, the timer emits {!Obs.Trace.cat.Utimer}
+    events: ["utimer.fire"] (arg = lateness ns) per issued preemption
+    and ["utimer.scan"] (arg = iteration cost ns) per non-idle scan,
+    plus watchdog episodes ["wd.core_dead"], ["wd.failover"],
+    ["wd.recovered"], ["wd.degraded"], ["wd.late_fire"], ["wd.retry"]
+    and ["wd.slot_degraded"].  Per-slot events use track
+    [900 + uitt_index]; core-level events use track 999.
+
+    When a fault plan is supplied, three injection points model
+    timer-core failures:
 
     - ["utimer.stall"] — one scan iteration stalls for [fault_stall_ns]
       (default 50000), delaying every fire behind it;
