@@ -3,16 +3,37 @@
 
 module Ts = Baselines.Timer_strategies
 
-let run () =
+let specs =
+  [
+    (`Kernel_timer, Bench_util.us 100);
+    (`Kernel_timer, Bench_util.us 20);
+    (`Utimer, Bench_util.us 100);
+    (`Utimer, Bench_util.us 20);
+  ]
+
+let run ~jobs () =
   Bench_util.header "Fig 12: timer precision, 26 threads, 5000 samples, background noise";
+  let results =
+    Bench_util.sweep ~label:"fig12" ~jobs
+      (fun (src, target) -> Ts.precision src ~threads:26 ~target_ns:target ~samples:5000)
+      specs
+  in
   let rows = ref [] in
-  List.iter
-    (fun (src, target) ->
-      let r = Ts.precision src ~threads:26 ~target_ns:target ~samples:5000 in
+  List.iter2
+    (fun (_, target) r ->
       Format.printf
         "%-13s target=%3dus  mean=%7.2fus  std=%6.2fus  p99=%7.2fus  rel.err=%5.1f%%@."
         r.Ts.source (target / 1000) r.Ts.mean_gap_us r.Ts.std_gap_us r.Ts.p99_gap_us
         (100.0 *. r.Ts.rel_error);
+      Bench_report.point ~fig:"fig12"
+        ~labels:[ ("source", r.Ts.source); ("target_us", string_of_int (target / 1000)) ]
+        ~metrics:
+          [
+            ("mean_us", r.Ts.mean_gap_us);
+            ("std_us", r.Ts.std_gap_us);
+            ("p99_us", r.Ts.p99_gap_us);
+            ("rel_err_pct", 100.0 *. r.Ts.rel_error);
+          ];
       (* a small excerpt of the series, as in the paper's scatter *)
       let s = r.Ts.sample_gaps_us in
       let n = Array.length s in
@@ -27,12 +48,7 @@ let run () =
         done;
         Format.printf "@."
       end)
-    [
-      (`Kernel_timer, Bench_util.us 100);
-      (`Kernel_timer, Bench_util.us 20);
-      (`Utimer, Bench_util.us 100);
-      (`Utimer, Bench_util.us 20);
-    ];
+    specs results;
   Bench_util.csv ~name:"fig12" ~header:"source,target_us,sample,gap_us" ~rows:(List.rev !rows);
   Format.printf
     "@.(expected: the kernel timer cannot honour 20us — it floors near 60us with\n\

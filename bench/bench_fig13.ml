@@ -12,7 +12,16 @@ let source () =
   Workload.Source.mix
     [ (0.98, Workload.Mica.source mica); (0.02, Workload.Zlib_be.source zlib) ]
 
-let run_colocated ~policy ~mechanism ~rate =
+(* quantum = 0 encodes the no-preemption baseline in sweep specs. *)
+let run_colocated ~quantum ~rate =
+  let policy =
+    if quantum = 0 then Preemptible.Policy.no_preempt
+    else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
+  in
+  let mechanism =
+    if quantum = 0 then Preemptible.Server.No_mechanism
+    else Preemptible.Server.Uintr_utimer Utimer.default_config
+  in
   let cfg = Preemptible.Server.default_config ~n_workers:1 ~policy ~mechanism in
   Preemptible.Server.run ~warmup_ns:(ms 20) cfg
     ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
@@ -21,58 +30,80 @@ let run_colocated ~policy ~mechanism ~rate =
 let cls_p99 = function Some (r : Stat.Summary.report) -> r.Stat.Summary.p99 /. 1e3 | None -> nan
 let cls_p50 = function Some (r : Stat.Summary.report) -> r.Stat.Summary.p50 /. 1e3 | None -> nan
 
-let left () =
+let report_point ~side ~quantum ~krps r =
+  Bench_report.point ~fig:"fig13"
+    ~labels:
+      [
+        ("side", side);
+        ("quantum_ns", string_of_int quantum);
+        ("load_krps", Printf.sprintf "%g" krps);
+      ]
+    ~metrics:
+      [
+        ("lc_p99_us", cls_p99 r.Preemptible.Server.lc);
+        ("lc_p50_us", cls_p50 r.Preemptible.Server.lc);
+        ("be_p99_us", cls_p99 r.Preemptible.Server.be);
+        ("be_p50_us", cls_p50 r.Preemptible.Server.be);
+      ]
+
+let left ~jobs () =
   Format.printf "@.-- fixed quantum 30us, load sweep (p99 in us) --@.";
+  let krps_list = [ 35; 45; 55; 65 ] in
+  let specs =
+    List.concat_map (fun krps -> [ (krps, 0); (krps, us 30) ]) krps_list
+  in
+  let results =
+    Bench_util.sweep ~label:"fig13.left" ~jobs
+      (fun (krps, quantum) -> run_colocated ~quantum ~rate:(float_of_int krps *. 1e3))
+      specs
+  in
+  let by_key = Hashtbl.create 16 in
+  List.iter2 (fun spec r -> Hashtbl.replace by_key spec r) specs results;
   Format.printf "%10s %12s %12s %10s %12s %12s@." "load(kRPS)" "LC-Base" "LC-Lib"
     "LC gain" "BE-Base" "BE-Lib";
   List.iter
     (fun krps ->
-      let rate = float_of_int krps *. 1e3 in
-      let base =
-        run_colocated ~policy:Preemptible.Policy.no_preempt
-          ~mechanism:Preemptible.Server.No_mechanism ~rate
-      in
-      let lib =
-        run_colocated
-          ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 30))
-          ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-          ~rate
-      in
+      let base = Hashtbl.find by_key (krps, 0) in
+      let lib = Hashtbl.find by_key (krps, us 30) in
+      report_point ~side:"left" ~quantum:0 ~krps:(float_of_int krps) base;
+      report_point ~side:"left" ~quantum:(us 30) ~krps:(float_of_int krps) lib;
       Format.printf "%10d %12.1f %12.1f %9.1fx %12.1f %12.1f@." krps
         (cls_p99 base.Preemptible.Server.lc) (cls_p99 lib.Preemptible.Server.lc)
         (cls_p99 base.Preemptible.Server.lc /. cls_p99 lib.Preemptible.Server.lc)
         (cls_p99 base.Preemptible.Server.be) (cls_p99 lib.Preemptible.Server.be))
-    [ 35; 45; 55; 65 ]
+    krps_list
 
-let right () =
+let right ~jobs () =
   Format.printf "@.-- fixed 55 kRPS, preemption-interval sweep --@.";
-  let base =
-    run_colocated ~policy:Preemptible.Policy.no_preempt
-      ~mechanism:Preemptible.Server.No_mechanism ~rate:55_000.0
+  let quanta = [ us 5; us 10; us 20; us 30; us 50 ] in
+  let results =
+    Bench_util.sweep ~label:"fig13.right" ~jobs
+      (fun quantum -> run_colocated ~quantum ~rate:55_000.0)
+      (0 :: quanta)
   in
+  let by_q = Hashtbl.create 16 in
+  List.iter2 (fun q r -> Hashtbl.replace by_q q r) (0 :: quanta) results;
+  let base = Hashtbl.find by_q 0 in
+  report_point ~side:"right" ~quantum:0 ~krps:55.0 base;
   Format.printf "%10s %12s %10s %12s %10s@." "quantum" "LC p99(us)" "LC gain" "BE p50(us)"
     "BE cost";
   Format.printf "%10s %12.1f %10s %12.1f %10s@." "none"
     (cls_p99 base.Preemptible.Server.lc) "-" (cls_p50 base.Preemptible.Server.be) "-";
   List.iter
     (fun q ->
-      let lib =
-        run_colocated
-          ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:q)
-          ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-          ~rate:55_000.0
-      in
+      let lib = Hashtbl.find by_q q in
+      report_point ~side:"right" ~quantum:q ~krps:55.0 lib;
       Format.printf "%9dus %12.1f %9.1fx %12.1f %9.2fx@." (q / 1000)
         (cls_p99 lib.Preemptible.Server.lc)
         (cls_p99 base.Preemptible.Server.lc /. cls_p99 lib.Preemptible.Server.lc)
         (cls_p50 lib.Preemptible.Server.be)
         (cls_p50 lib.Preemptible.Server.be /. cls_p50 base.Preemptible.Server.be))
-    [ us 5; us 10; us 20; us 30; us 50 ]
+    quanta
 
-let run () =
+let run ~jobs () =
   Bench_util.header "Fig 13: colocated MICA (LC) + zlib (BE), FCFS with preemption";
-  left ();
-  right ();
+  left ~jobs ();
+  right ~jobs ();
   Format.printf
     "@.(expected: 30us quantum cuts LC p99 ~3-4x with a modest BE penalty; 5us cuts\n\
     \ it ~18x at ~2x BE cost — the paper's latency/throughput trade-off)@."

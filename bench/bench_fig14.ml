@@ -97,12 +97,39 @@ let print_trace name (r, tr) =
         (mean_of tr.lc t) (mean_of tr.be t))
     (Stat.Timeseries.points tr.qps)
 
-let run () =
+(* Policies carry mutable interval state, so each task builds its own
+   inside the pool worker. *)
+let variants =
+  [
+    ("constant 50us", fun () -> Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 50));
+    ("constant 10us", fun () -> Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 10));
+    ("dynamic 10..50us (policy #2)", fun () -> dynamic_policy ());
+  ]
+
+let run ~jobs () =
   Bench_util.header
     "Fig 14: bursty load (40->110 kRPS), constant vs dynamic preemption interval";
-  print_trace "constant 50us" (run_one (Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 50)));
-  print_trace "constant 10us" (run_one (Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 10)));
-  print_trace "dynamic 10..50us (policy #2)" (run_one (dynamic_policy ()));
+  let results =
+    Bench_util.sweep ~label:"fig14" ~jobs (fun (_, mk) -> run_one (mk ())) variants
+  in
+  List.iter2
+    (fun (name, _) ((r, _) as res) ->
+      print_trace name res;
+      Bench_report.point ~fig:"fig14"
+        ~labels:[ ("variant", name) ]
+        ~metrics:
+          [
+            ( "lc_mean_us",
+              match r.Preemptible.Server.lc with
+              | Some rep -> rep.Stat.Summary.mean /. 1e3
+              | None -> nan );
+            ( "be_p50_us",
+              match r.Preemptible.Server.be with
+              | Some rep -> rep.Stat.Summary.p50 /. 1e3
+              | None -> nan );
+            ("preemptions", float_of_int r.Preemptible.Server.preemptions);
+          ])
+    variants results;
   Format.printf
     "@.(expected: 50us keeps BE cheap but LC average spikes with the bursts; 10us\n\
     \ holds LC low at a higher BE cost; the dynamic policy tracks the spikes —\n\

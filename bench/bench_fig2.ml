@@ -27,11 +27,35 @@ let run_point ~dist ~quantum ~rate =
     ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
     ~source:(Bench_util.lc_source dist) ~duration_ns:(ms 60)
 
-let run () =
+let workloads =
+  [
+    ("bimodal 99.5%x0.5us + 0.5%x500us (heavy)", Workload.Service_dist.workload_a1);
+    ("exponential mean 5us (light)", Workload.Service_dist.workload_b);
+  ]
+
+let run ~jobs () =
   Bench_util.header
     "Fig 2: p99 latency (us) vs load for preemption quanta, 16 cores (0 = no preemption)";
   let quanta = [ 0; us 5; us 25; us 100 ] in
   let loads = [ 0.2; 0.4; 0.6; 0.7; 0.8; 0.9 ] in
+  let specs =
+    List.concat_map
+      (fun (name, dist) ->
+        let cap = Bench_util.capacity_rps dist ~workers ~duration_ns:0 in
+        List.concat_map
+          (fun load -> List.map (fun quantum -> (name, dist, cap, load, quantum)) quanta)
+          loads)
+      workloads
+  in
+  let results =
+    Bench_util.sweep ~label:"fig2" ~jobs
+      (fun (_, dist, cap, load, quantum) -> run_point ~dist ~quantum ~rate:(load *. cap))
+      specs
+  in
+  let by_key = Hashtbl.create 64 in
+  List.iter2
+    (fun (name, _, _, load, quantum) r -> Hashtbl.replace by_key (name, load, quantum) r)
+    specs results;
   let rows = ref [] in
   List.iter
     (fun (name, dist) ->
@@ -48,18 +72,28 @@ let run () =
           Format.printf "%7.0f%%" (load *. 100.0);
           List.iter
             (fun quantum ->
-              let r = run_point ~dist ~quantum ~rate:(load *. cap) in
+              let r = Hashtbl.find by_key (name, load, quantum) in
               let p99 = r.Preemptible.Server.all.Stat.Summary.p99 /. 1e3 in
-              rows :=
-                Printf.sprintf "%s,%g,%d,%g" name load quantum p99 :: !rows;
+              rows := Printf.sprintf "%s,%g,%d,%g" name load quantum p99 :: !rows;
+              Bench_report.point ~fig:"fig2"
+                ~labels:
+                  [
+                    ("workload", name);
+                    ("load", Printf.sprintf "%g" load);
+                    ("quantum_ns", string_of_int quantum);
+                  ]
+                ~metrics:
+                  [
+                    ("p50_us", r.Preemptible.Server.all.Stat.Summary.p50 /. 1e3);
+                    ("p99_us", p99);
+                    ("p999_us", r.Preemptible.Server.all.Stat.Summary.p999 /. 1e3);
+                    ("tput_rps", r.Preemptible.Server.throughput_rps);
+                  ];
               Format.printf "%12.1f" p99)
             quanta;
           Format.printf "@.")
         loads)
-    [
-      ("bimodal 99.5%x0.5us + 0.5%x500us (heavy)", Workload.Service_dist.workload_a1);
-      ("exponential mean 5us (light)", Workload.Service_dist.workload_b);
-    ];
+    workloads;
   Bench_util.csv ~name:"fig2" ~header:"workload,load,quantum_ns,p99_us"
     ~rows:(List.rev !rows);
   Format.printf

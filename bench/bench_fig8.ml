@@ -1,6 +1,10 @@
 (* Fig 8: median and p99 latency vs throughput for LibPreemptible,
    LibPreemptible without UINTR, Shinjuku and Libinger across workloads
-   A1, A2, B and C; plus the SLO-bounded maximum-throughput summary. *)
+   A1, A2, B and C; plus the SLO-bounded maximum-throughput summary.
+
+   Two sweep phases: the lightly-loaded SLO-reference runs, then the
+   full (workload x system x load) grid.  Each point is an independent
+   simulation, so both phases fan out across the pool. *)
 
 let ms = Bench_util.ms
 
@@ -27,70 +31,120 @@ let slo_for (sys : Bench_util.system) dist cap =
   in
   200.0 *. r.Preemptible.Server.all.Stat.Summary.mean
 
-let run () =
+let run ~jobs () =
   Bench_util.header "Fig 8: latency vs throughput, four systems x four workloads";
   (* Sweep past nominal capacity: the systems differ exactly in how
      much of it their preemption overhead burns. *)
   let loads = [ 0.5; 0.7; 0.8; 0.85; 0.9; 0.95; 1.0; 1.05 ] in
+  let workloads = Bench_util.named_workloads ~duration_ns:duration in
+  let sys_list = systems () in
+  (* Capacity reference: 4 worker cores (LibPreemptible's budget); all
+     systems sweep the same absolute rates so throughputs are
+     comparable. *)
+  let cap_of dist = Bench_util.capacity_rps dist ~workers:4 ~duration_ns:duration in
+  let slo_specs =
+    List.concat_map
+      (fun (wname, dist) -> List.map (fun sys -> (wname, dist, sys)) sys_list)
+      workloads
+  in
+  let slos =
+    Bench_util.sweep ~label:"fig8.slo" ~jobs
+      (fun (_, dist, sys) -> slo_for sys dist (cap_of dist))
+      slo_specs
+  in
+  let slo_tbl = Hashtbl.create 16 in
+  List.iter2
+    (fun (wname, _, sys) slo -> Hashtbl.replace slo_tbl (wname, sys.Bench_util.sys_name) slo)
+    slo_specs slos;
+  let specs =
+    List.concat_map
+      (fun (wname, dist) ->
+        List.concat_map
+          (fun sys -> List.map (fun load -> (wname, dist, sys, load)) loads)
+          sys_list)
+      workloads
+  in
+  let results =
+    Bench_util.sweep ~label:"fig8" ~jobs
+      (fun (_, dist, sys, load) ->
+        sys.Bench_util.run ~rate:(load *. cap_of dist) ~dist ~duration_ns:duration
+          ~warmup_ns:warmup)
+      specs
+  in
+  let res_tbl = Hashtbl.create 128 in
+  List.iter2
+    (fun (wname, _, sys, load) r ->
+      Hashtbl.replace res_tbl (wname, sys.Bench_util.sys_name, load) r)
+    specs results;
   let max_tputs = Hashtbl.create 16 in
   let p99_at_95 = Hashtbl.create 16 in
   let rows = ref [] in
   List.iter
     (fun (wname, dist) ->
-      (* Capacity reference: 4 worker cores (LibPreemptible's budget);
-         all systems sweep the same absolute rates so throughputs are
-         comparable. *)
-      let cap = Bench_util.capacity_rps dist ~workers:4 ~duration_ns:duration in
-      Format.printf "@.workload %s (sweep up to ~%.2f Mrps)@." wname (cap /. 1e6);
+      Format.printf "@.workload %s (sweep up to ~%.2f Mrps)@." wname (cap_of dist /. 1e6);
       Format.printf "%-26s %9s %11s %11s %11s@." "system" "offered" "tput(rps)" "p50(us)"
         "p99(us)";
       List.iter
         (fun sys ->
-          let slo = slo_for sys dist cap in
+          let sname = sys.Bench_util.sys_name in
+          let slo = Hashtbl.find slo_tbl (wname, sname) in
           let best = ref 0.0 in
           List.iter
             (fun load ->
-              let rate = load *. cap in
-              let r =
-                sys.Bench_util.run ~rate ~dist ~duration_ns:duration ~warmup_ns:warmup
-              in
+              let r = Hashtbl.find res_tbl (wname, sname, load) in
+              let p50 = r.Preemptible.Server.all.Stat.Summary.p50 in
               let p99 = r.Preemptible.Server.all.Stat.Summary.p99 in
               let p999 = r.Preemptible.Server.all.Stat.Summary.p999 in
               if p99 <= slo && p999 <= 10.0 *. slo
                  && r.Preemptible.Server.throughput_rps > !best
               then best := r.Preemptible.Server.throughput_rps;
-              if load = 0.9 then
-                Hashtbl.replace p99_at_95 (wname, sys.Bench_util.sys_name) p99;
+              if load = 0.9 then Hashtbl.replace p99_at_95 (wname, sname) p99;
               rows :=
-                Printf.sprintf "%s,%s,%g,%g,%g,%g" wname sys.Bench_util.sys_name load
-                  r.Preemptible.Server.throughput_rps
-                  (r.Preemptible.Server.all.Stat.Summary.p50 /. 1e3)
-                  (p99 /. 1e3)
+                Printf.sprintf "%s,%s,%g,%g,%g,%g" wname sname load
+                  r.Preemptible.Server.throughput_rps (p50 /. 1e3) (p99 /. 1e3)
                 :: !rows;
-              Format.printf "%-26s %8.0f%% %11.0f %11.1f %11.1f@." sys.Bench_util.sys_name
-                (100.0 *. load) r.Preemptible.Server.throughput_rps
-                (r.Preemptible.Server.all.Stat.Summary.p50 /. 1e3)
-                (p99 /. 1e3))
+              Bench_report.point ~fig:"fig8"
+                ~labels:
+                  [
+                    ("workload", wname);
+                    ("system", sname);
+                    ("load", Printf.sprintf "%g" load);
+                  ]
+                ~metrics:
+                  [
+                    ("tput_rps", r.Preemptible.Server.throughput_rps);
+                    ("p50_us", p50 /. 1e3);
+                    ("p99_us", p99 /. 1e3);
+                    ("p999_us", p999 /. 1e3);
+                  ];
+              Format.printf "%-26s %8.0f%% %11.0f %11.1f %11.1f@." sname (100.0 *. load)
+                r.Preemptible.Server.throughput_rps (p50 /. 1e3) (p99 /. 1e3))
             loads;
-          Hashtbl.replace max_tputs (wname, sys.Bench_util.sys_name) !best)
-        (systems ()))
-    (Bench_util.named_workloads ~duration_ns:duration);
+          Hashtbl.replace max_tputs (wname, sname) !best)
+        sys_list)
+    workloads;
   Bench_util.csv ~name:"fig8" ~header:"workload,system,load,tput_rps,p50_us,p99_us"
     ~rows:(List.rev !rows);
   Bench_util.header
     "Fig 8 summary: max tput with p99 <= 200x stable mean (and p99.9 <= 10x that)";
   Format.printf "%-10s" "workload";
-  List.iter (fun s -> Format.printf "%26s" s.Bench_util.sys_name) (systems ());
+  List.iter (fun s -> Format.printf "%26s" s.Bench_util.sys_name) sys_list;
   Format.printf "%22s@." "LP vs Shinjuku";
   List.iter
     (fun (wname, _) ->
       Format.printf "%-10s" wname;
       let get s = try Hashtbl.find max_tputs (wname, s.Bench_util.sys_name) with Not_found -> 0.0 in
-      List.iter (fun s -> Format.printf "%25.0fk" (get s /. 1e3)) (systems ());
-      let lp = get (List.nth (systems ()) 0) and sh = get (List.nth (systems ()) 2) in
+      List.iter
+        (fun s ->
+          Bench_report.point ~fig:"fig8_summary"
+            ~labels:[ ("workload", wname); ("system", s.Bench_util.sys_name) ]
+            ~metrics:[ ("max_tput_rps", get s) ];
+          Format.printf "%25.0fk" (get s /. 1e3))
+        sys_list;
+      let lp = get (List.nth sys_list 0) and sh = get (List.nth sys_list 2) in
       if sh > 0.0 then Format.printf "%21.0f%%@." (100.0 *. (lp -. sh) /. sh)
       else Format.printf "%22s@." "-")
-    (Bench_util.named_workloads ~duration_ns:duration);
+    workloads;
   Format.printf "@.p99 at 90%% load (tail-latency headline):@.";
   Format.printf "%-10s %16s %16s %12s@." "workload" "LP p99(us)" "Shinjuku p99(us)" "ratio";
   List.iter
@@ -98,9 +152,9 @@ let run () =
       let find s =
         try Hashtbl.find p99_at_95 (wname, s.Bench_util.sys_name) with Not_found -> nan
       in
-      let lp = find (List.nth (systems ()) 0) and sh = find (List.nth (systems ()) 2) in
+      let lp = find (List.nth sys_list 0) and sh = find (List.nth sys_list 2) in
       Format.printf "%-10s %16.1f %16.1f %11.1fx@." wname (lp /. 1e3) (sh /. 1e3) (sh /. lp))
-    (Bench_util.named_workloads ~duration_ns:duration);
+    workloads;
   Format.printf
     "@.(expected shape: LibPreemptible holds ~10x lower p99 than Shinjuku near\n\
     \ saturation, +~22%% max throughput on A1 and +~33%% on C; disabling UINTR\n\

@@ -70,26 +70,49 @@ let print_run name (r, viol, totals, quanta) =
   100.0 *. float_of_int !total_viol /. float_of_int (max !total_n 1)
   |> fun rate -> rate
 
-let run () =
+let variants =
+  [
+    ("static 40us", fun () -> Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 40));
+    ( "adaptive (Algorithm 1)",
+      fun () ->
+        Preemptible.Policy.adaptive
+          (Preemptible.Quantum_controller.create
+             ~config:
+               {
+                 Preemptible.Quantum_controller.default_config with
+                 Preemptible.Quantum_controller.k1_ns = us 8;
+                 k2_ns = us 8;
+                 k3_ns = us 8;
+                 t_max_ns = us 60;
+                 l_high_fraction = 0.6;
+                 l_low_fraction = 0.25;
+               }
+             ~max_load_per_s:1_300_000.0 ~initial_quantum_ns:(us 40) ()) );
+  ]
+
+let run ~jobs () =
   Bench_util.header "Fig 9: SLO (50us) violations on workload C, static vs adaptive quanta";
-  let static = run_one (Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 40)) in
-  let static_rate = print_run "static 40us" static in
-  let controller =
-    Preemptible.Quantum_controller.create
-      ~config:
-        {
-          Preemptible.Quantum_controller.default_config with
-          Preemptible.Quantum_controller.k1_ns = us 8;
-          k2_ns = us 8;
-          k3_ns = us 8;
-          t_max_ns = us 60;
-          l_high_fraction = 0.6;
-          l_low_fraction = 0.25;
-        }
-      ~max_load_per_s:1_300_000.0 ~initial_quantum_ns:(us 40) ()
+  (* The policy (and its controller state) is built inside the task so
+     parallel variants never share a controller. *)
+  let results =
+    Bench_util.sweep ~label:"fig9" ~jobs (fun (_, mk) -> run_one (mk ())) variants
   in
-  let adaptive = run_one (Preemptible.Policy.adaptive controller) in
-  let adaptive_rate = print_run "adaptive (Algorithm 1)" adaptive in
+  let rates =
+    List.map2
+      (fun (name, _) ((r, _, _, _) as res) ->
+        let rate = print_run name res in
+        Bench_report.point ~fig:"fig9"
+          ~labels:[ ("variant", name) ]
+          ~metrics:
+            [
+              ("violation_rate_pct", rate);
+              ("p99_us", r.Preemptible.Server.all.Stat.Summary.p99 /. 1e3);
+              ("preemptions", float_of_int r.Preemptible.Server.preemptions);
+            ];
+        rate)
+      variants results
+  in
+  let static_rate = List.nth rates 0 and adaptive_rate = List.nth rates 1 in
   Format.printf
     "@.(expected: the controller tightens the quantum in the heavy-tailed phase —\n\
     \ cutting violations vs static — and relaxes it in the light/low phase,\n\

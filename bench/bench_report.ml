@@ -1,0 +1,97 @@
+(* Machine-readable bench report (bench --report FILE.json).
+
+   Figures record one JSON point per sweep element: a set of string
+   labels identifying the point (workload, system, load, ...) and a set
+   of float metrics (p50_us, p99_us, tput_rps, ...).  Points carry only
+   simulation-derived numbers, so two reports from the same seed are
+   byte-identical under "figures" regardless of --jobs; host-dependent
+   facts (wall-clock, jobs used) live under "meta", which CI strips
+   before diffing and lpbench_check ignores.
+
+   Collection is off until [start] is called, and [point] must be
+   called from the harness's sequential reporting phase (after the
+   sweep), never from inside a pool task. *)
+
+type point = { labels : (string * string) list; metrics : (string * float) list }
+
+type figure = { mutable points : point list; mutable wall_s : float }
+
+let collecting = ref false
+let jobs_used = ref 1
+let figures : (string, figure) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+let t_start = ref 0.0
+
+let active () = !collecting
+
+let start ~jobs =
+  collecting := true;
+  jobs_used := jobs;
+  t_start := Unix.gettimeofday ()
+
+let figure name =
+  match Hashtbl.find_opt figures name with
+  | Some f -> f
+  | None ->
+    let f = { points = []; wall_s = 0.0 } in
+    Hashtbl.add figures name f;
+    order := name :: !order;
+    f
+
+let point ~fig ~labels ~metrics =
+  if !collecting then begin
+    let f = figure fig in
+    f.points <- { labels; metrics } :: f.points
+  end
+
+(* Called by main around each element so per-figure wall-clock lands in
+   meta even for elements that record no points. *)
+let timed name f =
+  if not !collecting then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> (figure name).wall_s <- Unix.gettimeofday () -. t0)
+      f
+  end
+
+let json_of_point p =
+  Obs.Json.Obj
+    [
+      ("labels", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Str v)) p.labels));
+      ("metrics", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num v)) p.metrics));
+    ]
+
+let write ~path =
+  let names = List.rev !order in
+  let fig_members =
+    List.filter_map
+      (fun name ->
+        let f = Hashtbl.find figures name in
+        match f.points with
+        | [] -> None
+        | ps -> Some (name, Obs.Json.List (List.rev_map json_of_point ps)))
+      names
+  in
+  let wall_members =
+    List.map
+      (fun name -> (name, Obs.Json.Num (Hashtbl.find figures name).wall_s))
+      names
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Num 1.0);
+        ( "meta",
+          Obs.Json.Obj
+            [
+              ("jobs", Obs.Json.Num (float_of_int !jobs_used));
+              ("total_wall_s", Obs.Json.Num (Unix.gettimeofday () -. !t_start));
+              ("wall_s", Obs.Json.Obj wall_members);
+            ] );
+        ("figures", Obs.Json.Obj fig_members);
+      ]
+  in
+  Obs.Json.to_file doc ~path;
+  Format.printf "@.(report: %s — %d figures, jobs=%d)@." path (List.length fig_members)
+    !jobs_used

@@ -126,10 +126,36 @@ let no_preempt () =
           ~source:(lc_source dist) ~duration_ns);
   }
 
-(* Environment knobs: an empty value means unset (a cleared variable in
-   CI should behave like an absent one). *)
-let getenv_nonempty name =
-  match Sys.getenv_opt name with None | Some "" -> None | Some v -> Some v
+(* Environment knobs live in Exec.Env so bench and bin share one
+   definition. *)
+let getenv_nonempty = Exec.Env.getenv_nonempty
+
+(* Parallel sweep for figure benches.  Tasks must be pure simulations
+   (own Sim/Rng, no printing); callers print from the returned list so
+   output and report points are in submission order at any job count.
+
+   When LP_POOL_TRACE names a file, every pool in the run shares one
+   wall-clock trace ring (per-worker task spans + occupancy counters,
+   category "exec") exported as Perfetto JSON at exit. *)
+let pool_trace =
+  lazy
+    (match Exec.Env.getenv_nonempty "LP_POOL_TRACE" with
+    | None -> None
+    | Some path ->
+      let t0 = Unix.gettimeofday () in
+      let trace =
+        Obs.Trace.create
+          ~config:{ Obs.Trace.capacity = 1 lsl 16; categories = [ Obs.Trace.Exec ] }
+          ~clock:(fun () -> int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+          ()
+      in
+      at_exit (fun () ->
+          Obs.Export.perfetto_to_file trace ~path;
+          Format.printf "(pool trace: %s)@." path);
+      Some trace)
+
+let sweep ?label ~jobs f xs =
+  Exec.Sweep.run ?trace:(Lazy.force pool_trace) ?label ~jobs f xs
 
 (* CSV export: when LP_BENCH_CSV names a directory, figure benches also
    dump their series there for external plotting. *)

@@ -1,43 +1,100 @@
 (* Reproduction harness: regenerates every table and figure of the
    LibPreemptible evaluation (plus ablations and micro-benchmarks).
 
-     dune exec bench/main.exe               runs everything
-     dune exec bench/main.exe -- --fig8     runs one element
-     dune exec bench/main.exe -- --list     lists elements *)
+     dune exec bench/main.exe                        runs everything
+     dune exec bench/main.exe -- --fig8              runs one element
+     dune exec bench/main.exe -- --fig8 --jobs 8     fans the sweep out over 8 domains
+     dune exec bench/main.exe -- --report out.json   writes a machine-readable report
+     dune exec bench/main.exe -- --list              lists elements
+
+   Sweeps are deterministic in the number of jobs: every sweep point is
+   an independent simulation with its own seed, and results are merged
+   in submission order, so --jobs 8 output is identical to --jobs 1. *)
 
 let elements =
   [
-    ("--table1", "Table I: thread oversubscription (source data)", Bench_tables.table1);
+    ( "--table1",
+      "Table I: thread oversubscription (source data)",
+      fun ~jobs:_ () -> Bench_tables.table1 () );
     ("--fig1", "Fig 1: sw/hw IPC gap + preemption overhead vs dispersion", Bench_fig1.run);
     ("--fig2", "Fig 2: p99 vs load across quanta (16 cores)", Bench_fig2.run);
-    ("--table23", "Tables II/III: integration effort (documented)", Bench_tables.table23);
-    ("--table4", "Table IV: IPC mechanism overheads", Bench_tables.table4);
+    ( "--table23",
+      "Tables II/III: integration effort (documented)",
+      fun ~jobs:_ () -> Bench_tables.table23 () );
+    ( "--table4",
+      "Table IV: IPC mechanism overheads",
+      fun ~jobs:_ () -> Bench_tables.table4 () );
     ("--fig8", "Fig 8: latency vs throughput, 4 systems x 4 workloads", Bench_fig8.run);
     ("--fig9", "Fig 9: SLO violations, static vs adaptive quanta", Bench_fig9.run);
     ("--fig10", "Fig 10: deployment overhead", Bench_fig10.run);
     ("--fig11", "Fig 11: timer delivery scalability", Bench_fig11.run);
     ("--fig12", "Fig 12: timer precision", Bench_fig12.run);
-    ("--table5", "Table V: MICA / zlib solo latencies", Bench_tables.table5);
+    ( "--table5",
+      "Table V: MICA / zlib solo latencies",
+      fun ~jobs:_ () -> Bench_tables.table5 () );
     ("--fig13", "Fig 13: colocation, fixed/variable quantum", Bench_fig13.run);
     ("--fig14", "Fig 14: bursty load, dynamic interval", Bench_fig14.run);
-    ("--ablation", "Ablations: wheel, controller, poll, disciplines, hw offload", Bench_ablation.run);
-    ("--security", "Sec VII: interrupt-storm DoS scenarios", Bench_security.run);
-    ("--faults", "Resilience: fault-rate sweep, lost-UIPI retry, failover", Bench_faults.run);
-    ("--micro", "Bechamel micro-benchmarks", Bench_micro.run);
-    ("--trace", "Traced run: Perfetto export + latency breakdown", fun () -> Bench_trace.run ());
+    ( "--ablation",
+      "Ablations: wheel, controller, poll, disciplines, hw offload",
+      Bench_ablation.run );
+    ( "--security",
+      "Sec VII: interrupt-storm DoS scenarios",
+      fun ~jobs:_ () -> Bench_security.run () );
+    ( "--faults",
+      "Resilience: fault-rate sweep, lost-UIPI retry, failover",
+      fun ~jobs:_ () -> Bench_faults.run () );
+    ("--micro", "Bechamel micro-benchmarks", fun ~jobs:_ () -> Bench_micro.run ());
+    ( "--trace",
+      "Traced run: Perfetto export + latency breakdown",
+      fun ~jobs:_ () -> Bench_trace.run () );
   ]
 
 let list_elements () =
   Format.printf "available elements:@.";
-  List.iter (fun (flag, desc, _) -> Format.printf "  %-12s %s@." flag desc) elements
+  List.iter (fun (flag, desc, _) -> Format.printf "  %-12s %s@." flag desc) elements;
+  Format.printf "options:@.";
+  Format.printf "  %-12s %s@." "--jobs N"
+    "worker domains for sweeps (default: recommended domain count; 1 = sequential)";
+  Format.printf "  %-12s %s@." "--report FILE" "write a machine-readable JSON bench report"
+
+let usage_error msg =
+  Format.printf "%s@." msg;
+  list_elements ();
+  exit 1
+
+let run_element ~jobs (flag, _, f) =
+  Bench_report.timed (String.sub flag 2 (String.length flag - 2)) (fun () -> f ~jobs ())
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* Pass 1: options. --jobs N and --report FILE apply to the whole
+     invocation wherever they appear; what remains selects elements. *)
+  let jobs = ref (Exec.Sweep.default_jobs ()) in
+  let report = ref None in
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        strip acc rest
+      | Some _ | None -> usage_error (Printf.sprintf "--jobs expects a positive integer, got %S" n))
+    | [ "--jobs" ] -> usage_error "--jobs expects a worker count"
+    | "--report" :: file :: rest when String.length file > 0 && file.[0] <> '-' ->
+      report := Some file;
+      strip acc rest
+    | [ "--report" ] | "--report" :: _ -> usage_error "--report expects a file name"
+    | arg :: rest -> strip (arg :: acc) rest
+  in
+  let args = strip [] args in
+  let jobs = !jobs in
+  Option.iter (fun _ -> Bench_report.start ~jobs) !report;
+  (match args with
   | [] ->
-    Format.printf "LibPreemptible reproduction harness - running all elements@.";
+    Format.printf "LibPreemptible reproduction harness - running all elements (jobs=%d)@."
+      jobs;
     let t0 = Unix.gettimeofday () in
-    List.iter (fun (_, _, f) -> f ()) elements;
+    List.iter (run_element ~jobs) elements;
     Format.printf "@.done in %.1fs@." (Unix.gettimeofday () -. t0)
   | [ "--list" ] -> list_elements ()
   | flags ->
@@ -46,15 +103,13 @@ let () =
     let rec go = function
       | [] -> ()
       | "--trace" :: file :: rest when String.length file > 0 && file.[0] <> '-' ->
-        Bench_trace.run ~out:file ();
+        Bench_report.timed "trace" (fun () -> Bench_trace.run ~out:file ());
         go rest
       | flag :: rest ->
         (match List.find_opt (fun (f, _, _) -> f = flag) elements with
-        | Some (_, _, run) -> run ()
-        | None ->
-          Format.printf "unknown element %s@." flag;
-          list_elements ();
-          exit 1);
+        | Some el -> run_element ~jobs el
+        | None -> usage_error (Printf.sprintf "unknown element %s" flag));
         go rest
     in
-    go flags
+    go flags);
+  Option.iter (fun path -> Bench_report.write ~path) !report

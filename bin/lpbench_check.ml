@@ -1,0 +1,133 @@
+(* lpbench_check: gate bench reports against a committed baseline.
+
+     lpbench_check --report bench_report.json --baseline BENCH_BASELINE.json
+
+   Points are matched by figure name plus the exact label set; a gated
+   metric whose relative difference exceeds the tolerance fails the
+   check.  Exit codes: 0 ok, 1 regression/missing data, 2 usage or
+   unreadable input. *)
+
+open Cmdliner
+
+module J = Obs.Json
+
+type point = { labels : (string * string) list; metrics : (string * float) list }
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let load path =
+  match J.of_file path with
+  | Error m -> die "%s: %s" path m
+  | Ok j -> j
+
+(* figures section -> fig name -> points *)
+let points_of j path =
+  match J.member "figures" j with
+  | None -> die "%s: no \"figures\" section" path
+  | Some figs -> (
+    match J.to_obj figs with
+    | None -> die "%s: \"figures\" is not an object" path
+    | Some members ->
+      List.map
+        (fun (fig, pts) ->
+          let pts =
+            match J.to_list pts with None -> die "%s: figure %S is not a list" path fig | Some l -> l
+          in
+          let parse_point p =
+            let section name to_v =
+              match J.member name p with
+              | None -> []
+              | Some o -> (
+                match J.to_obj o with
+                | None -> []
+                | Some ms -> List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) (to_v v)) ms)
+            in
+            {
+              labels = section "labels" J.to_str;
+              metrics = section "metrics" J.to_num;
+            }
+          in
+          (fig, List.map parse_point pts))
+        members)
+
+let label_key labels =
+  List.sort compare labels
+  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+  |> String.concat ","
+
+let find_point points labels =
+  List.find_opt (fun p -> label_key p.labels = label_key labels) points
+
+let check ~report ~baseline ~metrics ~tolerance =
+  let rep = points_of (load report) report in
+  let base = points_of (load baseline) baseline in
+  let gated m = List.mem m metrics in
+  let failures = ref 0 in
+  let compared = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.ksprintf (fun m -> Printf.printf "FAIL  %s\n" m) fmt
+  in
+  List.iter
+    (fun (fig, bpoints) ->
+      match List.assoc_opt fig rep with
+      | None -> fail "%-14s figure missing from report" fig
+      | Some rpoints ->
+        List.iter
+          (fun bp ->
+            match find_point rpoints bp.labels with
+            | None -> fail "%-14s point {%s} missing from report" fig (label_key bp.labels)
+            | Some rp ->
+              List.iter
+                (fun (m, bv) ->
+                  if gated m then
+                    match List.assoc_opt m rp.metrics with
+                    | None -> fail "%-14s {%s} metric %s missing" fig (label_key bp.labels) m
+                    | Some rv ->
+                      incr compared;
+                      let diff = (rv -. bv) /. Float.max (Float.abs bv) 1e-9 in
+                      if Float.abs diff > tolerance then
+                        fail "%-14s {%s} %s: %.4g -> %.4g (%+.1f%%, tol ±%.0f%%)" fig
+                          (label_key bp.labels) m bv rv (100.0 *. diff)
+                          (100.0 *. tolerance))
+                bp.metrics)
+          bpoints)
+    base;
+  Printf.printf "%d gated metrics compared, %d failures (tolerance ±%.0f%%, gated: %s)\n"
+    !compared !failures (100.0 *. tolerance) (String.concat "," metrics);
+  if !compared = 0 then begin
+    prerr_endline "no gated metrics compared — baseline/report mismatch?";
+    exit 1
+  end;
+  if !failures > 0 then exit 1
+
+let run report baseline metrics tolerance =
+  let metrics =
+    String.split_on_char ',' metrics |> List.map String.trim
+    |> List.filter (fun m -> m <> "")
+  in
+  if metrics = [] then die "--metrics expects a comma-separated list";
+  if tolerance <= 0.0 then die "--tolerance must be positive";
+  check ~report ~baseline ~metrics ~tolerance
+
+let cmd =
+  let report =
+    Arg.(required & opt (some string) None & info [ "report" ] ~doc:"bench --report output")
+  in
+  let baseline =
+    Arg.(
+      required & opt (some string) None & info [ "baseline" ] ~doc:"committed baseline report")
+  in
+  let metrics =
+    Arg.(
+      value & opt string "p50_us,p99_us,mean_us"
+      & info [ "metrics" ] ~doc:"comma-separated metric names to gate")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.10 & info [ "tolerance" ] ~doc:"allowed relative drift, e.g. 0.10")
+  in
+  Cmd.v
+    (Cmd.info "lpbench_check" ~doc:"compare a bench report against a baseline")
+    Term.(const run $ report $ baseline $ metrics $ tolerance)
+
+let () = exit (Cmd.eval cmd)

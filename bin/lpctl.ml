@@ -30,74 +30,118 @@ let pp_result r =
   | Some be -> Format.printf "BE: %a@." Stat.Summary.pp_report_us be
   | None -> ()
 
-let serve system workload rate quantum_us workers duration_ms adaptive seed =
+(* One complete simulation at one offered rate; pure in [rate] so a
+   multi-rate sweep can fan out across pool domains. *)
+let serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed rate =
+  let arrival = Workload.Arrival.poisson ~rate_per_sec:rate in
+  let source = Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical in
+  match system with
+  | "lp" ->
+    let policy =
+      if adaptive then
+        Preemptible.Policy.adaptive
+          (Preemptible.Quantum_controller.create
+             ~max_load_per_s:
+               (float_of_int workers *. 1e9
+               /. Workload.Service_dist.mean_ns dist ~now:0)
+             ~initial_quantum_ns:quantum ())
+      else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
+    in
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:workers ~policy
+        ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+    in
+    Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
+      ~duration_ns
+  | "lp-nouintr" ->
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:workers
+        ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
+        ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
+    in
+    Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
+      ~duration_ns
+  | "shinjuku" ->
+    let cfg = Baselines.Shinjuku.default_config ~n_workers:workers ~quantum_ns:quantum in
+    Baselines.Shinjuku.run { cfg with Baselines.Shinjuku.seed } ~arrival ~source
+      ~duration_ns
+  | "libinger" ->
+    let cfg = Baselines.Libinger.default_config ~n_workers:workers ~quantum_ns:quantum in
+    Baselines.Libinger.run { cfg with Baselines.Libinger.seed } ~arrival ~source
+      ~duration_ns
+  | "nopreempt" ->
+    let cfg = Baselines.Nopreempt.default_config ~n_workers:workers in
+    Baselines.Nopreempt.run { cfg with Baselines.Nopreempt.seed } ~arrival ~source
+      ~duration_ns
+  | "go" ->
+    let cfg = Baselines.Goruntime.default_config ~n_workers:workers in
+    Baselines.Goruntime.run { cfg with Baselines.Goruntime.seed } ~arrival ~source
+      ~duration_ns
+  | s ->
+    prerr_endline
+      (Printf.sprintf "unknown system %S (lp|lp-nouintr|shinjuku|libinger|nopreempt|go)" s);
+    exit 1
+
+let parse_rates s =
+  let parts = String.split_on_char ',' s |> List.map String.trim in
+  let rates = List.filter_map float_of_string_opt parts in
+  if List.length rates <> List.length parts || rates = [] || List.exists (fun r -> r <= 0.0) rates
+  then begin
+    prerr_endline
+      (Printf.sprintf "--rate expects positive requests/s, comma-separated for a sweep; got %S" s);
+    exit 1
+  end;
+  rates
+
+let serve system workload rate_s jobs quantum_us workers duration_ms adaptive seed =
   let duration_ns = ms duration_ms in
+  let rates = parse_rates rate_s in
   match workload_of_string duration_ns workload with
   | Error (`Msg m) ->
     prerr_endline m;
     exit 1
   | Ok dist ->
-    let arrival = Workload.Arrival.poisson ~rate_per_sec:rate in
-    let source =
-      Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical
-    in
     let quantum = us quantum_us in
-    let result =
-      match system with
-      | "lp" ->
-        let policy =
-          if adaptive then
-            Preemptible.Policy.adaptive
-              (Preemptible.Quantum_controller.create
-                 ~max_load_per_s:
-                   (float_of_int workers *. 1e9
-                   /. Workload.Service_dist.mean_ns dist ~now:0)
-                 ~initial_quantum_ns:quantum ())
-          else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
-        in
-        let cfg =
-          Preemptible.Server.default_config ~n_workers:workers ~policy
-            ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-        in
-        Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
-          ~duration_ns
-      | "lp-nouintr" ->
-        let cfg =
-          Preemptible.Server.default_config ~n_workers:workers
-            ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
-            ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
-        in
-        Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
-          ~duration_ns
-      | "shinjuku" ->
-        let cfg = Baselines.Shinjuku.default_config ~n_workers:workers ~quantum_ns:quantum in
-        Baselines.Shinjuku.run { cfg with Baselines.Shinjuku.seed } ~arrival ~source
-          ~duration_ns
-      | "libinger" ->
-        let cfg = Baselines.Libinger.default_config ~n_workers:workers ~quantum_ns:quantum in
-        Baselines.Libinger.run { cfg with Baselines.Libinger.seed } ~arrival ~source
-          ~duration_ns
-      | "nopreempt" ->
-        let cfg = Baselines.Nopreempt.default_config ~n_workers:workers in
-        Baselines.Nopreempt.run { cfg with Baselines.Nopreempt.seed } ~arrival ~source
-          ~duration_ns
-      | "go" ->
-        let cfg = Baselines.Goruntime.default_config ~n_workers:workers in
-        Baselines.Goruntime.run { cfg with Baselines.Goruntime.seed } ~arrival ~source
-          ~duration_ns
-      | s ->
-        prerr_endline
-          (Printf.sprintf "unknown system %S (lp|lp-nouintr|shinjuku|libinger|nopreempt|go)" s);
-        exit 1
+    (* Reject an unknown system before the sweep fans out, so the error
+       surfaces once and on the main domain. *)
+    if
+      not
+        (List.mem system [ "lp"; "lp-nouintr"; "shinjuku"; "libinger"; "nopreempt"; "go" ])
+    then begin
+      prerr_endline
+        (Printf.sprintf "unknown system %S (lp|lp-nouintr|shinjuku|libinger|nopreempt|go)"
+           system);
+      exit 1
+    end;
+    let run_one =
+      serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed
     in
-    pp_result result
+    (match rates with
+    | [ rate ] -> pp_result (run_one rate)
+    | rates ->
+      let results = Exec.Sweep.run ~label:"serve" ~jobs run_one rates in
+      List.iter2
+        (fun rate r ->
+          Format.printf "@.-- rate %.0f/s --@." rate;
+          pp_result r)
+        rates results)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Exec.Sweep.default_jobs ())
+    & info [ "jobs" ] ~doc:"worker domains for multi-point sweeps (1 = sequential)")
 
 let serve_cmd =
   let system =
     Arg.(value & opt string "lp" & info [ "system" ] ~doc:"lp|lp-nouintr|shinjuku|libinger|nopreempt|go")
   in
   let workload = Arg.(value & opt string "a1" & info [ "workload" ] ~doc:"a1|a2|b|c") in
-  let rate = Arg.(value & opt float 500_000.0 & info [ "rate" ] ~doc:"offered load, requests/s") in
+  let rate =
+    Arg.(
+      value & opt string "500000"
+      & info [ "rate" ] ~doc:"offered load, requests/s; comma-separated list sweeps in parallel")
+  in
   let quantum = Arg.(value & opt int 5 & info [ "quantum" ] ~doc:"time quantum, us") in
   let workers = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"worker threads") in
   let duration = Arg.(value & opt int 100 & info [ "duration" ] ~doc:"run length, ms") in
@@ -106,7 +150,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"simulate a request-serving system under load")
     Term.(
-      const serve $ system $ workload $ rate $ quantum $ workers $ duration $ adaptive $ seed)
+      const serve $ system $ workload $ rate $ jobs_arg $ quantum $ workers $ duration
+      $ adaptive $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* ipc                                                                 *)
@@ -229,8 +274,8 @@ let precision_cmd =
 (* ------------------------------------------------------------------ *)
 
 let faults_csv rows =
-  match Sys.getenv_opt "LP_BENCH_CSV" with
-  | None | Some "" -> ()
+  match Exec.Env.getenv_nonempty "LP_BENCH_CSV" with
+  | None -> ()
   | Some dir ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let path = Filename.concat dir "lpctl_faults.csv" in
@@ -376,9 +421,9 @@ let trace out categories buffer_events breakdown workload rate quantum_us worker
     | "" -> (
       (* An empty LP_TRACE_OUT counts as unset, matching the bench
          harness convention. *)
-      match Sys.getenv_opt "LP_TRACE_OUT" with
-      | Some f when f <> "" -> f
-      | Some _ | None -> "trace.json")
+      match Exec.Env.getenv_nonempty "LP_TRACE_OUT" with
+      | Some f -> f
+      | None -> "trace.json")
     | f -> f
   in
   match workload_of_string duration_ns workload with
@@ -431,7 +476,7 @@ let trace_cmd =
     Arg.(
       value & opt string ""
       & info [ "categories" ]
-          ~doc:"comma-separated category filter (uipi,klock,utimer,sched,server,request,fault,fiber); empty = all")
+          ~doc:"comma-separated category filter (uipi,klock,utimer,sched,server,request,fault,fiber,exec); empty = all")
   in
   let buffer_events =
     Arg.(

@@ -1,6 +1,6 @@
-type cat = Uipi | Klock | Utimer | Sched | Server | Request | Fault | Fiber
+type cat = Uipi | Klock | Utimer | Sched | Server | Request | Fault | Fiber | Exec
 
-let all_cats = [ Uipi; Klock; Utimer; Sched; Server; Request; Fault; Fiber ]
+let all_cats = [ Uipi; Klock; Utimer; Sched; Server; Request; Fault; Fiber; Exec ]
 
 let cat_index = function
   | Uipi -> 0
@@ -11,8 +11,9 @@ let cat_index = function
   | Request -> 5
   | Fault -> 6
   | Fiber -> 7
+  | Exec -> 8
 
-let n_cats = 8
+let n_cats = 9
 
 let cat_name = function
   | Uipi -> "uipi"
@@ -23,6 +24,7 @@ let cat_name = function
   | Request -> "request"
   | Fault -> "fault"
   | Fiber -> "fiber"
+  | Exec -> "exec"
 
 let cat_of_string s =
   match String.lowercase_ascii s with
@@ -34,6 +36,7 @@ let cat_of_string s =
   | "request" -> Ok Request
   | "fault" -> Ok Fault
   | "fiber" -> Ok Fiber
+  | "exec" -> Ok Exec
   | other ->
     Error
       (Printf.sprintf "unknown category %S (%s)" other
@@ -56,7 +59,8 @@ let cat_of_index = function
   | 4 -> Server
   | 5 -> Request
   | 6 -> Fault
-  | _ -> Fiber
+  | 7 -> Fiber
+  | _ -> Exec
 
 type event = { ts : int; kind : kind; cat : cat; name : string; track : int; arg : int }
 

@@ -24,6 +24,7 @@ type cat =
   | Request  (** per-request lifecycle: arrive/assign/run/preempt/done *)
   | Fault  (** fault injections, detections, recoveries *)
   | Fiber  (** fiber_rt real-execution runtime *)
+  | Exec  (** Exec.Pool sweep workers (host-side, wall-clock) *)
 
 val all_cats : cat list
 val cat_name : cat -> string
