@@ -44,6 +44,16 @@ let point ~fig ~labels ~metrics =
     f.points <- { labels; metrics } :: f.points
   end
 
+(* Perf-probe metrics (bench --perf).  Host-dependent like wall-clock,
+   so they land under "meta" (as meta.perf), never under "figures" —
+   except that the minor-word and event-count entries are in fact
+   deterministic for a fixed binary, which is what the CI perf gate
+   reads. *)
+let perf_metrics : (string * float) list ref = ref []
+
+let perf name value =
+  if !collecting then perf_metrics := (name, value) :: !perf_metrics
+
 (* Called by main around each element so per-figure wall-clock lands in
    meta even for elements that record no points. *)
 let timed name f =
@@ -84,11 +94,16 @@ let write ~path =
         ("schema", Obs.Json.Num 1.0);
         ( "meta",
           Obs.Json.Obj
-            [
-              ("jobs", Obs.Json.Num (float_of_int !jobs_used));
-              ("total_wall_s", Obs.Json.Num (Unix.gettimeofday () -. !t_start));
-              ("wall_s", Obs.Json.Obj wall_members);
-            ] );
+            ([
+               ("jobs", Obs.Json.Num (float_of_int !jobs_used));
+               ("total_wall_s", Obs.Json.Num (Unix.gettimeofday () -. !t_start));
+               ("wall_s", Obs.Json.Obj wall_members);
+             ]
+            @
+            match List.rev !perf_metrics with
+            | [] -> []
+            | ps -> [ ("perf", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num v)) ps)) ]
+            ) );
         ("figures", Obs.Json.Obj fig_members);
       ]
   in

@@ -44,6 +44,9 @@ let elements =
       "Resilience: fault-rate sweep, lost-UIPI retry, failover",
       fun ~jobs:_ () -> Bench_faults.run () );
     ("--micro", "Bechamel micro-benchmarks", fun ~jobs:_ () -> Bench_micro.run ());
+    ( "--perf",
+      "Engine hot-path throughput + allocation budget (meta-only)",
+      fun ~jobs:_ () -> Bench_perf.run () );
     ( "--trace",
       "Traced run: Perfetto export + latency breakdown",
       fun ~jobs:_ () -> Bench_trace.run () );

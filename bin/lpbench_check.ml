@@ -58,9 +58,22 @@ let label_key labels =
 let find_point points labels =
   List.find_opt (fun p -> label_key p.labels = label_key labels) points
 
-let check ~report ~baseline ~metrics ~tolerance =
+let check ~report ~baseline ~metrics ~tolerance ~figures =
   let rep = points_of (load report) report in
   let base = points_of (load baseline) baseline in
+  (* An explicit --figures subset gates only those figures (a partial
+     report, e.g. the tutorial's fig8-only run, checks cleanly); the
+     default gates every figure the baseline has. *)
+  let base =
+    match figures with
+    | [] -> base
+    | wanted ->
+      List.iter
+        (fun f ->
+          if not (List.mem_assoc f base) then die "--figures: %S not in baseline %s" f baseline)
+        wanted;
+      List.filter (fun (fig, _) -> List.mem fig wanted) base
+  in
   let gated m = List.mem m metrics in
   let failures = ref 0 in
   let compared = ref 0 in
@@ -101,14 +114,14 @@ let check ~report ~baseline ~metrics ~tolerance =
   end;
   if !failures > 0 then exit 1
 
-let run report baseline metrics tolerance =
-  let metrics =
-    String.split_on_char ',' metrics |> List.map String.trim
-    |> List.filter (fun m -> m <> "")
+let run report baseline metrics tolerance figures =
+  let split s =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun m -> m <> "")
   in
+  let metrics = split metrics in
   if metrics = [] then die "--metrics expects a comma-separated list";
   if tolerance <= 0.0 then die "--tolerance must be positive";
-  check ~report ~baseline ~metrics ~tolerance
+  check ~report ~baseline ~metrics ~tolerance ~figures:(split figures)
 
 let cmd =
   let report =
@@ -126,8 +139,16 @@ let cmd =
   let tolerance =
     Arg.(value & opt float 0.10 & info [ "tolerance" ] ~doc:"allowed relative drift, e.g. 0.10")
   in
+  let figures =
+    Arg.(
+      value & opt string ""
+      & info [ "figures" ]
+          ~doc:
+            "comma-separated subset of baseline figures to gate (default: all); use for \
+             partial reports, e.g. $(b,--figures fig8)")
+  in
   Cmd.v
     (Cmd.info "lpbench_check" ~doc:"compare a bench report against a baseline")
-    Term.(const run $ report $ baseline $ metrics $ tolerance)
+    Term.(const run $ report $ baseline $ metrics $ tolerance $ figures)
 
 let () = exit (Cmd.eval cmd)

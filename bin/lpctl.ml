@@ -10,6 +10,42 @@ open Cmdliner
 let us = Engine.Units.us
 let ms = Engine.Units.ms
 
+(* Environment knobs are parsed with Exec.Env.getenv_nonempty so an
+   empty value behaves like an unset one; declared here so every
+   subcommand's --help lists the variables it honours. *)
+let env_pool_trace =
+  Cmd.Env.info "LP_POOL_TRACE"
+    ~doc:
+      "When set to a file path, multi-point sweeps export a Perfetto JSON trace of \
+       pool occupancy (per-worker task spans, wall clock) there at exit."
+
+let env_trace_out =
+  Cmd.Env.info "LP_TRACE_OUT"
+    ~doc:"Default output path for the Perfetto trace when $(b,--out) is not given."
+
+let env_bench_csv =
+  Cmd.Env.info "LP_BENCH_CSV"
+    ~doc:"When set to a directory, also dump the result series there as CSV."
+
+(* Shared wall-clock pool trace, mirroring the bench harness: every
+   sweep in the process writes into one ring, exported at exit. *)
+let pool_trace =
+  lazy
+    (match Exec.Env.getenv_nonempty "LP_POOL_TRACE" with
+    | None -> None
+    | Some path ->
+      let t0 = Unix.gettimeofday () in
+      let trace =
+        Obs.Trace.create
+          ~config:{ Obs.Trace.capacity = 1 lsl 16; categories = [ Obs.Trace.Exec ] }
+          ~clock:(fun () -> int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+          ()
+      in
+      at_exit (fun () ->
+          Obs.Export.perfetto_to_file trace ~path;
+          Format.printf "(pool trace: %s)@." path);
+      Some trace)
+
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -119,7 +155,9 @@ let serve system workload rate_s jobs quantum_us workers duration_ms adaptive se
     (match rates with
     | [ rate ] -> pp_result (run_one rate)
     | rates ->
-      let results = Exec.Sweep.run ~label:"serve" ~jobs run_one rates in
+      let results =
+        Exec.Sweep.run ?trace:(Lazy.force pool_trace) ~label:"serve" ~jobs run_one rates
+      in
       List.iter2
         (fun rate r ->
           Format.printf "@.-- rate %.0f/s --@." rate;
@@ -148,7 +186,8 @@ let serve_cmd =
   let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"use the Algorithm-1 controller") in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"simulation seed") in
   Cmd.v
-    (Cmd.info "serve" ~doc:"simulate a request-serving system under load")
+    (Cmd.info "serve" ~doc:"simulate a request-serving system under load"
+       ~envs:[ env_pool_trace ])
     Term.(
       const serve $ system $ workload $ rate $ jobs_arg $ quantum $ workers $ duration
       $ adaptive $ seed)
@@ -371,7 +410,8 @@ let faults_cmd =
   let load = Arg.(value & opt float 0.6 & info [ "load" ] ~doc:"fraction of capacity") in
   let duration = Arg.(value & opt int 60 & info [ "duration" ] ~doc:"ms") in
   Cmd.v
-    (Cmd.info "faults" ~doc:"resilience: fault injection with recovery on/off")
+    (Cmd.info "faults" ~doc:"resilience: fault injection with recovery on/off"
+       ~envs:[ env_bench_csv ])
     Term.(
       const faults $ rate $ spec $ recovery $ seed $ workers $ quantum $ load $ duration)
 
@@ -494,7 +534,8 @@ let trace_cmd =
   let duration = Arg.(value & opt int 100 & info [ "duration" ] ~doc:"run length, ms") in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"simulation seed") in
   Cmd.v
-    (Cmd.info "trace" ~doc:"traced LibPreemptible run: Perfetto export + latency breakdown")
+    (Cmd.info "trace" ~doc:"traced LibPreemptible run: Perfetto export + latency breakdown"
+       ~envs:[ env_trace_out ])
     Term.(
       const trace $ out $ categories $ buffer_events $ breakdown $ workload $ rate $ quantum
       $ workers $ duration $ seed)

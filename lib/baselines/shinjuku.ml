@@ -343,6 +343,7 @@ let run ?(probes = Preemptible.Server.no_probes) ?(warmup_ns = 0) cfg ~arrival ~
        else float_of_int busy /. (float_of_int cfg.n_workers *. float_of_int final));
     long_queue_hwm = Preemptible.Rqueue.max_length st.central_q;
     dispatch_queue_hwm = 0;
+    sim_events = Engine.Sim.events_fired st.sim;
     resilience = None;
     trace = None;
     metrics = [];

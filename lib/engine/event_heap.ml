@@ -1,71 +1,156 @@
-type 'a entry = { time : int; seq : int; value : 'a }
+(* Flat-array 4-ary min-heap keyed on (time, seq).
 
-type 'a t = { mutable arr : 'a entry option array; mutable len : int }
+   Keys live in two parallel [int array]s and payloads in a third
+   ['a array], so neither insertion nor extraction allocates: there is
+   no per-entry record, no option box, and no tuple on the zero-alloc
+   accessor path.  A 4-ary layout halves the tree depth of the binary
+   heap it replaced and keeps each sift-down's child probe within one
+   or two cache lines of the parent — measurably faster on the
+   million-event queues the simulator drives (DESIGN §9).
 
-let create () = { arr = Array.make 16 None; len = 0 }
+   Internals use unsafe array access: every index is bounded by [len],
+   which never exceeds the capacity of the three equal-length backing
+   arrays.  The public accessors keep their emptiness asserts.
+
+   Entries with equal [time] pop in ascending [seq] order; the engine
+   feeds a strictly increasing sequence number, which is what makes
+   same-timestamp events fire in scheduling order. *)
+
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+  dummy : 'a; (* fills vacated payload slots so they don't retain *)
+}
+
+let create ?(capacity = 64) ~dummy () =
+  let capacity = max 1 capacity in
+  {
+    times = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    vals = Array.make capacity dummy;
+    len = 0;
+    dummy;
+  }
 
 let size t = t.len
 let is_empty t = t.len = 0
 
-let get t i =
-  match t.arr.(i) with
-  | Some e -> e
-  | None -> assert false
-
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let swap t i j =
-  let tmp = t.arr.(i) in
-  t.arr.(i) <- t.arr.(j);
-  t.arr.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less (get t i) (get t parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && less (get t l) (get t !smallest) then smallest := l;
-  if r < t.len && less (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
 let grow t =
-  let arr = Array.make (2 * Array.length t.arr) None in
-  Array.blit t.arr 0 arr 0 t.len;
-  t.arr <- arr
+  let cap = Array.length t.times in
+  let cap' = 2 * cap in
+  let times = Array.make cap' 0 in
+  let seqs = Array.make cap' 0 in
+  let vals = Array.make cap' t.dummy in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.vals 0 vals 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.vals <- vals
 
-let add t ~time ~seq value =
-  if t.len = Array.length t.arr then grow t;
-  t.arr.(t.len) <- Some { time; seq; value };
+(* Bubble a hole up from the tail while the new key (time, seq) beats
+   the parent, then write the new entry into the final hole. *)
+let add t ~time ~seq v =
+  if t.len = Array.length t.times then grow t;
+  let times = t.times and seqs = t.seqs and vals = t.vals in
+  let i = ref t.len in
   t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let pt = Array.unsafe_get times parent in
+    if pt > time || (pt = time && Array.unsafe_get seqs parent > seq) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set vals !i (Array.unsafe_get vals parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i v
 
-let peek t =
-  if t.len = 0 then None
-  else
-    let e = get t 0 in
-    Some (e.time, e.seq, e.value)
+(* Sift the entry at index 0 down: at each level pick the smallest of
+   up to four children.  The moving entry's key is loaded once into
+   [mt]/[ms]; only the winning child is compared against it. *)
+let sift_down t =
+  let times = t.times and seqs = t.seqs and vals = t.vals in
+  let len = t.len in
+  let mt = Array.unsafe_get times 0 and ms = Array.unsafe_get seqs 0 in
+  let mv = Array.unsafe_get vals 0 in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let first = (4 * !i) + 1 in
+    if first >= len then continue := false
+    else begin
+      let last = if first + 3 < len then first + 3 else len - 1 in
+      let best = ref first in
+      let bt = ref (Array.unsafe_get times first) in
+      let bs = ref (Array.unsafe_get seqs first) in
+      for c = first + 1 to last do
+        let ct = Array.unsafe_get times c in
+        if ct < !bt || (ct = !bt && Array.unsafe_get seqs c < !bs) then begin
+          best := c;
+          bt := ct;
+          bs := Array.unsafe_get seqs c
+        end
+      done;
+      if !bt < mt || (!bt = mt && !bs < ms) then begin
+        Array.unsafe_set times !i !bt;
+        Array.unsafe_set seqs !i !bs;
+        Array.unsafe_set vals !i (Array.unsafe_get vals !best);
+        i := !best
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set times !i mt;
+  Array.unsafe_set seqs !i ms;
+  Array.unsafe_set vals !i mv
+
+(* Zero-alloc accessors: undefined on an empty heap (asserted). *)
+
+let min_time t =
+  assert (t.len > 0);
+  t.times.(0)
+
+let min_seq t =
+  assert (t.len > 0);
+  t.seqs.(0)
+
+let min_value t =
+  assert (t.len > 0);
+  t.vals.(0)
+
+let drop_min t =
+  assert (t.len > 0);
+  let len = t.len - 1 in
+  t.len <- len;
+  if len > 0 then begin
+    t.times.(0) <- t.times.(len);
+    t.seqs.(0) <- t.seqs.(len);
+    t.vals.(0) <- t.vals.(len);
+    t.vals.(len) <- t.dummy;
+    sift_down t
+  end
+  else t.vals.(0) <- t.dummy
+
+(* Allocating conveniences, kept for tests and oracles. *)
+
+let peek t = if t.len = 0 then None else Some (t.times.(0), t.seqs.(0), t.vals.(0))
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let e = get t 0 in
-    t.len <- t.len - 1;
-    t.arr.(0) <- t.arr.(t.len);
-    t.arr.(t.len) <- None;
-    if t.len > 0 then sift_down t 0;
-    Some (e.time, e.seq, e.value)
+    let r = (t.times.(0), t.seqs.(0), t.vals.(0)) in
+    drop_min t;
+    Some r
   end
 
 let clear t =
-  Array.fill t.arr 0 t.len None;
+  Array.fill t.vals 0 t.len t.dummy;
   t.len <- 0

@@ -1,23 +1,62 @@
-(** Binary min-heap keyed by [(time, seq)].
+(** Flat-array 4-ary min-heap keyed by [(time, seq)].
 
-    The backbone of the event queue: entries with equal timestamps pop in
-    insertion (sequence) order, which makes the simulator deterministic. *)
+    The backbone of the event queue.  Keys are stored in two parallel
+    unboxed [int] arrays and payloads in a third array, so pushing and
+    popping entries allocates nothing — there is no per-entry record or
+    option box on the hot path (see {e DESIGN §9} for the performance
+    model).
+
+    Ordering is lexicographic on [(time, seq)]: entries with equal
+    timestamps pop in ascending sequence order.  {!Sim} feeds a
+    strictly increasing sequence number, which makes same-timestamp
+    events fire in scheduling order — the determinism contract every
+    figure in the reproduction relies on. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty heap.  [dummy] fills vacated payload
+    slots so popped values are not retained; it is never returned.
+    [capacity] (default 64) is the initial backing-array size; the heap
+    grows by doubling. *)
 
 val size : 'a t -> int
+(** Number of entries currently stored. O(1). *)
 
 val is_empty : 'a t -> bool
 
 val add : 'a t -> time:int -> seq:int -> 'a -> unit
-(** Insert an entry. O(log n). *)
+(** Insert an entry. O(log₄ n) amortized; allocates only when the
+    backing arrays grow. *)
+
+(** {1 Zero-allocation access}
+
+    The four accessors below are the engine's hot path.  They are
+    undefined on an empty heap (asserted in debug builds): guard with
+    {!is_empty}. *)
+
+val min_time : 'a t -> int
+(** Timestamp of the smallest entry. *)
+
+val min_seq : 'a t -> int
+(** Sequence number of the smallest entry. *)
+
+val min_value : 'a t -> 'a
+(** Payload of the smallest entry, without removing it. *)
+
+val drop_min : 'a t -> unit
+(** Remove the smallest entry. O(log₄ n), allocation-free. *)
+
+(** {1 Allocating conveniences}
+
+    Option/tuple-returning wrappers, used by tests and model oracles;
+    the simulator itself never calls them. *)
 
 val peek : 'a t -> (int * int * 'a) option
 (** Smallest [(time, seq, value)] without removing it. *)
 
 val pop : 'a t -> (int * int * 'a) option
-(** Remove and return the smallest entry. O(log n). *)
+(** Remove and return the smallest entry. *)
 
 val clear : 'a t -> unit
+(** Drop every entry (payload slots are reset to [dummy]). *)

@@ -1,36 +1,95 @@
-type event = { etime : int; mutable live : bool; live_count : int ref }
+(* Deterministic discrete-event loop.
 
-type cell = { ev : event; fn : unit -> unit }
+   Hot-path discipline (DESIGN §9): scheduling an event must not
+   allocate.  Event records are recycled through a free-list owned by
+   the simulator — a record is acquired in [at], owned by the heap
+   while queued, and returned to the free list at the single point it
+   leaves the heap (fired or lazily discarded).  The heap itself keys
+   on unboxed (time, seq) int arrays, so the only allocation left on
+   the hot path is whatever closure the *caller* passes in — and the
+   runtime components preallocate theirs. *)
+
+let noop () = ()
+
+type event = {
+  mutable etime : int;
+  mutable live : bool;
+  mutable efn : unit -> unit;
+  n_live : int ref; (* owner's live-event counter, shared so [cancel] needs no [t] *)
+}
+
+(* Shared never-pending handle: lets components keep a plain [event]
+   field (no [option], so arming allocates nothing) with [null] as the
+   rest state.  Never scheduled; [cancel] sees [live = false]. *)
+let null = { etime = 0; live = false; efn = noop; n_live = ref 0 }
 
 type t = {
   mutable clock : int;
   mutable seq : int;
-  heap : cell Event_heap.t;
+  heap : event Event_heap.t;
   root_rng : Rng.t;
   n_live : int ref;
+  mutable n_fired : int;
+  sentinel : event; (* fills empty free-list slots; never scheduled *)
+  mutable free : event array; (* LIFO free list of recycled records *)
+  mutable n_free : int;
 }
 
 let create ?(seed = 42L) () =
+  let n_live = ref 0 in
+  let sentinel = { etime = 0; live = false; efn = noop; n_live } in
   {
     clock = 0;
     seq = 0;
-    heap = Event_heap.create ();
+    heap = Event_heap.create ~dummy:sentinel ();
     root_rng = Rng.create seed;
-    n_live = ref 0;
+    n_live;
+    n_fired = 0;
+    sentinel;
+    free = Array.make 64 sentinel;
+    n_free = 0;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 let fork_rng t = Rng.split t.root_rng
 
+(* -- free list ----------------------------------------------------- *)
+
+let acquire t ~time fn =
+  if t.n_free > 0 then begin
+    t.n_free <- t.n_free - 1;
+    let ev = t.free.(t.n_free) in
+    t.free.(t.n_free) <- t.sentinel;
+    ev.etime <- time;
+    ev.live <- true;
+    ev.efn <- fn;
+    ev
+  end
+  else { etime = time; live = true; efn = fn; n_live = t.n_live }
+
+(* Recycle a record the heap just popped.  The callback is dropped so
+   the free list never retains closures (or anything they capture). *)
+let release t ev =
+  ev.efn <- noop;
+  if t.n_free = Array.length t.free then begin
+    let free = Array.make (2 * t.n_free) t.sentinel in
+    Array.blit t.free 0 free 0 t.n_free;
+    t.free <- free
+  end;
+  t.free.(t.n_free) <- ev;
+  t.n_free <- t.n_free + 1
+
+(* -- scheduling ---------------------------------------------------- *)
+
 let at t time fn =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %d is in the past (now %d)" time t.clock);
-  let ev = { etime = time; live = true; live_count = t.n_live } in
+  let ev = acquire t ~time fn in
   incr t.n_live;
   t.seq <- t.seq + 1;
-  Event_heap.add t.heap ~time ~seq:t.seq { ev; fn };
+  Event_heap.add t.heap ~time ~seq:t.seq ev;
   ev
 
 let after t d fn =
@@ -40,7 +99,7 @@ let after t d fn =
 let cancel ev =
   if ev.live then begin
     ev.live <- false;
-    decr ev.live_count
+    decr ev.n_live
   end
 
 let is_pending ev = ev.live
@@ -48,22 +107,36 @@ let time_of ev = ev.etime
 
 let pending t = Event_heap.size t.heap
 let live_events t = !(t.n_live)
+let events_fired t = t.n_fired
 
-let step t =
-  let rec next () =
-    match Event_heap.pop t.heap with
-    | None -> false
-    | Some (time, _seq, { ev; fn }) ->
-      if not ev.live then next ()
-      else begin
-        t.clock <- time;
-        ev.live <- false;
-        decr t.n_live;
-        fn ();
-        true
-      end
-  in
-  next ()
+(* -- the loop ------------------------------------------------------ *)
+
+(* Top-level recursion (not an inner [let rec]) so stepping does not
+   allocate a closure per event. *)
+let rec step t =
+  if Event_heap.is_empty t.heap then false
+  else begin
+    let time = Event_heap.min_time t.heap in
+    let ev = Event_heap.min_value t.heap in
+    Event_heap.drop_min t.heap;
+    if ev.live then begin
+      t.clock <- time;
+      ev.live <- false;
+      decr t.n_live;
+      t.n_fired <- t.n_fired + 1;
+      let fn = ev.efn in
+      (* Recycle before running: the callback may schedule and the
+         record is free to serve that schedule.  Handles are dead the
+         moment their event fires (see the .mli contract). *)
+      release t ev;
+      fn ();
+      true
+    end
+    else begin
+      release t ev;
+      step t
+    end
+  end
 
 let run ?max_events t =
   match max_events with
@@ -77,18 +150,24 @@ let run ?max_events t =
 let run_until t limit =
   let continue = ref true in
   while !continue do
-    match Event_heap.peek t.heap with
-    | Some (time, _, _) when time <= limit -> begin
-        (* Pop directly so that skipping a cancelled head cannot run a
-           live event that lies beyond [limit]. *)
-        match Event_heap.pop t.heap with
-        | Some (time, _, { ev; fn }) when ev.live ->
-          t.clock <- time;
-          ev.live <- false;
-          decr t.n_live;
-          fn ()
-        | Some _ | None -> ()
+    if Event_heap.is_empty t.heap || Event_heap.min_time t.heap > limit then
+      continue := false
+    else begin
+      (* Pop directly so that skipping a cancelled head cannot run a
+         live event that lies beyond [limit]. *)
+      let time = Event_heap.min_time t.heap in
+      let ev = Event_heap.min_value t.heap in
+      Event_heap.drop_min t.heap;
+      if ev.live then begin
+        t.clock <- time;
+        ev.live <- false;
+        decr t.n_live;
+        t.n_fired <- t.n_fired + 1;
+        let fn = ev.efn in
+        release t ev;
+        fn ()
       end
-    | Some _ | None -> continue := false
+      else release t ev
+    end
   done;
   if t.clock < limit then t.clock <- limit

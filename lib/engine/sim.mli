@@ -1,17 +1,45 @@
 (** Discrete-event simulation engine.
 
     A single-threaded, deterministic event loop over integer-nanosecond
-    time.  Every simulated component (UINTR delivery, kernel locks, timer
-    cores, schedulers, workload generators) is expressed as callbacks
-    scheduled on one [Sim.t].
+    time.  Every simulated component (UINTR delivery, kernel locks,
+    timer cores, schedulers, workload generators) is expressed as
+    callbacks scheduled on one [Sim.t].
 
-    Determinism: events at equal timestamps fire in scheduling order, and
-    all randomness flows through the engine's seeded {!Rng.t}. *)
+    {2 Determinism}
+
+    Events at equal timestamps fire in scheduling order, and all
+    randomness flows through the engine's seeded {!Rng.t}.
+
+    {2 Allocation discipline and handle lifetime}
+
+    Scheduling is allocation-free: event records are recycled through
+    an internal free list (DESIGN §9), so an {!event} handle is only
+    meaningful {e while its event is still pending}.  The moment the
+    event fires — or, after {!cancel}, the moment the queue discards
+    it — the record may be reused for a new event, and the old handle
+    aliases the new one.  Concretely:
+
+    - call {!cancel} only on events that have not fired;
+    - drop (or overwrite) stored handles as the {e first} action of the
+      event's own callback, before scheduling anything new;
+    - never consult {!is_pending}/{!time_of} on a handle kept across
+      its own firing.
+
+    Every component in this repository follows the discipline; it is
+    only observable to code that squirrels handles away. *)
 
 type t
 
 type event
-(** A handle to a scheduled occurrence, usable for cancellation. *)
+(** A handle to a scheduled occurrence, usable for cancellation while
+    the occurrence is pending (see the handle-lifetime contract
+    above). *)
+
+val null : event
+(** A handle that is never pending.  Components store it as the rest
+    state of an [event] field so arming a timer does not allocate a
+    [Some] block; {!cancel} and {!is_pending} treat it as an
+    already-dead event. *)
 
 val create : ?seed:int64 -> unit -> t
 (** Fresh simulator at time 0. Default seed is 42. *)
@@ -23,25 +51,30 @@ val rng : t -> Rng.t
 (** The simulator's root random stream. *)
 
 val fork_rng : t -> Rng.t
-(** An independent random stream derived from the root (give one to each
-    component that samples). *)
+(** An independent random stream derived from the root (give one to
+    each component that samples). *)
 
 val at : t -> int -> (unit -> unit) -> event
 (** [at t time f] schedules [f] to run when the clock reaches [time].
-    [time] must not be in the past. *)
+    [time] must not be in the past.  Allocation-free when the free
+    list has a spare record. *)
 
 val after : t -> int -> (unit -> unit) -> event
 (** [after t d f] schedules [f] to run [d >= 0] nanoseconds from now. *)
 
 val cancel : event -> unit
-(** Cancel a scheduled event; cancelling a fired or already-cancelled
-    event is a no-op. *)
+(** Cancel a pending event; cancelling an already-cancelled event
+    again (before it is discarded) is a no-op.  Must not be called on
+    a handle whose event has fired — the record may already back a
+    different event. *)
 
 val is_pending : event -> bool
-(** True if the event has neither fired nor been cancelled. *)
+(** True if the event has neither fired nor been cancelled.  Only
+    meaningful under the handle-lifetime contract. *)
 
 val time_of : event -> int
-(** The time the event is (or was) scheduled for. *)
+(** The time the event is scheduled for.  Only meaningful while the
+    event is pending. *)
 
 val pending : t -> int
 (** Number of events still in the queue, {e including} cancelled ones
@@ -51,6 +84,11 @@ val pending : t -> int
 val live_events : t -> int
 (** Exact number of scheduled events that have neither fired nor been
     cancelled ([live_events t <= pending t] always). *)
+
+val events_fired : t -> int
+(** Total number of callbacks the loop has run since {!create} —
+    cancelled-and-discarded entries are not counted.  The numerator of
+    the engine's events-per-second figure ([bench --perf]). *)
 
 val step : t -> bool
 (** Run the next event, advancing the clock. Returns [false] when the

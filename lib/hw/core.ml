@@ -1,103 +1,121 @@
-type seg = {
-  duration : int;
-  on_done : unit -> unit;
-  mutable done_before : int; (* work finished before the current run/stall *)
-  mutable run_start : int; (* valid while progressing *)
-  mutable progressing : bool;
-  mutable resume_at : int; (* valid while stalled *)
-  mutable ev : Engine.Sim.event option; (* completion (progressing) or resume (stalled) *)
-}
+(* One work segment at a time, stored inline in the core record and
+   reused across segments (DESIGN §9): beginning, stalling, and
+   completing work allocate nothing.  The two sim callbacks the core
+   ever needs are preallocated in [create]; the pending-event field
+   rests at [Engine.Sim.null] so arming stores no [Some] block. *)
+
+let noop () = ()
 
 type t = {
   sim : Engine.Sim.t;
   cid : int;
-  mutable seg : seg option;
+  mutable active : bool;
+  mutable duration : int;
+  mutable on_done : unit -> unit;
+  mutable done_before : int; (* work finished before the current run/stall *)
+  mutable run_start : int; (* valid while progressing *)
+  mutable progressing : bool;
+  mutable resume_at : int; (* valid while stalled *)
+  mutable ev : Engine.Sim.event; (* completion (progressing) or resume (stalled) *)
+  mutable k_complete : unit -> unit; (* preallocated sim callbacks *)
+  mutable k_resume : unit -> unit;
   mutable busy_total : int;
   mutable stall_total : int;
 }
 
-let create sim ~id = { sim; cid = id; seg = None; busy_total = 0; stall_total = 0 }
+(* Handles are cleared to [null] as the first action of the callbacks
+   below, so [cancel_ev] never cancels a fired handle. *)
+let cancel_ev t =
+  Engine.Sim.cancel t.ev;
+  t.ev <- Engine.Sim.null
+
+let complete t =
+  t.ev <- Engine.Sim.null;
+  t.active <- false;
+  t.busy_total <- t.busy_total + t.duration;
+  let k = t.on_done in
+  (* Drop the closure before running it: [k] may begin the core's next
+     segment, and an idle core should not retain a callback. *)
+  t.on_done <- noop;
+  k ()
+
+let resume t =
+  t.ev <- Engine.Sim.null;
+  t.progressing <- true;
+  t.run_start <- Engine.Sim.now t.sim;
+  let left = t.duration - t.done_before in
+  t.ev <- Engine.Sim.after t.sim left t.k_complete
+
+let create sim ~id =
+  let t =
+    {
+      sim;
+      cid = id;
+      active = false;
+      duration = 0;
+      on_done = noop;
+      done_before = 0;
+      run_start = 0;
+      progressing = false;
+      resume_at = 0;
+      ev = Engine.Sim.null;
+      k_complete = noop;
+      k_resume = noop;
+      busy_total = 0;
+      stall_total = 0;
+    }
+  in
+  t.k_complete <- (fun () -> complete t);
+  t.k_resume <- (fun () -> resume t);
+  t
 
 let id t = t.cid
-let busy t = t.seg <> None
-
-let cancel_ev seg =
-  match seg.ev with
-  | Some ev ->
-    Engine.Sim.cancel ev;
-    seg.ev <- None
-  | None -> ()
-
-let complete t seg () =
-  seg.ev <- None;
-  t.seg <- None;
-  t.busy_total <- t.busy_total + seg.duration;
-  seg.on_done ()
+let busy t = t.active
 
 let begin_work t ~duration ~on_done =
   if duration < 0 then invalid_arg "Core.begin_work: negative duration";
-  if busy t then
+  if t.active then
     invalid_arg (Printf.sprintf "Core.begin_work: core %d is busy" t.cid);
-  let seg =
-    {
-      duration;
-      on_done;
-      done_before = 0;
-      run_start = Engine.Sim.now t.sim;
-      progressing = true;
-      resume_at = 0;
-      ev = None;
-    }
-  in
-  t.seg <- Some seg;
-  seg.ev <- Some (Engine.Sim.after t.sim duration (fun () -> complete t seg ()))
+  t.active <- true;
+  t.duration <- duration;
+  t.on_done <- on_done;
+  t.done_before <- 0;
+  t.run_start <- Engine.Sim.now t.sim;
+  t.progressing <- true;
+  t.ev <- Engine.Sim.after t.sim duration t.k_complete
 
 let consumed t =
-  match t.seg with
-  | None -> 0
-  | Some seg ->
-    if seg.progressing then seg.done_before + (Engine.Sim.now t.sim - seg.run_start)
-    else seg.done_before
+  if not t.active then 0
+  else if t.progressing then t.done_before + (Engine.Sim.now t.sim - t.run_start)
+  else t.done_before
 
-let remaining t =
-  match t.seg with None -> 0 | Some seg -> seg.duration - consumed t
-
-let resume t seg () =
-  seg.ev <- None;
-  seg.progressing <- true;
-  seg.run_start <- Engine.Sim.now t.sim;
-  let left = seg.duration - seg.done_before in
-  seg.ev <- Some (Engine.Sim.after t.sim left (fun () -> complete t seg ()))
+let remaining t = if t.active then t.duration - consumed t else 0
 
 let stall t d =
   if d < 0 then invalid_arg "Core.stall: negative duration";
-  match t.seg with
-  | None -> invalid_arg "Core.stall: core is idle"
-  | Some seg ->
-    t.stall_total <- t.stall_total + d;
-    let now = Engine.Sim.now t.sim in
-    if seg.progressing then begin
-      seg.done_before <- seg.done_before + (now - seg.run_start);
-      seg.progressing <- false;
-      cancel_ev seg;
-      seg.resume_at <- now + d;
-      seg.ev <- Some (Engine.Sim.at t.sim seg.resume_at (fun () -> resume t seg ()))
-    end
-    else begin
-      cancel_ev seg;
-      seg.resume_at <- seg.resume_at + d;
-      seg.ev <- Some (Engine.Sim.at t.sim seg.resume_at (fun () -> resume t seg ()))
-    end
+  if not t.active then invalid_arg "Core.stall: core is idle";
+  t.stall_total <- t.stall_total + d;
+  let now = Engine.Sim.now t.sim in
+  if t.progressing then begin
+    t.done_before <- t.done_before + (now - t.run_start);
+    t.progressing <- false;
+    cancel_ev t;
+    t.resume_at <- now + d
+  end
+  else begin
+    cancel_ev t;
+    t.resume_at <- t.resume_at + d
+  end;
+  t.ev <- Engine.Sim.at t.sim t.resume_at t.k_resume
 
 let abort t =
-  match t.seg with
-  | None -> invalid_arg "Core.abort: core is idle"
-  | Some seg ->
-    let work = consumed t in
-    cancel_ev seg;
-    t.seg <- None;
-    t.busy_total <- t.busy_total + work;
-    work
+  if not t.active then invalid_arg "Core.abort: core is idle";
+  let work = consumed t in
+  cancel_ev t;
+  t.active <- false;
+  t.on_done <- noop;
+  t.busy_total <- t.busy_total + work;
+  work
 
 let busy_ns t = t.busy_total + consumed t
 let stall_ns t = t.stall_total

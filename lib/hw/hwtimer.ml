@@ -1,8 +1,11 @@
+let noop () = ()
+
 type slot = {
   owner : t;
   uitt_index : int;
   mutable deadline_ns : int; (* max_int = disarmed *)
-  mutable ev : Engine.Sim.event option;
+  mutable ev : Engine.Sim.event; (* Sim.null when disarmed *)
+  mutable k_fire : unit -> unit; (* preallocated fire callback (DESIGN §9) *)
 }
 
 and t = {
@@ -24,22 +27,16 @@ let create sim uintr =
     lateness_stat = Stat.Summary.create ();
   }
 
-let register t ~receiver ~vector =
-  let uitt_index = Uintr.connect t.sender receiver ~vector in
-  t.n_slots <- t.n_slots + 1;
-  { owner = t; uitt_index; deadline_ns = max_int; ev = None }
-
 let disarm slot =
   slot.deadline_ns <- max_int;
-  match slot.ev with
-  | Some ev ->
-    Engine.Sim.cancel ev;
-    slot.ev <- None
-  | None -> ()
+  Engine.Sim.cancel slot.ev;
+  slot.ev <- Engine.Sim.null
 
-let fire slot () =
+(* Clears its own handle first, so [disarm]'s cancel never touches a
+   fired event. *)
+let fire slot =
   let t = slot.owner in
-  slot.ev <- None;
+  slot.ev <- Engine.Sim.null;
   if slot.deadline_ns <> max_int then begin
     t.n_fired <- t.n_fired + 1;
     Stat.Summary.record t.lateness_stat
@@ -48,12 +45,21 @@ let fire slot () =
     Uintr.senduipi t.sender slot.uitt_index
   end
 
+let register t ~receiver ~vector =
+  let uitt_index = Uintr.connect t.sender receiver ~vector in
+  t.n_slots <- t.n_slots + 1;
+  let slot =
+    { owner = t; uitt_index; deadline_ns = max_int; ev = Engine.Sim.null; k_fire = noop }
+  in
+  slot.k_fire <- (fun () -> fire slot);
+  slot
+
 let arm_at slot ~time_ns =
   disarm slot;
   let t = slot.owner in
   slot.deadline_ns <- time_ns;
   let at = max time_ns (Engine.Sim.now t.sim) in
-  slot.ev <- Some (Engine.Sim.at t.sim at (fire slot))
+  slot.ev <- Engine.Sim.at t.sim at slot.k_fire
 
 let arm_after slot ~ns =
   if ns < 0 then invalid_arg "Hwtimer.arm_after: negative delay";

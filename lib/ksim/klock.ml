@@ -1,3 +1,5 @@
+let noop () = ()
+
 type waiter = { hold_ns : int; k : unit -> unit; enq_at : int }
 
 type t = {
@@ -9,38 +11,27 @@ type t = {
   track : int;
   waiting : waiter Queue.t;
   mutable held : bool;
+  mutable cur_k : unit -> unit; (* current holder's continuation *)
+  mutable k_release : unit -> unit; (* preallocated release callback *)
   mutable n_acquisitions : int;
   mutable n_contended : int;
   mutable n_fault_stalls : int;
   mutable wait_ns : int;
 }
 
-let create ?(contended_wake_ns = 0) ?faults ?(fault_stall_ns = 50_000) ?trace ?(track = 0)
-    sim =
-  {
-    sim;
-    contended_wake_ns;
-    fault_stall = Option.map (fun f -> Fault.point f "klock.holder_stall") faults;
-    fault_stall_ns;
-    trace;
-    track;
-    waiting = Queue.create ();
-    held = false;
-    n_acquisitions = 0;
-    n_contended = 0;
-    n_fault_stalls = 0;
-    wait_ns = 0;
-  }
-
 let tr_i t ~name ~arg =
   match t.trace with
   | Some trace -> Obs.Trace.instant trace Obs.Trace.Klock ~name ~track:t.track ~arg
   | None -> ()
 
-let rec grant t w =
+(* Grant the lock for [hold_ns] to continuation [k] that enqueued at
+   [enq_at].  The uncontended path builds no waiter record and the
+   release event reuses the preallocated [k_release] closure, so an
+   uncontended acquire/release cycle allocates nothing (DESIGN §9). *)
+let rec grant t ~hold_ns ~enq_at k =
   t.held <- true;
   t.n_acquisitions <- t.n_acquisitions + 1;
-  let waited = Engine.Sim.now t.sim - w.enq_at in
+  let waited = Engine.Sim.now t.sim - enq_at in
   if waited > 0 then begin
     t.n_contended <- t.n_contended + 1;
     tr_i t ~name:"klock.wait" ~arg:waited
@@ -49,7 +40,7 @@ let rec grant t w =
   (match t.trace with
   | Some trace ->
     Obs.Trace.span_begin trace Obs.Trace.Klock ~name:"klock.hold" ~track:t.track
-      ~arg:w.hold_ns
+      ~arg:hold_ns
   | None -> ());
   (* Fault: the holder is preempted/stalled while holding the lock,
      serializing every queued waiter behind the stall. *)
@@ -60,26 +51,55 @@ let rec grant t w =
       t.fault_stall_ns
     | Some _ | None -> 0
   in
-  let hold = w.hold_ns + stall + (if waited > 0 then t.contended_wake_ns else 0) in
-  ignore
-    (Engine.Sim.after t.sim hold (fun () ->
-         t.held <- false;
-         (match t.trace with
-         | Some trace ->
-           Obs.Trace.span_end trace Obs.Trace.Klock ~name:"klock.hold" ~track:t.track
-         | None -> ());
-         w.k ();
-         if (not t.held) && not (Queue.is_empty t.waiting) then
-           grant t (Queue.pop t.waiting)))
+  let hold = hold_ns + stall + (if waited > 0 then t.contended_wake_ns else 0) in
+  t.cur_k <- k;
+  ignore (Engine.Sim.after t.sim hold t.k_release)
+
+and release t =
+  t.held <- false;
+  (match t.trace with
+  | Some trace ->
+    Obs.Trace.span_end trace Obs.Trace.Klock ~name:"klock.hold" ~track:t.track
+  | None -> ());
+  let k = t.cur_k in
+  (* Drop the continuation before running it: [k] may re-acquire. *)
+  t.cur_k <- noop;
+  k ();
+  if (not t.held) && not (Queue.is_empty t.waiting) then begin
+    let w = Queue.pop t.waiting in
+    grant t ~hold_ns:w.hold_ns ~enq_at:w.enq_at w.k
+  end
+
+let create ?(contended_wake_ns = 0) ?faults ?(fault_stall_ns = 50_000) ?trace ?(track = 0)
+    sim =
+  let t =
+    {
+      sim;
+      contended_wake_ns;
+      fault_stall = Option.map (fun f -> Fault.point f "klock.holder_stall") faults;
+      fault_stall_ns;
+      trace;
+      track;
+      waiting = Queue.create ();
+      held = false;
+      cur_k = noop;
+      k_release = noop;
+      n_acquisitions = 0;
+      n_contended = 0;
+      n_fault_stalls = 0;
+      wait_ns = 0;
+    }
+  in
+  t.k_release <- (fun () -> release t);
+  t
 
 let acquire t ~hold_ns k =
   if hold_ns < 0 then invalid_arg "Klock.acquire: negative hold";
-  let w = { hold_ns; k; enq_at = Engine.Sim.now t.sim } in
   if t.held then begin
-    Queue.push w t.waiting;
+    Queue.push { hold_ns; k; enq_at = Engine.Sim.now t.sim } t.waiting;
     tr_i t ~name:"klock.enqueue" ~arg:(Queue.length t.waiting)
   end
-  else grant t w
+  else grant t ~hold_ns ~enq_at:(Engine.Sim.now t.sim) k
 
 let busy t = t.held
 let fault_stalls t = t.n_fault_stalls

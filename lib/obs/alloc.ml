@@ -1,0 +1,13 @@
+type t = { mutable w0 : float }
+
+let words_now () = Gc.minor_words ()
+
+let start () = { w0 = words_now () }
+let reset t = t.w0 <- words_now ()
+let words t = words_now () -. t.w0
+let per t ~denom = if denom = 0.0 then 0.0 else (words_now () -. t.w0) /. denom
+
+let measure f =
+  let t = start () in
+  let x = f () in
+  (x, words t)

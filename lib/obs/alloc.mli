@@ -1,0 +1,31 @@
+(** Minor-allocation counters.
+
+    Thin wrapper over [Gc.minor_words] used to hold the engine to its
+    allocation budget (DESIGN §9).  Minor-word counts depend only on
+    the compiled program and its inputs — not on the host's speed — so
+    a count normalised by simulated time is as deterministic as the
+    simulation itself and can be regression-gated in CI next to the
+    determinism job ([bench --perf]).
+
+    The counter reads the allocation clock at {!start} (or {!reset})
+    and reports the delta; it allocates nothing itself after
+    creation. *)
+
+type t
+
+val start : unit -> t
+(** A counter whose epoch is now. *)
+
+val reset : t -> unit
+(** Move the epoch to now. *)
+
+val words : t -> float
+(** Minor words allocated since the epoch. *)
+
+val per : t -> denom:float -> float
+(** [per t ~denom] is [words t /. denom] ([0.] when [denom] is [0.]) —
+    e.g. words per simulated second, or per event fired. *)
+
+val measure : (unit -> 'a) -> 'a * float
+(** [measure f] runs [f] and returns its result together with the
+    minor words it allocated. *)

@@ -1,0 +1,47 @@
+(** Minimal JSON: enough to write and read back the machine-readable
+    bench reports ([bench --report] / [lpbench_check]) without an
+    external dependency.  Objects preserve member order on both the
+    print and parse paths, so a report re-emitted from the same data is
+    byte-identical — the property the CI figure-diff gates rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members keep their insertion order *)
+
+(** {1 Printing} *)
+
+val to_string : ?indent:int -> t -> string
+(** Render with [indent] spaces per level (default 2) and a trailing
+    newline.  Numbers print in the shortest locale-independent form
+    that round-trips; non-finite floats, which have no JSON spelling,
+    render as [null]. *)
+
+val to_file : ?indent:int -> t -> path:string -> unit
+(** [to_file t ~path] writes [to_string t] to [path]. *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error.  Unicode
+    escapes outside ASCII degrade to ['?'] — reports only ever contain
+    ASCII. *)
+
+val of_file : string -> (t, string) result
+(** Read and {!parse} a whole file. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key j] is the value bound to [key] when [j] is an [Obj]. *)
+
+val to_num : t -> float option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option
+
+val to_obj : t -> (string * t) list option

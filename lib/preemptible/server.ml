@@ -89,6 +89,7 @@ type result = {
   worker_busy_frac : float;
   long_queue_hwm : int;
   dispatch_queue_hwm : int;
+  sim_events : int;
   resilience : resilience option;
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.snapshot;
@@ -105,6 +106,14 @@ type worker = {
   mutable current : Fn.t option;
   mutable cur_deadline : int;
   mutable transition : bool; (* paying a switch overhead; do not schedule *)
+  (* Preallocated dispatch-path callbacks (DESIGN §9): each reads the
+     worker's [current] function when it fires, so launching, resuming,
+     completing, and transitioning allocate no closures.  Set right
+     after [st] is built (they capture it). *)
+  mutable k_transition : unit -> unit;
+  mutable k_complete : unit -> unit;
+  mutable k_launch : unit -> unit;
+  mutable k_resume : unit -> unit;
 }
 
 type mech_ops = {
@@ -128,6 +137,7 @@ type st = {
   dispatch_q : Workload.Request.t Rqueue.t;
   dispatcher : Hw.Core.t;
   pool : Context.t;
+  req_pool : Workload.Request.Pool.t;
   window : Stats_window.t;
   sum_all : Stat.Summary.t;
   sum_lc : Stat.Summary.t;
@@ -146,7 +156,8 @@ type st = {
   mutable preemptions : int;
   mutable spurious : int;
   mutable next_id : int;
-  mutable window_ev : Engine.Sim.event option;
+  mutable window_ev : Engine.Sim.event; (* Sim.null between windows *)
+  mutable k_dispatch : unit -> unit; (* preallocated dispatcher on_done *)
   wedge_point : Fault.point option;
   mutable wedged : int;
   mutable ut : Utimer.t option;
@@ -201,8 +212,7 @@ let rec start_segment st w fn quantum_ns =
   w.cur_deadline <- Fn.deadline_ns fn;
   quantum_span_begin st w ~quantum_ns;
   if quantum_ns <> max_int then st.mech.mech_arm w.wid ~quantum_ns;
-  Hw.Core.begin_work w.core ~duration:(Fn.remaining_ns fn) ~on_done:(fun () ->
-      complete_current st w fn)
+  Hw.Core.begin_work w.core ~duration:(Fn.remaining_ns fn) ~on_done:w.k_complete
 
 and complete_current st w fn =
   let t = now st in
@@ -227,6 +237,9 @@ and complete_current st w fn =
     Obs.Metrics.observe st.m_lat (float_of_int latency);
     st.probes.on_complete ~now:t ~latency_ns:latency ~cls:req.Workload.Request.cls
   end;
+  (* Retirement point: the record may back a later arrival from here
+     on (no-op for caller-owned requests, e.g. injected traces). *)
+  Workload.Request.Pool.release st.req_pool req;
   w.current <- None;
   w.cur_deadline <- max_int;
   after_transition st w (st.cfg.complete_cost_ns + st.mech.disarm_cost_ns);
@@ -237,10 +250,7 @@ and complete_current st w fn =
 
 and after_transition st w cost =
   w.transition <- true;
-  ignore
-    (Engine.Sim.after st.sim cost (fun () ->
-         w.transition <- false;
-         schedule_next st w))
+  ignore (Engine.Sim.after st.sim cost w.k_transition)
 
 and wake_idle st =
   Array.iter
@@ -300,15 +310,21 @@ and launch_new st w ~from =
     (* Stealing pays an extra cross-core cacheline transfer. *)
     let steal_cost = if from.wid = w.wid then 0 else st.cfg.hw.Hw.Params.cacheline_ns in
     let cost = st.cfg.launch_cost_ns + st.mech.arm_cost_ns + steal_cost in
-    ignore
-      (Engine.Sim.after st.sim cost (fun () ->
-           let t = now st in
-           let quantum_ns =
-             st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
-           in
-           Fn.launch fn ~now:t ~quantum_ns;
-           tr_req st req ~name:"req.run" ~arg:w.wid;
-           start_segment st w fn quantum_ns))
+    ignore (Engine.Sim.after st.sim cost w.k_launch)
+
+and run_current st w ~resuming =
+  match w.current with
+  | None -> assert false (* [current] is pinned until the segment ends *)
+  | Some fn ->
+    let t = now st in
+    let req = Fn.request fn in
+    let quantum_ns =
+      st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
+    in
+    if resuming then Fn.resume fn ~now:t ~quantum_ns
+    else Fn.launch fn ~now:t ~quantum_ns;
+    tr_req st req ~name:"req.run" ~arg:w.wid;
+    start_segment st w fn quantum_ns
 
 and resume_preempted st w =
   match Rqueue.pop st.long_q ~now:(now st) with
@@ -316,24 +332,14 @@ and resume_preempted st w =
   | Some fn ->
     w.current <- Some fn;
     let cost = st.cfg.costs.Ksim.Costs.fcontext_swap_ns + st.mech.arm_cost_ns in
-    ignore
-      (Engine.Sim.after st.sim cost (fun () ->
-           let t = now st in
-           let req = Fn.request fn in
-           let quantum_ns =
-             st.cfg.policy.Policy.quantum_ns ~now:t ~cls:req.Workload.Request.cls
-           in
-           Fn.resume fn ~now:t ~quantum_ns;
-           tr_req st req ~name:"req.run" ~arg:w.wid;
-           start_segment st w fn quantum_ns))
+    ignore (Engine.Sim.after st.sim cost w.k_resume)
 
 and check_drain st =
   if st.arrivals_done && st.outstanding = 0 && not st.drained then begin
     st.drained <- true;
     st.mech.mech_shutdown ();
-    match st.window_ev with
-    | Some ev -> Engine.Sim.cancel ev
-    | None -> ()
+    Engine.Sim.cancel st.window_ev;
+    st.window_ev <- Engine.Sim.null
   end
 
 (* Fault "server.wedge": the interrupt caught the worker inside a
@@ -380,6 +386,7 @@ let on_interrupt st i =
       st.outstanding <- st.outstanding - 1;
       let req = Fn.request fn in
       if measured st req then st.cancelled_measured <- st.cancelled_measured + 1;
+      Workload.Request.Pool.release st.req_pool req;
       check_drain st
     end
     else Rqueue.push st.long_q ~now:t fn;
@@ -609,13 +616,17 @@ let assign st req =
   Rqueue.push !best.local ~now:(now st) req;
   schedule_next st !best
 
-let rec pump_dispatcher st =
+let pump_dispatcher st =
   if (not (Hw.Core.busy st.dispatcher)) && not (Rqueue.is_empty st.dispatch_q) then
-    Hw.Core.begin_work st.dispatcher ~duration:st.cfg.dispatch_cost_ns ~on_done:(fun () ->
-        (match Rqueue.pop st.dispatch_q ~now:(now st) with
-        | Some req -> assign st req
-        | None -> ());
-        pump_dispatcher st)
+    Hw.Core.begin_work st.dispatcher ~duration:st.cfg.dispatch_cost_ns
+      ~on_done:st.k_dispatch
+
+(* Body of [st.k_dispatch], preallocated once per run. *)
+let dispatch_done st =
+  (match Rqueue.pop st.dispatch_q ~now:(now st) with
+  | Some req -> assign st req
+  | None -> ());
+  pump_dispatcher st
 
 (* Admit one request into the dispatch pipeline. *)
 let admit st (req : Workload.Request.t) =
@@ -627,29 +638,32 @@ let admit st (req : Workload.Request.t) =
   Rqueue.push st.dispatch_q ~now:(now st) req;
   pump_dispatcher st
 
+(* One arrival event is outstanding at a time, so a single [fire]
+   closure (allocated once here) serves the whole run: it reads the
+   arrival instant off the sim clock when it runs. *)
 let arrivals st ~arrival ~source =
-  let rec next_arrival () =
+  let rec fire () =
+    let at = now st in
+    let service_ns, cls = Workload.Source.draw source st.service_rng ~now:at in
+    let req =
+      Workload.Request.Pool.acquire st.req_pool ~id:st.next_id ~arrival_ns:at
+        ~service_ns ~cls
+    in
+    st.next_id <- st.next_id + 1;
+    admit st req;
+    schedule ()
+  and schedule () =
     let t = now st in
     let gap = Workload.Arrival.next_gap arrival st.arrival_rng ~now:t in
     let at = t + gap in
-    if at >= st.duration_ns then begin
+    if at >= st.duration_ns then
       ignore
         (Engine.Sim.at st.sim st.duration_ns (fun () ->
              st.arrivals_done <- true;
              check_drain st))
-    end
-    else
-      ignore
-        (Engine.Sim.at st.sim at (fun () ->
-             let service_ns, cls = Workload.Source.draw source st.service_rng ~now:at in
-             let req =
-               Workload.Request.make ~id:st.next_id ~arrival_ns:at ~service_ns ~cls
-             in
-             st.next_id <- st.next_id + 1;
-             admit st req;
-             next_arrival ()))
+    else ignore (Engine.Sim.at st.sim at fire)
   in
-  next_arrival ()
+  schedule ()
 
 (* Inject a pre-materialized trace instead of sampling arrivals. *)
 let inject_trace st requests =
@@ -664,37 +678,35 @@ let inject_trace st requests =
          st.arrivals_done <- true;
          check_drain st))
 
+(* The window callback is allocated once; it clears [window_ev] first
+   (handle-lifetime contract) and re-arms itself each window. *)
 let window_loop st =
-  let rec tick () =
-    st.window_ev <-
-      Some
-        (Engine.Sim.after st.sim st.cfg.stats_window_ns (fun () ->
-             if not st.drained then begin
-               let t = now st in
-               Stats_window.note_qlen st.window (total_qlen st);
-               let snapshot = Stats_window.roll st.window ~now:t in
-               st.cfg.policy.Policy.on_window snapshot;
-               let quantum_ns =
-                 st.cfg.policy.Policy.quantum_ns ~now:t
-                   ~cls:Workload.Request.Latency_critical
-               in
-               (match st.trace with
-               | Some trace ->
-                 Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.dispatch"
-                   ~value:(Rqueue.length st.dispatch_q);
-                 Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.long"
-                   ~value:(Rqueue.length st.long_q);
-                 Obs.Trace.counter trace Obs.Trace.Server ~name:"quantum"
-                   ~value:quantum_ns;
-                 Obs.Trace.counter trace Obs.Trace.Server ~name:"sim.live"
-                   ~value:(Engine.Sim.live_events st.sim);
-                 Obs.Trace.counter trace Obs.Trace.Server ~name:"sim.pending"
-                   ~value:(Engine.Sim.pending st.sim)
-               | None -> ());
-               st.probes.on_window snapshot ~quantum_ns;
-               tick ()
-             end))
-  in
+  let rec body () =
+    st.window_ev <- Engine.Sim.null;
+    if not st.drained then begin
+      let t = now st in
+      Stats_window.note_qlen st.window (total_qlen st);
+      let snapshot = Stats_window.roll st.window ~now:t in
+      st.cfg.policy.Policy.on_window snapshot;
+      let quantum_ns =
+        st.cfg.policy.Policy.quantum_ns ~now:t ~cls:Workload.Request.Latency_critical
+      in
+      (match st.trace with
+      | Some trace ->
+        Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.dispatch"
+          ~value:(Rqueue.length st.dispatch_q);
+        Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.long"
+          ~value:(Rqueue.length st.long_q);
+        Obs.Trace.counter trace Obs.Trace.Server ~name:"quantum" ~value:quantum_ns;
+        Obs.Trace.counter trace Obs.Trace.Server ~name:"sim.live"
+          ~value:(Engine.Sim.live_events st.sim);
+        Obs.Trace.counter trace Obs.Trace.Server ~name:"sim.pending"
+          ~value:(Engine.Sim.pending st.sim)
+      | None -> ());
+      st.probes.on_window snapshot ~quantum_ns;
+      tick ()
+    end
+  and tick () = st.window_ev <- Engine.Sim.after st.sim st.cfg.stats_window_ns body in
   tick ()
 
 (* ------------------------------------------------------------------ *)
@@ -738,11 +750,16 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
               current = None;
               cur_deadline = max_int;
               transition = false;
+              k_transition = ignore;
+              k_complete = ignore;
+              k_launch = ignore;
+              k_resume = ignore;
             });
       long_q = Rqueue.create ~name:"long";
       dispatch_q = Rqueue.create ~name:"dispatch";
       dispatcher = Hw.Core.create sim ~id:(-1);
       pool = Context.create_pool ~capacity:cfg.ctx_pool_capacity ~stack_kb:cfg.stack_kb;
+      req_pool = Workload.Request.Pool.create ();
       window = Stats_window.create ~window_ns:cfg.stats_window_ns;
       sum_all = Stat.Summary.create ();
       sum_lc = Stat.Summary.create ();
@@ -771,7 +788,8 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       preemptions = 0;
       spurious = 0;
       next_id = 0;
-      window_ev = None;
+      window_ev = Engine.Sim.null;
+      k_dispatch = ignore;
       wedge_point = Option.map (fun f -> Fault.point f "server.wedge") cfg.faults;
       wedged = 0;
       ut = None;
@@ -781,6 +799,21 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       m_lat = Obs.Metrics.histogram metrics "latency.all_ns";
     }
   in
+  st.k_dispatch <- (fun () -> dispatch_done st);
+  Array.iter
+    (fun w ->
+      w.k_transition <-
+        (fun () ->
+          w.transition <- false;
+          schedule_next st w);
+      w.k_complete <-
+        (fun () ->
+          match w.current with
+          | Some fn -> complete_current st w fn
+          | None -> assert false);
+      w.k_launch <- (fun () -> run_current st w ~resuming:false);
+      w.k_resume <- (fun () -> run_current st w ~resuming:true))
+    st.workers;
   st.mech <- make_mech st;
   feed st;
   window_loop st;
@@ -826,6 +859,7 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
        else float_of_int busy /. (float_of_int cfg.n_workers *. float_of_int final));
     long_queue_hwm = Rqueue.max_length st.long_q;
     dispatch_queue_hwm = Rqueue.max_length st.dispatch_q;
+    sim_events = Engine.Sim.events_fired sim;
     resilience =
       (match cfg.faults with
       | None -> None

@@ -133,6 +133,10 @@ type result = {
   worker_busy_frac : float;
   long_queue_hwm : int;
   dispatch_queue_hwm : int;
+  sim_events : int;
+      (** engine callbacks fired over the whole run (including warmup
+          and drain) — deterministic for a given seed and config, and
+          the numerator of [bench --perf]'s events-per-second figure *)
   resilience : resilience option;
       (** [Some] exactly when the run was configured with a fault plan *)
   trace : Obs.Trace.t option;

@@ -76,6 +76,7 @@ type slot = {
   mutable retries : int;
   mutable next_retry_at : int;
   mutable slot_degraded : bool; (* retry budget exhausted *)
+  mutable k_fire : unit -> unit; (* preallocated fire callback (DESIGN §9) *)
 }
 
 and t = {
@@ -97,8 +98,12 @@ and t = {
   mutable failing_over : bool;
   mutable last_scan_ns : int;
   mutable spares_left : int;
-  mutable loop_ev : Engine.Sim.event option;
-  mutable wd_ev : Engine.Sim.event option;
+  mutable loop_ev : Engine.Sim.event; (* Sim.null when no poll is pending *)
+  mutable wd_ev : Engine.Sim.event;
+  mutable k_loop : unit -> unit; (* preallocated poll/watchdog callbacks *)
+  mutable k_wd : unit -> unit;
+  mutable scan_cost : int; (* scratch for the current scan iteration *)
+  mutable scan_expired : int;
   mutable on_degraded : (unit -> unit) option;
   mutable n_fired : int;
   mutable n_detected : int;
@@ -110,55 +115,7 @@ and t = {
   detect_stat : Stat.Summary.t;
 }
 
-let create ?faults ?watchdog ?trace ?(fault_stall_ns = 50_000) sim ~uintr
-    ?(config = default_config) () =
-  if config.poll_ns <= 0 then invalid_arg "Utimer.create: poll_ns must be positive";
-  let faults =
-    match faults with
-    | None -> None
-    | Some f ->
-      Some
-        {
-          f_stall = Fault.point f "utimer.stall";
-          f_crash = Fault.point f "utimer.crash";
-          f_slot_lost = Fault.point f "utimer.slot_lost";
-          plan = f;
-        }
-  in
-  {
-    sim;
-    uintr;
-    sender = Hw.Uintr.create_sender uintr ~name:"utimer" ();
-    config;
-    watchdog;
-    faults;
-    trace;
-    fault_stall_ns;
-    rng = Engine.Sim.fork_rng sim;
-    slots = [];
-    n_slots = 0;
-    wheel =
-      (match config.scan with
-      | Linear -> None
-      | Wheel -> Some (Timing_wheel.create ~tick:config.wheel_tick_ns ()));
-    is_running = false;
-    crashed = false;
-    core_dead = false;
-    failing_over = false;
-    last_scan_ns = 0;
-    spares_left = (match watchdog with Some w -> w.wd_spare_cores | None -> 0);
-    loop_ev = None;
-    wd_ev = None;
-    on_degraded = None;
-    n_fired = 0;
-    n_detected = 0;
-    n_recovered = 0;
-    n_retries = 0;
-    n_failovers = 0;
-    n_degraded_slots = 0;
-    lateness_stat = Stat.Summary.create ();
-    detect_stat = Stat.Summary.create ();
-  }
+let noop () = ()
 
 let set_on_degraded t f = t.on_degraded <- Some f
 
@@ -171,28 +128,6 @@ let tr t ~name ~track ~arg =
   match t.trace with
   | Some trace -> Obs.Trace.instant trace Obs.Trace.Utimer ~name ~track ~arg
   | None -> ()
-
-let register t ~receiver ~vector =
-  let uitt_index = Hw.Uintr.connect t.sender receiver ~vector in
-  let slot =
-    {
-      owner = t;
-      uitt_index;
-      receiver;
-      deadline_ns = max_int;
-      intent_ns = max_int;
-      armed_at_ns = 0;
-      wheel_handle = None;
-      fire_issued_at = max_int;
-      deliveries_snap = 0;
-      retries = 0;
-      next_retry_at = 0;
-      slot_degraded = false;
-    }
-  in
-  t.slots <- slot :: t.slots;
-  t.n_slots <- t.n_slots + 1;
-  slot
 
 let cancel_wheel_entry slot =
   match (slot.owner.wheel, slot.wheel_handle) with
@@ -300,6 +235,46 @@ let fire t now slot =
   if t.is_running && (not t.crashed) && slot.deadline_ns <> max_int then
     issue t now slot ~count_fired:true
 
+let register t ~receiver ~vector =
+  let uitt_index = Hw.Uintr.connect t.sender receiver ~vector in
+  let slot =
+    {
+      owner = t;
+      uitt_index;
+      receiver;
+      deadline_ns = max_int;
+      intent_ns = max_int;
+      armed_at_ns = 0;
+      wheel_handle = None;
+      fire_issued_at = max_int;
+      deliveries_snap = 0;
+      retries = 0;
+      next_retry_at = 0;
+      slot_degraded = false;
+      k_fire = noop;
+    }
+  in
+  (* A slot has at most one SENDUIPI in flight (the scan clears its
+     deadline word before the issue event runs), so one preallocated
+     callback per slot covers every fire. *)
+  slot.k_fire <- (fun () -> fire t (Engine.Sim.now t.sim) slot);
+  t.slots <- slot :: t.slots;
+  t.n_slots <- t.n_slots + 1;
+  slot
+
+(* Fire every expired slot in list order, charging each SENDUIPI to the
+   running scan cost.  Top-level recursion: the scan allocates no
+   closures or ref cells (DESIGN §9). *)
+let rec fire_expired t ~now = function
+  | [] -> ()
+  | slot :: rest ->
+    if slot.deadline_ns <= now then begin
+      t.scan_expired <- t.scan_expired + 1;
+      t.scan_cost <- t.scan_cost + Hw.Uintr.send_cost_ns t.uintr;
+      ignore (Engine.Sim.at t.sim (now + t.scan_cost) slot.k_fire)
+    end;
+    fire_expired t ~now rest
+
 (* One scan iteration.  Returns its modeled CPU cost; expired slots are
    fired sequentially, each after the work needed to reach it. *)
 let iteration t =
@@ -318,34 +293,23 @@ let iteration t =
     | Some f when Fault.fires f.f_stall ~now -> t.fault_stall_ns
     | Some _ | None -> 0
   in
-  let cost = ref (t.config.loop_overhead_ns + stall + fault_stall) in
-  let n_expired = ref 0 in
-  let fire_one slot =
-    incr n_expired;
-    cost := !cost + Hw.Uintr.send_cost_ns t.uintr;
-    let at = now + !cost in
-    ignore (Engine.Sim.at t.sim at (fun () -> fire t at slot))
-  in
+  t.scan_cost <- t.config.loop_overhead_ns + stall + fault_stall;
+  t.scan_expired <- 0;
   (match t.wheel with
   | None ->
     (* Linear scan: inspect every slot. *)
-    cost := !cost + (t.n_slots * t.config.per_slot_scan_ns);
-    List.iter
-      (fun slot -> if slot.deadline_ns <= now then fire_one slot)
-      t.slots
+    t.scan_cost <- t.scan_cost + (t.n_slots * t.config.per_slot_scan_ns);
+    fire_expired t ~now t.slots
   | Some wheel ->
     (* Wheel scan: constant bookkeeping + expired entries only. *)
-    cost := !cost + t.config.per_slot_scan_ns;
-    let expired = Timing_wheel.advance wheel ~upto:now in
-    List.iter
-      (fun slot -> if slot.deadline_ns <= now then fire_one slot)
-      expired);
+    t.scan_cost <- t.scan_cost + t.config.per_slot_scan_ns;
+    fire_expired t ~now (Timing_wheel.advance wheel ~upto:now));
   (* Only scans that issued fires are traced: an idle poll loop would
      otherwise flood the ring with one event per poll_ns. *)
-  if !n_expired > 0 then tr t ~name:"utimer.scan" ~track:core_track ~arg:!cost;
-  !cost
+  if t.scan_expired > 0 then tr t ~name:"utimer.scan" ~track:core_track ~arg:t.scan_cost;
+  t.scan_cost
 
-let rec loop t () =
+let loop t =
   if t.is_running && (not t.crashed) && not t.core_dead then begin
     let crash =
       match t.faults with
@@ -357,7 +321,7 @@ let rec loop t () =
       let cost = iteration t in
       t.last_scan_ns <- Engine.Sim.now t.sim;
       let next = max t.config.poll_ns cost in
-      t.loop_ev <- Some (Engine.Sim.after t.sim next (loop t))
+      t.loop_ev <- Engine.Sim.after t.sim next t.k_loop
     end
   end
 
@@ -395,11 +359,8 @@ let mark_detected t latency =
 let declare_degraded t =
   tr t ~name:"wd.degraded" ~track:core_track ~arg:0;
   t.core_dead <- true;
-  (match t.loop_ev with
-  | Some ev ->
-    Engine.Sim.cancel ev;
-    t.loop_ev <- None
-  | None -> ());
+  Engine.Sim.cancel t.loop_ev;
+  t.loop_ev <- Engine.Sim.null;
   match t.on_degraded with Some f -> f () | None -> ()
 
 let wd_check_core t wd now =
@@ -417,11 +378,8 @@ let wd_check_core t wd now =
       t.n_failovers <- t.n_failovers + 1;
       t.failing_over <- true;
       tr t ~name:"wd.failover" ~track:core_track ~arg:t.spares_left;
-      (match t.loop_ev with
-      | Some ev ->
-        Engine.Sim.cancel ev;
-        t.loop_ev <- None
-      | None -> ());
+      Engine.Sim.cancel t.loop_ev;
+      t.loop_ev <- Engine.Sim.null;
       ignore
         (Engine.Sim.after t.sim wd.wd_failover_ns (fun () ->
              if t.is_running then begin
@@ -436,7 +394,7 @@ let wd_check_core t wd now =
                (match t.faults with
                | Some f -> Fault.mark_recovered f.plan ~hint:"utimer.crash" ()
                | None -> ());
-               loop t ()
+               loop t
              end))
     end
     else declare_degraded t
@@ -503,18 +461,96 @@ let wd_check_slot t wd now slot =
     end
   end
 
-let rec wd_loop t wd () =
+(* Top-level recursion over the slot list: the watchdog poll allocates
+   no [List.iter] closure. *)
+let rec wd_check_slots t wd now = function
+  | [] -> ()
+  | slot :: rest ->
+    wd_check_slot t wd now slot;
+    wd_check_slots t wd now rest
+
+let wd_loop t wd =
   if t.is_running && not t.core_dead then begin
     let now = Engine.Sim.now t.sim in
     wd_check_core t wd now;
-    if not t.core_dead then List.iter (wd_check_slot t wd now) t.slots;
+    if not t.core_dead then wd_check_slots t wd now t.slots;
     if not t.core_dead then
-      t.wd_ev <- Some (Engine.Sim.after t.sim wd.wd_poll_ns (wd_loop t wd))
+      t.wd_ev <- Engine.Sim.after t.sim wd.wd_poll_ns t.k_wd
   end
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
+
+let create ?faults ?watchdog ?trace ?(fault_stall_ns = 50_000) sim ~uintr
+    ?(config = default_config) () =
+  if config.poll_ns <= 0 then invalid_arg "Utimer.create: poll_ns must be positive";
+  let faults =
+    match faults with
+    | None -> None
+    | Some f ->
+      Some
+        {
+          f_stall = Fault.point f "utimer.stall";
+          f_crash = Fault.point f "utimer.crash";
+          f_slot_lost = Fault.point f "utimer.slot_lost";
+          plan = f;
+        }
+  in
+  let t =
+    {
+      sim;
+      uintr;
+      sender = Hw.Uintr.create_sender uintr ~name:"utimer" ();
+      config;
+      watchdog;
+      faults;
+      trace;
+      fault_stall_ns;
+      rng = Engine.Sim.fork_rng sim;
+      slots = [];
+      n_slots = 0;
+      wheel =
+        (match config.scan with
+        | Linear -> None
+        | Wheel -> Some (Timing_wheel.create ~tick:config.wheel_tick_ns ()));
+      is_running = false;
+      crashed = false;
+      core_dead = false;
+      failing_over = false;
+      last_scan_ns = 0;
+      spares_left = (match watchdog with Some w -> w.wd_spare_cores | None -> 0);
+      loop_ev = Engine.Sim.null;
+      wd_ev = Engine.Sim.null;
+      k_loop = noop;
+      k_wd = noop;
+      scan_cost = 0;
+      scan_expired = 0;
+      on_degraded = None;
+      n_fired = 0;
+      n_detected = 0;
+      n_recovered = 0;
+      n_retries = 0;
+      n_failovers = 0;
+      n_degraded_slots = 0;
+      lateness_stat = Stat.Summary.create ();
+      detect_stat = Stat.Summary.create ();
+    }
+  in
+  (* Handle fields rest at [Sim.null]; each callback clears its own
+     handle first, so the cancel sites never touch a fired event. *)
+  t.k_loop <-
+    (fun () ->
+      t.loop_ev <- Engine.Sim.null;
+      loop t);
+  (match watchdog with
+  | Some wd ->
+    t.k_wd <-
+      (fun () ->
+        t.wd_ev <- Engine.Sim.null;
+        wd_loop t wd)
+  | None -> ());
+  t
 
 let start t =
   if not t.is_running then begin
@@ -527,22 +563,16 @@ let start t =
        once; deadlines that lapsed while stopped fire on the first scan
        with zero-clamped lateness and are not double-counted. *)
     resync_slots t;
-    loop t ();
-    match t.watchdog with Some wd -> wd_loop t wd () | None -> ()
+    loop t;
+    match t.watchdog with Some wd -> wd_loop t wd | None -> ()
   end
 
 let stop t =
   t.is_running <- false;
-  (match t.loop_ev with
-  | Some ev ->
-    Engine.Sim.cancel ev;
-    t.loop_ev <- None
-  | None -> ());
-  match t.wd_ev with
-  | Some ev ->
-    Engine.Sim.cancel ev;
-    t.wd_ev <- None
-  | None -> ()
+  Engine.Sim.cancel t.loop_ev;
+  t.loop_ev <- Engine.Sim.null;
+  Engine.Sim.cancel t.wd_ev;
+  t.wd_ev <- Engine.Sim.null
 
 let running t = t.is_running
 let fired t = t.n_fired

@@ -2,13 +2,67 @@ type cls = Latency_critical | Best_effort
 
 let cls_name = function Latency_critical -> "LC" | Best_effort -> "BE"
 
-type t = { id : int; arrival_ns : int; service_ns : int; cls : cls }
+type t = {
+  mutable id : int;
+  mutable arrival_ns : int;
+  mutable service_ns : int;
+  mutable cls : cls;
+  mutable pooled : bool;
+}
+
+let check ~arrival_ns ~service_ns =
+  if arrival_ns < 0 then invalid_arg "Request.make: negative arrival";
+  if service_ns <= 0 then invalid_arg "Request.make: non-positive service"
 
 let make ~id ~arrival_ns ~service_ns ~cls =
-  if arrival_ns < 0 then invalid_arg "Request.make: negative arrival";
-  if service_ns <= 0 then invalid_arg "Request.make: non-positive service";
-  { id; arrival_ns; service_ns; cls }
+  check ~arrival_ns ~service_ns;
+  { id; arrival_ns; service_ns; cls; pooled = false }
 
 let pp fmt r =
   Format.fprintf fmt "#%d[%s arr=%dns svc=%dns]" r.id (cls_name r.cls) r.arrival_ns
     r.service_ns
+
+module Pool = struct
+  type req = t
+
+  type t = {
+    mutable free : req array; (* [||] until the first release *)
+    mutable n_free : int;
+  }
+
+  let create () = { free = [||]; n_free = 0 }
+
+  let free_count p = p.n_free
+
+  let acquire p ~id ~arrival_ns ~service_ns ~cls =
+    check ~arrival_ns ~service_ns;
+    if p.n_free > 0 then begin
+      p.n_free <- p.n_free - 1;
+      let r = p.free.(p.n_free) in
+      r.id <- id;
+      r.arrival_ns <- arrival_ns;
+      r.service_ns <- service_ns;
+      r.cls <- cls;
+      r.pooled <- true;
+      r
+    end
+    else { id; arrival_ns; service_ns; cls; pooled = true }
+
+  (* The [pooled] flag makes release idempotent and a no-op on
+     caller-owned requests ([make], injected traces), so the runtime
+     can release unconditionally at its single retirement points. *)
+  let release p r =
+    if r.pooled then begin
+      r.pooled <- false;
+      let cap = Array.length p.free in
+      if p.n_free = cap then
+        if cap = 0 then p.free <- Array.make 64 r
+        else begin
+          let free = Array.make (2 * cap) r in
+          Array.blit p.free 0 free 0 cap;
+          p.free <- free
+        end;
+      p.free.(p.n_free) <- r;
+      p.n_free <- p.n_free + 1
+    end
+end

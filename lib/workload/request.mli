@@ -3,21 +3,53 @@
     A request is the unit of scheduling throughout the reproduction: it
     arrives at some time, needs some amount of service, and belongs to a
     class (the colocation experiments of Sec V-C schedule
-    latency-critical MICA requests alongside best-effort zlib jobs). *)
+    latency-critical MICA requests alongside best-effort zlib jobs).
+
+    Fields are mutable only so records can be recycled through {!Pool}
+    (DESIGN §9); no component mutates a request after it is admitted. *)
 
 type cls = Latency_critical | Best_effort
 
 val cls_name : cls -> string
 
 type t = {
-  id : int;
-  arrival_ns : int;
-  service_ns : int;
-  cls : cls;
+  mutable id : int;
+  mutable arrival_ns : int;
+  mutable service_ns : int;
+  mutable cls : cls;
+  mutable pooled : bool;  (** owned by a {!Pool} — {!Pool.release} recycles it *)
 }
 
 val make : id:int -> arrival_ns:int -> service_ns:int -> cls:cls -> t
-(** Raises [Invalid_argument] on negative arrival or non-positive
-    service time. *)
+(** A caller-owned (never recycled) request.  Raises [Invalid_argument]
+    on negative arrival or non-positive service time. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Free-list recycling of request records.
+
+    The server acquires one record per arrival and releases it at the
+    request's single retirement point (completion or SLO cancellation),
+    after which the record may back a later arrival — so holding a
+    request past its completion callback observes the {e next}
+    request's fields.  {!Pool.release} is a no-op on caller-owned
+    records ([make], injected traces) and on double release. *)
+module Pool : sig
+  type req := t
+
+  type t
+
+  val create : unit -> t
+
+  val acquire :
+    t -> id:int -> arrival_ns:int -> service_ns:int -> cls:cls -> req
+  (** Reuse a free record, or allocate when the pool is empty.  Same
+      validation as {!make}. *)
+
+  val release : t -> req -> unit
+  (** Return a record to the pool.  Safe to call on any request:
+      caller-owned and already-released records are left untouched. *)
+
+  val free_count : t -> int
+  (** Records currently sitting in the free list (test hook). *)
+end

@@ -105,7 +105,7 @@ let test_rng_pareto_bounds () =
 (* ------------------------------------------------------------------ *)
 
 let test_heap_orders_by_time () =
-  let h = Event_heap.create () in
+  let h = Event_heap.create ~dummy:"?" () in
   Event_heap.add h ~time:30 ~seq:1 "c";
   Event_heap.add h ~time:10 ~seq:2 "a";
   Event_heap.add h ~time:20 ~seq:3 "b";
@@ -118,7 +118,7 @@ let test_heap_orders_by_time () =
   Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
 
 let test_heap_fifo_at_equal_time () =
-  let h = Event_heap.create () in
+  let h = Event_heap.create ~dummy:0 () in
   for i = 1 to 50 do
     Event_heap.add h ~time:5 ~seq:i i
   done;
@@ -134,7 +134,7 @@ let test_heap_fifo_at_equal_time () =
   Alcotest.(check (list int)) "insertion order" (List.init 50 (fun i -> i + 1)) (List.rev !out)
 
 let test_heap_grow () =
-  let h = Event_heap.create () in
+  let h = Event_heap.create ~dummy:0 () in
   for i = 1000 downto 1 do
     Event_heap.add h ~time:i ~seq:(1001 - i) i
   done;
@@ -152,7 +152,7 @@ let test_heap_grow () =
   check_bool "empty" true (Event_heap.is_empty h)
 
 let test_heap_clear () =
-  let h = Event_heap.create () in
+  let h = Event_heap.create ~dummy:() () in
   Event_heap.add h ~time:1 ~seq:1 ();
   Event_heap.clear h;
   check_bool "empty after clear" true (Event_heap.is_empty h);
@@ -162,7 +162,7 @@ let heap_property =
   QCheck.Test.make ~name:"heap pops sorted by (time,seq)" ~count:200
     QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
     (fun entries ->
-      let h = Event_heap.create () in
+      let h = Event_heap.create ~dummy:0 () in
       List.iteri (fun i (time, _) -> Event_heap.add h ~time ~seq:i time) entries;
       let rec drain acc =
         match Event_heap.pop h with
@@ -172,6 +172,45 @@ let heap_property =
       let out = drain [] in
       let sorted = List.sort compare out in
       out = sorted)
+
+(* Model test: interleaved add/pop against a sorted-list oracle.  The
+   oracle keeps (time, seq, value) sorted by (time, seq) with a stable
+   insert, so it also pins FIFO tie-breaking on equal deadlines — the
+   generator draws times from a narrow range to force collisions. *)
+let heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list oracle (interleaved ops)"
+    ~count:300
+    QCheck.(list (option (int_bound 20)))
+    (fun ops ->
+      let h = Event_heap.create ~dummy:(-1) () in
+      let oracle = ref [] in
+      let seq = ref 0 in
+      let insert time v =
+        (* Stable insert: equal keys keep arrival order. *)
+        let rec go = function
+          | [] -> [ (time, v, v) ]
+          | (t', s', v') :: rest when (t', s') <= (time, v) ->
+            (t', s', v') :: go rest
+          | rest -> (time, v, v) :: rest
+        in
+        oracle := go !oracle
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some time ->
+            incr seq;
+            Event_heap.add h ~time ~seq:!seq !seq;
+            insert time !seq;
+            Event_heap.size h = List.length !oracle
+          | None -> (
+            match (Event_heap.pop h, !oracle) with
+            | None, [] -> true
+            | Some (t, s, v), (t', s', v') :: rest ->
+              oracle := rest;
+              t = t' && s = s' && v = v'
+            | Some _, [] | None, _ :: _ -> false))
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                 *)
@@ -272,6 +311,53 @@ let test_sim_max_events () =
   Sim.run ~max_events:100 sim;
   check_int "bounded" 100 !count
 
+let test_sim_null_event () =
+  let sim = Sim.create () in
+  check_bool "null never pending" false (Sim.is_pending Sim.null);
+  Sim.cancel Sim.null;
+  Sim.cancel Sim.null;
+  check_bool "still not pending" false (Sim.is_pending Sim.null);
+  (* A component parked on [null] must not disturb a live simulation. *)
+  let fired = ref 0 in
+  ignore (Sim.at sim 5 (fun () -> incr fired));
+  Sim.run sim;
+  check_int "live event unaffected" 1 !fired
+
+(* The free list recycles event records across firings; a burst of
+   schedule/cancel/fire cycles must behave exactly like a fresh sim
+   (records carry no state across reuse). *)
+let test_sim_recycling_determinism () =
+  let run_once () =
+    let sim = Sim.create ~seed:77L () in
+    let r = Sim.fork_rng sim in
+    let log = ref [] in
+    let rec burst n =
+      if n > 0 then begin
+        let d = 1 + Rng.int r 20 in
+        let keep = Sim.after sim d (fun () -> log := Sim.now sim :: !log) in
+        let doomed = Sim.after sim (d + 3) (fun () -> log := -1 :: !log) in
+        Sim.cancel doomed;
+        ignore keep;
+        ignore (Sim.after sim (d + 1) (fun () -> burst (n - 1)))
+      end
+    in
+    burst 500;
+    Sim.run sim;
+    !log
+  in
+  let a = run_once () in
+  Alcotest.(check (list int)) "replay equal across recycling" a (run_once ());
+  check_bool "cancelled callbacks never ran" true (not (List.mem (-1) a))
+
+let test_sim_events_fired_counts_only_live () =
+  let sim = Sim.create () in
+  ignore (Sim.at sim 1 (fun () -> ()));
+  let doomed = Sim.at sim 2 (fun () -> ()) in
+  Sim.cancel doomed;
+  ignore (Sim.at sim 3 (fun () -> ()));
+  Sim.run sim;
+  check_int "two fired" 2 (Sim.events_fired sim)
+
 let test_sim_fork_rng_independent () =
   let sim = Sim.create ~seed:9L () in
   let a = Sim.fork_rng sim and b = Sim.fork_rng sim in
@@ -323,6 +409,7 @@ let suites =
         Alcotest.test_case "grow" `Quick test_heap_grow;
         Alcotest.test_case "clear" `Quick test_heap_clear;
         QCheck_alcotest.to_alcotest heap_property;
+        QCheck_alcotest.to_alcotest heap_model;
       ] );
     ( "engine.sim",
       [
@@ -337,6 +424,9 @@ let suites =
           test_sim_run_until_skips_cancelled_head;
         Alcotest.test_case "fifo same tick" `Quick test_sim_equal_times_fifo;
         Alcotest.test_case "max_events" `Quick test_sim_max_events;
+        Alcotest.test_case "null event" `Quick test_sim_null_event;
+        Alcotest.test_case "recycling determinism" `Quick test_sim_recycling_determinism;
+        Alcotest.test_case "events_fired" `Quick test_sim_events_fired_counts_only_live;
         Alcotest.test_case "fork_rng" `Quick test_sim_fork_rng_independent;
         Alcotest.test_case "deterministic replay" `Quick test_sim_deterministic_replay;
       ] );

@@ -113,6 +113,59 @@ let test_rqueue_fifo_and_stats () =
   check_int "pushed" 2 (Preemptible.Rqueue.total_pushed q);
   Alcotest.(check (float 1e-9)) "mean wait" 95.0 (Preemptible.Rqueue.mean_wait_ns q)
 
+(* Drive the ring past its initial capacity and around the wrap
+   boundary: a model list must agree at every step. *)
+let test_rqueue_ring_wraparound () =
+  let q = Preemptible.Rqueue.create ~name:"ring" in
+  let model = Queue.create () in
+  let next = ref 0 in
+  for round = 1 to 50 do
+    (* Net growth early, net drain late — exercises grow + wrap. *)
+    let pushes = if round <= 25 then 5 else 2 in
+    let pops = if round <= 25 then 2 else 5 in
+    for _ = 1 to pushes do
+      incr next;
+      Preemptible.Rqueue.push q ~now:0 !next;
+      Queue.push !next model
+    done;
+    for _ = 1 to pops do
+      let expect = if Queue.is_empty model then None else Some (Queue.pop model) in
+      Alcotest.(check (option int)) "fifo across wrap" expect
+        (Preemptible.Rqueue.pop q ~now:0)
+    done;
+    check_int "length agrees" (Queue.length model) (Preemptible.Rqueue.length q)
+  done
+
+(* pop_by removal from the middle must preserve FIFO order of the
+   remaining elements even when the ring has wrapped. *)
+let test_rqueue_pop_by_after_wrap () =
+  let q = Preemptible.Rqueue.create ~name:"ring2" in
+  (* Fill past the initial capacity of 16 and wrap the head. *)
+  for i = 1 to 20 do
+    Preemptible.Rqueue.push q ~now:0 i
+  done;
+  for _ = 1 to 10 do
+    ignore (Preemptible.Rqueue.pop q ~now:0)
+  done;
+  for i = 21 to 30 do
+    Preemptible.Rqueue.push q ~now:0 i
+  done;
+  (* Queue now holds 11..30 with head wrapped. Remove 25 from the middle. *)
+  Alcotest.(check (option int)) "pop_by mid" (Some 25)
+    (Preemptible.Rqueue.pop_by q ~now:0 ~key:(fun v -> if v = 25 then 0 else 1));
+  let rest = ref [] in
+  let rec drain () =
+    match Preemptible.Rqueue.pop q ~now:0 with
+    | Some v ->
+      rest := v :: !rest;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo preserved"
+    (List.filter (fun v -> v <> 25) (List.init 20 (fun i -> i + 11)))
+    (List.rev !rest)
+
 let test_rqueue_pop_by () =
   let q = Preemptible.Rqueue.create ~name:"prio" in
   Preemptible.Rqueue.push q ~now:0 (3, "c");
@@ -650,6 +703,8 @@ let suites =
       [
         Alcotest.test_case "fifo + stats" `Quick test_rqueue_fifo_and_stats;
         Alcotest.test_case "pop_by" `Quick test_rqueue_pop_by;
+        Alcotest.test_case "ring wraparound" `Quick test_rqueue_ring_wraparound;
+        Alcotest.test_case "pop_by after wrap" `Quick test_rqueue_pop_by_after_wrap;
       ] );
     ( "preemptible.stats_window",
       [ Alcotest.test_case "roll" `Quick test_stats_window_roll ] );

@@ -246,6 +246,56 @@ let test_offered_load () =
   in
   check_bool "~50% load" true (abs_float (load -. 0.5) < 0.02)
 
+let test_request_pool_reuse () =
+  let p = Workload.Request.Pool.create () in
+  let r1 =
+    Workload.Request.Pool.acquire p ~id:1 ~arrival_ns:10 ~service_ns:100
+      ~cls:Workload.Request.Latency_critical
+  in
+  check_bool "pooled" true r1.Workload.Request.pooled;
+  Workload.Request.Pool.release p r1;
+  check_int "one free" 1 (Workload.Request.Pool.free_count p);
+  let r2 =
+    Workload.Request.Pool.acquire p ~id:2 ~arrival_ns:20 ~service_ns:200
+      ~cls:Workload.Request.Best_effort
+  in
+  check_bool "record recycled" true (r1 == r2);
+  check_int "fields reset: id" 2 r2.Workload.Request.id;
+  check_int "fields reset: arrival" 20 r2.Workload.Request.arrival_ns;
+  check_int "fields reset: service" 200 r2.Workload.Request.service_ns;
+  check_bool "fields reset: cls" true
+    (r2.Workload.Request.cls = Workload.Request.Best_effort);
+  check_int "free list drained" 0 (Workload.Request.Pool.free_count p)
+
+let test_request_pool_release_is_idempotent () =
+  let p = Workload.Request.Pool.create () in
+  let r =
+    Workload.Request.Pool.acquire p ~id:1 ~arrival_ns:0 ~service_ns:1
+      ~cls:Workload.Request.Latency_critical
+  in
+  Workload.Request.Pool.release p r;
+  Workload.Request.Pool.release p r;
+  check_int "double release is a no-op" 1 (Workload.Request.Pool.free_count p)
+
+let test_request_pool_ignores_caller_owned () =
+  let p = Workload.Request.Pool.create () in
+  let r =
+    Workload.Request.make ~id:7 ~arrival_ns:0 ~service_ns:5
+      ~cls:Workload.Request.Latency_critical
+  in
+  check_bool "make is unpooled" false r.Workload.Request.pooled;
+  Workload.Request.Pool.release p r;
+  check_int "caller-owned never enters the pool" 0
+    (Workload.Request.Pool.free_count p)
+
+let test_request_pool_validates () =
+  let p = Workload.Request.Pool.create () in
+  Alcotest.check_raises "negative arrival"
+    (Invalid_argument "Request.make: negative arrival") (fun () ->
+      ignore
+        (Workload.Request.Pool.acquire p ~id:0 ~arrival_ns:(-1) ~service_ns:1
+           ~cls:Workload.Request.Latency_critical))
+
 let test_request_validation () =
   Alcotest.check_raises "bad service" (Invalid_argument "Request.make: non-positive service")
     (fun () ->
@@ -297,5 +347,13 @@ let suites =
         Alcotest.test_case "orderly traces" `Quick test_tracegen_orderly;
         Alcotest.test_case "offered load" `Quick test_offered_load;
         Alcotest.test_case "request validation" `Quick test_request_validation;
+      ] );
+    ( "workload.request_pool",
+      [
+        Alcotest.test_case "reuse" `Quick test_request_pool_reuse;
+        Alcotest.test_case "idempotent release" `Quick
+          test_request_pool_release_is_idempotent;
+        Alcotest.test_case "caller-owned" `Quick test_request_pool_ignores_caller_owned;
+        Alcotest.test_case "validates" `Quick test_request_pool_validates;
       ] );
   ]
