@@ -44,6 +44,13 @@ let run_case ~seed ~rate ~duration_ns ~warmup_ns ~spec ~watchdog =
     ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
     ~source:(Bench_util.lc_source dist) ~duration_ns
 
+(* Surface the ledger in bench --report meta.resilience so CI artifacts
+   carry the injected/detected/recovered accounting, not just stdout. *)
+let record_ledger ~name (r : Preemptible.Server.result) =
+  match r.Preemptible.Server.resilience with
+  | None -> ()
+  | Some res -> Bench_report.resilience ~name res.Preemptible.Server.fault_report
+
 let ledger_line r =
   match r.Preemptible.Server.resilience with
   | None -> "-"
@@ -66,6 +73,8 @@ let sweep ~seed ~rate ~duration_ns ~warmup_ns =
         run_case ~seed ~rate ~duration_ns ~warmup_ns ~spec
           ~watchdog:(Some Utimer.default_watchdog)
       in
+      record_ledger ~name:(Printf.sprintf "faults.uipi.drop=%g/recovery=off" drop) off;
+      record_ledger ~name:(Printf.sprintf "faults.uipi.drop=%g/recovery=on" drop) on;
       let p99_off = off.Preemptible.Server.all.Stat.Summary.p99 in
       let p99_on = on.Preemptible.Server.all.Stat.Summary.p99 in
       Format.printf
@@ -102,6 +111,8 @@ let crash_demo ~seed ~rate ~duration_ns ~warmup_ns =
         Preemptible.Server.pp_resilience res
     | None -> ()
   in
+  record_ledger ~name:"faults.utimer.crash/failover" failover;
+  record_ledger ~name:"faults.utimer.crash/degraded" degraded;
   show "crash, 1 spare core" failover;
   show "crash, no spare" degraded
 

@@ -1,0 +1,262 @@
+(* Adversarial overload suite (bench --overload).
+
+   The paper's load sweeps stop at capacity; this element pushes past
+   it and asks what the runtime does when the open-loop arrival rate
+   exceeds what the workers can serve.  Four client/guard modes under
+   the same seed, workload B (exponential 5us) on 4 workers:
+
+   - naive:        no guard at all.  The queue grows without bound, the
+                   p99 diverges, and goodput (completions inside the
+                   client's 200us patience) collapses toward zero.
+   - guard:        the full lib/guard stack — bounded queue + CoDel
+                   delay shedding, server-side expiry of abandoned
+                   work, brownout breaker.  Sheds the excess at the
+                   front door and keeps goodput pinned near capacity
+                   with a bounded admitted-tail.
+   - retry-naive:  clients time out at 200us and retry up to 5 times
+                   with exponential backoff but no budget, while the
+                   server (no guard admission, no expiry) burns workers
+                   on work the client already abandoned.  This is the
+                   classic retry-storm meltdown: offered load amplifies
+                   just as capacity is scarcest.
+   - retry-budget: identical clients, but a token-bucket retry budget
+                   (5% of capacity) caps the amplification.
+
+   A second section drives a flash crowd (0.5x -> 3x capacity ramp)
+   through naive and guard modes, with a scripted "guard.trip" fault
+   episode in the guarded run; its resilience ledger lands in the
+   report's meta.resilience section. *)
+
+let us = Engine.Units.us
+let ms = Engine.Units.ms
+
+let dist = Workload.Service_dist.workload_b
+let workers = 4
+let timeout_ns = us 200
+let duration_ns = ms 30
+let warmup_ns = ms 8
+let stats_window = ms 2
+let seed = 11L
+
+type mode = Naive | Guarded | Retry_naive | Retry_budget
+
+let all_modes = [ Naive; Guarded; Retry_naive; Retry_budget ]
+
+let mode_name = function
+  | Naive -> "naive"
+  | Guarded -> "guard"
+  | Retry_naive -> "retry-naive"
+  | Retry_budget -> "retry-budget"
+
+let retry_clients budget =
+  {
+    Guard.max_attempts = 5;
+    backoff_ns = us 50;
+    max_backoff_ns = us 400;
+    jitter = 0.5;
+    budget;
+  }
+
+let guard_config mode ~capacity =
+  match mode with
+  | Naive -> None
+  | Guarded ->
+    Some
+      {
+        Guard.disabled with
+        Guard.timeout_ns = Some timeout_ns;
+        drop_expired = true;
+        shed =
+          Some { Guard.max_queue = 24; codel_target_ns = us 40; codel_interval_ns = us 200 };
+        brownout =
+          Some
+            {
+              Guard.default_brownout with
+              Guard.p99_trip_ns = us 300;
+              qlen_trip = 128;
+              trip_windows = 2;
+              recover_windows = 2;
+            };
+      }
+  | Retry_naive ->
+    Some
+      {
+        Guard.disabled with
+        Guard.timeout_ns = Some timeout_ns;
+        retry = Some (retry_clients None);
+      }
+  | Retry_budget ->
+    Some
+      {
+        Guard.disabled with
+        Guard.timeout_ns = Some timeout_ns;
+        retry =
+          Some
+            (retry_clients
+               (Some { Guard.rate_per_sec = 0.05 *. capacity; burst = 50.0 }));
+      }
+
+type row = {
+  offered_rps : float;
+  goodput_rps : float;
+  p99_us : float;  (** p99 over measured completions, late ones included *)
+  shed_frac : float;
+  expired_frac : float;
+  retries : int;
+  trips : int;
+}
+
+(* Goodput is measured the same way in every mode — a probe counting
+   completions whose per-attempt latency beat the client patience —
+   so guarded and unguarded rows are directly comparable even though
+   only guarded runs have a Guard ledger. *)
+let run_case ~arrival ~guard ~faults () =
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:workers
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 5))
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let cfg =
+    { cfg with Preemptible.Server.seed; guard; faults; stats_window_ns = stats_window }
+  in
+  let goodput = ref 0 in
+  let lat = Stat.Summary.create () in
+  let probes =
+    {
+      Preemptible.Server.no_probes with
+      Preemptible.Server.on_complete =
+        (fun ~now ~latency_ns ~cls:_ ->
+          let arrived = now - latency_ns in
+          if arrived >= warmup_ns && arrived < duration_ns then begin
+            Stat.Summary.record lat (float_of_int latency_ns);
+            if latency_ns <= timeout_ns then incr goodput
+          end);
+    }
+  in
+  let r =
+    Preemptible.Server.run ~probes ~warmup_ns cfg ~arrival
+      ~source:(Bench_util.lc_source dist) ~duration_ns
+  in
+  let measured_s = float_of_int (duration_ns - warmup_ns) /. 1e9 in
+  let offered = r.Preemptible.Server.offered in
+  let frac n = if offered = 0 then 0.0 else float_of_int n /. float_of_int offered in
+  let p99 =
+    if Stat.Summary.count lat = 0 then nan
+    else (Stat.Summary.report lat).Stat.Summary.p99 /. 1e3
+  in
+  let row =
+    {
+      offered_rps = float_of_int offered /. measured_s;
+      goodput_rps = float_of_int !goodput /. measured_s;
+      p99_us = p99;
+      shed_frac = frac r.Preemptible.Server.shed;
+      expired_frac = frac r.Preemptible.Server.dropped;
+      retries =
+        (match r.Preemptible.Server.guard with None -> 0 | Some g -> g.Guard.retries);
+      trips = (match r.Preemptible.Server.guard with None -> 0 | Some g -> g.Guard.trips);
+    }
+  in
+  (row, r)
+
+let load_sweep ~jobs ~capacity =
+  let loads = [ 0.7; 1.0; 1.4; 2.0; 2.8 ] in
+  let specs =
+    List.concat_map (fun mode -> List.map (fun load -> (mode, load)) loads) all_modes
+  in
+  let results =
+    Bench_util.sweep ~label:"overload" ~jobs
+      (fun (mode, load) ->
+        let arrival = Workload.Arrival.poisson ~rate_per_sec:(load *. capacity) in
+        fst (run_case ~arrival ~guard:(guard_config mode ~capacity) ~faults:None ()))
+      specs
+  in
+  Format.printf "  %-13s %6s %12s %12s %10s %7s %7s %8s@." "mode" "load" "offered/s"
+    "goodput/s" "p99_us" "shed%" "expd%" "retries";
+  let rows = ref [] in
+  List.iter2
+    (fun (mode, load) row ->
+      let load_label = Printf.sprintf "%.1fx" load in
+      Format.printf "  %-13s %6s %12.0f %12.0f %10.1f %6.1f%% %6.1f%% %8d@."
+        (mode_name mode) load_label row.offered_rps row.goodput_rps row.p99_us
+        (100.0 *. row.shed_frac) (100.0 *. row.expired_frac) row.retries;
+      rows :=
+        Printf.sprintf "%s,%g,%.0f,%.0f,%.1f,%.4f,%.4f,%d" (mode_name mode) load
+          row.offered_rps row.goodput_rps row.p99_us row.shed_frac row.expired_frac
+          row.retries
+        :: !rows;
+      Bench_report.point ~fig:"overload"
+        ~labels:[ ("mode", mode_name mode); ("load", load_label) ]
+        ~metrics:
+          [
+            ("offered_rps", row.offered_rps);
+            ("goodput_rps", row.goodput_rps);
+            ("p99_us", row.p99_us);
+            ("shed_frac", row.shed_frac);
+            ("expired_frac", row.expired_frac);
+            ("retries", float_of_int row.retries);
+          ])
+    specs results;
+  Bench_util.csv ~name:"overload"
+    ~header:"mode,load,offered_rps,goodput_rps,p99_us,shed_frac,expired_frac,retries"
+    ~rows:(List.rev !rows)
+
+(* Flash crowd: 0.5x capacity base load spiking to 3x, with a scripted
+   breaker trip in the guarded run so the fault ledger exercises the
+   guard point end-to-end. *)
+let flash_episode ~capacity =
+  Bench_util.header
+    "Overload: flash crowd (0.5x -> 3x capacity, ramp 3ms / hold 7ms / decay 5ms)";
+  let arrival =
+    Workload.Arrival.flash_crowd ~base_rate_per_sec:(0.5 *. capacity)
+      ~peak_rate_per_sec:(3.0 *. capacity) ~start_ns:(ms 10) ~ramp_ns:(ms 3)
+      ~hold_ns:(ms 7) ~decay_ns:(ms 5)
+  in
+  let naive_row, _ = run_case ~arrival ~guard:None ~faults:None () in
+  let faults = Fault.create ~seed () in
+  (match Fault.parse faults "guard.trip=win:16000000-18000000:1" with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("bench_overload: bad fault spec: " ^ msg));
+  let guard_row, guard_result =
+    run_case ~arrival ~guard:(guard_config Guarded ~capacity) ~faults:(Some faults) ()
+  in
+  let show name (row : row) =
+    Format.printf "  %-13s goodput=%10.0f/s p99=%10.1fus shed=%5.1f%% trips=%d@." name
+      row.goodput_rps row.p99_us (100.0 *. row.shed_frac) row.trips
+  in
+  show "naive" naive_row;
+  show "guard" guard_row;
+  (match guard_result.Preemptible.Server.resilience with
+  | Some res ->
+    let fr = res.Preemptible.Server.fault_report in
+    Format.printf "  scripted trip ledger: inj=%d det=%d rec=%d@." fr.Fault.injected
+      fr.Fault.detected fr.Fault.recovered;
+    Bench_report.resilience ~name:"overload.flash.guard" fr
+  | None -> ());
+  List.iter
+    (fun (name, row) ->
+      Bench_report.point ~fig:"overload"
+        ~labels:[ ("mode", name); ("load", "flash") ]
+        ~metrics:
+          [
+            ("offered_rps", row.offered_rps);
+            ("goodput_rps", row.goodput_rps);
+            ("p99_us", row.p99_us);
+            ("shed_frac", row.shed_frac);
+            ("expired_frac", row.expired_frac);
+            ("retries", float_of_int row.retries);
+          ])
+    [ ("naive", naive_row); ("guard", guard_row) ]
+
+let run ~jobs () =
+  let capacity = Bench_util.capacity_rps dist ~workers ~duration_ns in
+  Bench_util.header
+    (Printf.sprintf
+       "Overload: goodput vs load past capacity (workload B, %d workers, capacity %.0f/s, \
+        patience %dus)"
+       workers capacity (timeout_ns / 1000));
+  load_sweep ~jobs ~capacity;
+  flash_episode ~capacity;
+  Format.printf
+    "@.(expected: naive goodput collapses past 1x while guard holds near capacity with a\n\
+    \ bounded admitted p99; unbudgeted retries amplify offered load and melt down around\n\
+    \ capacity, the 5%%-budget keeps them harmless)@."

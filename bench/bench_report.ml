@@ -54,6 +54,16 @@ let perf_metrics : (string * float) list ref = ref []
 let perf name value =
   if !collecting then perf_metrics := (name, value) :: !perf_metrics
 
+(* Fault-injection resilience ledgers (bench --faults, --overload).
+   Simulation-derived and deterministic like figure points, but they
+   describe a run's fault bookkeeping rather than a plotted metric, so
+   they land under "meta" as meta.resilience; lpbench_check ignores
+   them and CI strips meta before diffing. *)
+let resilience_entries : (string * Fault.report) list ref = ref []
+
+let resilience ~name (r : Fault.report) =
+  if !collecting then resilience_entries := (name, r) :: !resilience_entries
+
 (* Called by main around each element so per-figure wall-clock lands in
    meta even for elements that record no points. *)
 let timed name f =
@@ -99,11 +109,41 @@ let write ~path =
                ("total_wall_s", Obs.Json.Num (Unix.gettimeofday () -. !t_start));
                ("wall_s", Obs.Json.Obj wall_members);
              ]
+            @ (match List.rev !perf_metrics with
+              | [] -> []
+              | ps ->
+                [ ("perf", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num v)) ps)) ])
             @
-            match List.rev !perf_metrics with
+            match List.rev !resilience_entries with
             | [] -> []
-            | ps -> [ ("perf", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num v)) ps)) ]
-            ) );
+            | rs ->
+              let num i = Obs.Json.Num (float_of_int i) in
+              let json_of_ledger (r : Fault.report) =
+                Obs.Json.Obj
+                  [
+                    ("injected", num r.Fault.injected);
+                    ("detected", num r.Fault.detected);
+                    ("recovered", num r.Fault.recovered);
+                    ("undetected", num r.Fault.undetected);
+                    ( "points",
+                      Obs.Json.Obj
+                        (List.map
+                           (fun (p : Fault.point_report) ->
+                             ( p.Fault.pname,
+                               Obs.Json.Obj
+                                 [
+                                   ("evals", num p.Fault.pevals);
+                                   ("injected", num p.Fault.pinjected);
+                                   ("detected", num p.Fault.pdetected);
+                                   ("recovered", num p.Fault.precovered);
+                                 ] ))
+                           r.Fault.points) );
+                  ]
+              in
+              [
+                ( "resilience",
+                  Obs.Json.Obj (List.map (fun (n, r) -> (n, json_of_ledger r)) rs) );
+              ]) );
         ("figures", Obs.Json.Obj fig_members);
       ]
   in

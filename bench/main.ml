@@ -43,6 +43,9 @@ let elements =
     ( "--faults",
       "Resilience: fault-rate sweep, lost-UIPI retry, failover",
       fun ~jobs:_ () -> Bench_faults.run () );
+    ( "--overload",
+      "Overload: goodput past capacity, guard on/off, retry storms",
+      Bench_overload.run );
     ("--micro", "Bechamel micro-benchmarks", fun ~jobs:_ () -> Bench_micro.run ());
     ( "--perf",
       "Engine hot-path throughput + allocation budget (meta-only)",

@@ -74,7 +74,14 @@ let check ~report ~baseline ~metrics ~tolerance ~figures =
         wanted;
       List.filter (fun (fig, _) -> List.mem fig wanted) base
   in
-  let gated m = List.mem m metrics in
+  (* A metric entry is either bare ("p99_us": gated in every figure) or
+     figure-scoped ("overload:goodput_rps": gated only there). *)
+  let gated fig m =
+    List.exists
+      (fun (scope, mm) ->
+        mm = m && match scope with None -> true | Some f -> f = fig)
+      metrics
+  in
   let failures = ref 0 in
   let compared = ref 0 in
   let fail fmt =
@@ -93,7 +100,7 @@ let check ~report ~baseline ~metrics ~tolerance ~figures =
             | Some rp ->
               List.iter
                 (fun (m, bv) ->
-                  if gated m then
+                  if gated fig m then
                     match List.assoc_opt m rp.metrics with
                     | None -> fail "%-14s {%s} metric %s missing" fig (label_key bp.labels) m
                     | Some rv ->
@@ -106,8 +113,11 @@ let check ~report ~baseline ~metrics ~tolerance ~figures =
                 bp.metrics)
           bpoints)
     base;
+  let metric_names =
+    List.map (function None, m -> m | Some f, m -> f ^ ":" ^ m) metrics
+  in
   Printf.printf "%d gated metrics compared, %d failures (tolerance ±%.0f%%, gated: %s)\n"
-    !compared !failures (100.0 *. tolerance) (String.concat "," metrics);
+    !compared !failures (100.0 *. tolerance) (String.concat "," metric_names);
   if !compared = 0 then begin
     prerr_endline "no gated metrics compared — baseline/report mismatch?";
     exit 1
@@ -118,7 +128,18 @@ let run report baseline metrics tolerance figures =
   let split s =
     String.split_on_char ',' s |> List.map String.trim |> List.filter (fun m -> m <> "")
   in
-  let metrics = split metrics in
+  let metrics =
+    List.map
+      (fun entry ->
+        match String.index_opt entry ':' with
+        | None -> (None, entry)
+        | Some i ->
+          let fig = String.sub entry 0 i in
+          let m = String.sub entry (i + 1) (String.length entry - i - 1) in
+          if fig = "" || m = "" then die "--metrics: malformed entry %S" entry;
+          (Some fig, m))
+      (split metrics)
+  in
   if metrics = [] then die "--metrics expects a comma-separated list";
   if tolerance <= 0.0 then die "--tolerance must be positive";
   check ~report ~baseline ~metrics ~tolerance ~figures:(split figures)
@@ -134,7 +155,10 @@ let cmd =
   let metrics =
     Arg.(
       value & opt string "p50_us,p99_us,mean_us"
-      & info [ "metrics" ] ~doc:"comma-separated metric names to gate")
+      & info [ "metrics" ]
+          ~doc:
+            "comma-separated metric names to gate; a bare name gates every figure, \
+             $(b,FIG:NAME) (e.g. overload:goodput_rps) gates only that figure")
   in
   let tolerance =
     Arg.(value & opt float 0.10 & info [ "tolerance" ] ~doc:"allowed relative drift, e.g. 0.10")

@@ -62,13 +62,60 @@ let pp_result r =
   (match r.Preemptible.Server.lc with
   | Some lc -> Format.printf "LC: %a@." Stat.Summary.pp_report_us lc
   | None -> ());
-  match r.Preemptible.Server.be with
+  (match r.Preemptible.Server.be with
   | Some be -> Format.printf "BE: %a@." Stat.Summary.pp_report_us be
+  | None -> ());
+  match r.Preemptible.Server.guard with
+  | Some g -> Format.printf "guard: %a@." Guard.pp_report g
   | None -> ()
+
+(* Build the overload-control config from the serve flags.  All four
+   knobs are off by default, which leaves [guard = None] — the exact
+   no-op path.  [--retry-budget 0] means budgetless (naive) retries. *)
+let guard_of_flags ~timeout_us ~shed_depth ~retry_budget ~brownout =
+  if timeout_us = 0 && shed_depth = 0 && retry_budget = None && not brownout then None
+  else begin
+    let timeout_ns = if timeout_us > 0 then Some (us timeout_us) else None in
+    let shed =
+      if shed_depth > 0 then Some { Guard.default_shed with Guard.max_queue = shed_depth }
+      else None
+    in
+    let retry =
+      match retry_budget with
+      | None -> None
+      | Some r when r < 0.0 ->
+        prerr_endline "--retry-budget expects a non-negative rate (tokens/s; 0 = unbudgeted)";
+        exit 1
+      | Some r when r > 0.0 ->
+        Some
+          {
+            Guard.default_retry with
+            Guard.budget = Some { Guard.rate_per_sec = r; burst = Float.max 1.0 (r /. 10.0) };
+          }
+      | Some _ -> Some Guard.default_retry
+    in
+    let cfg =
+      {
+        Guard.disabled with
+        Guard.timeout_ns;
+        drop_expired = timeout_us > 0;
+        shed;
+        retry;
+        brownout = (if brownout then Some Guard.default_brownout else None);
+      }
+    in
+    (* Surface a bad combination (e.g. retries without a timeout) as a
+       usage error here, before the sweep fans out. *)
+    (try Guard.validate cfg
+     with Invalid_argument m ->
+       prerr_endline m;
+       exit 1);
+    Some cfg
+  end
 
 (* One complete simulation at one offered rate; pure in [rate] so a
    multi-rate sweep can fan out across pool domains. *)
-let serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed rate =
+let serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guard rate =
   let arrival = Workload.Arrival.poisson ~rate_per_sec:rate in
   let source = Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical in
   match system with
@@ -87,7 +134,7 @@ let serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed rate 
       Preemptible.Server.default_config ~n_workers:workers ~policy
         ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
     in
-    Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
+    Preemptible.Server.run { cfg with Preemptible.Server.seed; guard } ~arrival ~source
       ~duration_ns
   | "lp-nouintr" ->
     let cfg =
@@ -95,7 +142,7 @@ let serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed rate 
         ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
         ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
     in
-    Preemptible.Server.run { cfg with Preemptible.Server.seed } ~arrival ~source
+    Preemptible.Server.run { cfg with Preemptible.Server.seed; guard } ~arrival ~source
       ~duration_ns
   | "shinjuku" ->
     let cfg = Baselines.Shinjuku.default_config ~n_workers:workers ~quantum_ns:quantum in
@@ -129,7 +176,8 @@ let parse_rates s =
   end;
   rates
 
-let serve system workload rate_s jobs quantum_us workers duration_ms adaptive seed =
+let serve system workload rate_s jobs quantum_us workers duration_ms adaptive seed
+    timeout_us shed_depth retry_budget brownout =
   let duration_ns = ms duration_ms in
   let rates = parse_rates rate_s in
   match workload_of_string duration_ns workload with
@@ -149,8 +197,17 @@ let serve system workload rate_s jobs quantum_us workers duration_ms adaptive se
            system);
       exit 1
     end;
+    (* Guard flags validate here too — bad knobs die once, before any
+       simulation runs. *)
+    let guard = guard_of_flags ~timeout_us ~shed_depth ~retry_budget ~brownout in
+    if guard <> None && not (List.mem system [ "lp"; "lp-nouintr" ]) then begin
+      prerr_endline
+        (Printf.sprintf "guard flags (--timeout/--shed/--retry-budget/--brownout) only \
+                         apply to lp|lp-nouintr, not %S" system);
+      exit 1
+    end;
     let run_one =
-      serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed
+      serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guard
     in
     (match rates with
     | [ rate ] -> pp_result (run_one rate)
@@ -185,12 +242,37 @@ let serve_cmd =
   let duration = Arg.(value & opt int 100 & info [ "duration" ] ~doc:"run length, ms") in
   let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"use the Algorithm-1 controller") in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"simulation seed") in
+  let timeout =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout" ]
+          ~doc:"client patience, us (0 = none); also arms server-side expiry of abandoned work")
+  in
+  let shed =
+    Arg.(
+      value & opt int 0
+      & info [ "shed" ]
+          ~doc:"bound total queue occupancy and shed on standing delay (0 = no shedding)")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "retry-budget" ]
+          ~doc:
+            "enable client retries (4 attempts, exponential backoff) with a token budget \
+             of this many retries/s; 0 = unbudgeted naive retries; requires --timeout")
+  in
+  let brownout =
+    Arg.(
+      value & flag
+      & info [ "brownout" ] ~doc:"enable the hysteretic brownout/circuit-breaker controller")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"simulate a request-serving system under load"
        ~envs:[ env_pool_trace ])
     Term.(
       const serve $ system $ workload $ rate $ jobs_arg $ quantum $ workers $ duration
-      $ adaptive $ seed)
+      $ adaptive $ seed $ timeout $ shed $ retry_budget $ brownout)
 
 (* ------------------------------------------------------------------ *)
 (* ipc                                                                 *)

@@ -150,3 +150,99 @@ let pp_result fmt r =
   Format.fprintf fmt
     "%-42s storm=%8.0f/s attempted=%8d delivered=%8d tput=%8.0f/s p99=%8.2fus" r.scenario
     r.storm_per_sec r.attempted r.delivered r.victim_throughput_rps r.victim_p99_us
+
+(* ------------------------------------------------------------------ *)
+(* Request-level tail attack                                           *)
+(* ------------------------------------------------------------------ *)
+
+type flood_result = {
+  flood_rate : float;
+  guarded : bool;
+  offered : int;
+  completed : int;
+  shed : int;
+  expired : int;
+  lc_completed : int;
+  lc_goodput : int;  (** LC completions within [slo_ns], inside the window *)
+  lc_goodput_rps : float;
+  lc_p99_us : float;
+  guard_report : Guard.report option;
+}
+
+let request_flood ?(seed = 47L) ?(workers = 2) ?guard ~victim_rate ~flood_rate ~slo_ns
+    ~duration_ns () =
+  if victim_rate <= 0.0 then invalid_arg "Attack.request_flood: victim rate must be positive";
+  if flood_rate < 0.0 then invalid_arg "Attack.request_flood: negative flood rate";
+  if slo_ns <= 0 then invalid_arg "Attack.request_flood: non-positive SLO";
+  if duration_ns <= 0 then invalid_arg "Attack.request_flood: non-positive duration";
+  (* The victim serves short LC requests well within capacity; the
+     attacker floods fat best-effort requests through the same front
+     door.  Without a guard the BE glut queues ahead of LC work and the
+     victim's tail explodes; the guard's BE bucket and brownout keep
+     the LC stream inside its SLO. *)
+  let lc_src =
+    Workload.Source.of_dist
+      (Workload.Service_dist.exponential ~mean_ns:2_000)
+      ~cls:Workload.Request.Latency_critical
+  in
+  let attack_src =
+    Workload.Source.of_dist
+      (Workload.Service_dist.constant 50_000)
+      ~cls:Workload.Request.Best_effort
+  in
+  let source =
+    if flood_rate > 0.0 then
+      Workload.Source.mix [ (victim_rate, lc_src); (flood_rate, attack_src) ]
+    else lc_src
+  in
+  let arrival = Workload.Arrival.poisson ~rate_per_sec:(victim_rate +. flood_rate) in
+  let cfg =
+    {
+      (Preemptible.Server.default_config ~n_workers:workers
+         ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:5_000)
+         ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config))
+      with
+      seed;
+      guard;
+    }
+  in
+  let lc_goodput = ref 0 in
+  let lc_sum = Stat.Summary.create () in
+  let probes =
+    {
+      Preemptible.Server.no_probes with
+      Preemptible.Server.on_complete =
+        (fun ~now ~latency_ns ~cls ->
+          match cls with
+          | Workload.Request.Latency_critical ->
+            Stat.Summary.record lc_sum (float_of_int latency_ns);
+            if latency_ns <= slo_ns && now <= duration_ns then incr lc_goodput
+          | Workload.Request.Best_effort -> ());
+    }
+  in
+  let r = Preemptible.Server.run ~probes cfg ~arrival ~source ~duration_ns in
+  let lc_rep =
+    if Stat.Summary.count lc_sum = 0 then None else Some (Stat.Summary.report lc_sum)
+  in
+  {
+    flood_rate;
+    guarded = guard <> None;
+    offered = r.Preemptible.Server.offered;
+    completed = r.Preemptible.Server.completed;
+    shed = r.Preemptible.Server.shed;
+    expired = r.Preemptible.Server.dropped;
+    lc_completed = Stat.Summary.count lc_sum;
+    lc_goodput = !lc_goodput;
+    lc_goodput_rps = float_of_int !lc_goodput *. 1e9 /. float_of_int duration_ns;
+    lc_p99_us =
+      (match lc_rep with None -> nan | Some rep -> rep.Stat.Summary.p99 /. 1e3);
+    guard_report = r.Preemptible.Server.guard;
+  }
+
+let pp_flood_result fmt r =
+  Format.fprintf fmt
+    "flood=%8.0f/s %-7s offered=%7d completed=%7d shed=%6d expired=%6d lc_goodput=%8.0f/s \
+     lc_p99=%8.2fus"
+    r.flood_rate
+    (if r.guarded then "guarded" else "naive")
+    r.offered r.completed r.shed r.expired r.lc_goodput_rps r.lc_p99_us

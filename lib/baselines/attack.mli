@@ -45,3 +45,45 @@ val run :
     interrupts. [storm_per_sec = 0] gives the unattacked baseline. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {2 Request-level tail attack}
+
+    The interrupt storms above need a foothold in the interrupt fabric;
+    a tail attack needs only the front door: flood the server with fat
+    best-effort requests and let queueing do the damage to the victim's
+    latency-critical tail.  This is the adversarial workload the
+    {!Guard} admission layer (BE token bucket, brownout) exists for. *)
+
+type flood_result = {
+  flood_rate : float;
+  guarded : bool;
+  offered : int;
+  completed : int;
+  shed : int;  (** admission rejections (never executed) *)
+  expired : int;  (** queued work dropped after the client gave up *)
+  lc_completed : int;
+  lc_goodput : int;
+      (** LC completions within [slo_ns] that landed inside the
+          measurement window *)
+  lc_goodput_rps : float;
+  lc_p99_us : float;
+  guard_report : Guard.report option;
+}
+
+val request_flood :
+  ?seed:int64 ->
+  ?workers:int ->
+  ?guard:Guard.config ->
+  victim_rate:float ->
+  flood_rate:float ->
+  slo_ns:int ->
+  duration_ns:int ->
+  unit ->
+  flood_result
+(** A [workers]-core server (default 2) serving exponential(2 µs) LC
+    requests at [victim_rate] while an attacker injects constant-50 µs
+    BE requests at [flood_rate] through the same dispatcher.  [guard]
+    arms the overload-control layer; omitting it gives the undefended
+    baseline.  [flood_rate = 0.] is the unattacked control. *)
+
+val pp_flood_result : Format.formatter -> flood_result -> unit

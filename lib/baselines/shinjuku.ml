@@ -327,6 +327,9 @@ let run ?(probes = Preemptible.Server.no_probes) ?(warmup_ns = 0) cfg ~arrival ~
     completed = st.measured_completed;
     cancelled = 0;
     dropped = 0;
+    shed = 0;
+    goodput = st.measured_completed;
+    goodput_rps = float_of_int st.completed_in_window *. 1e9 /. float_of_int measured_ns;
     all = Stat.Summary.report st.sum_all;
     lc =
       (if Stat.Summary.count st.sum_lc = 0 then None else Some (Stat.Summary.report st.sum_lc));
@@ -345,6 +348,7 @@ let run ?(probes = Preemptible.Server.no_probes) ?(warmup_ns = 0) cfg ~arrival ~
     dispatch_queue_hwm = 0;
     sim_events = Engine.Sim.events_fired st.sim;
     resilience = None;
+    guard = None;
     trace = None;
     metrics = [];
   }

@@ -5,6 +5,8 @@ type result = {
   worst_p99_us : float;
   timer_interrupts : int;
   completed : int;
+  offered : int;
+  pending : int;
 }
 
 (* A minimal single-worker tenant: FIFO queue of (arrival, remaining)
@@ -21,6 +23,7 @@ type tenant = {
   mutable current : (int * int) option;
   mutable deadline : int;
   mutable done_count : int;
+  mutable offered_count : int;
 }
 
 let libpreemptible ?(seed = 31L) ?(quantum_ns = 10_000) ?(wheel = false) ~tenants
@@ -48,6 +51,7 @@ let libpreemptible ?(seed = 31L) ?(quantum_ns = 10_000) ?(wheel = false) ~tenant
           current = None;
           deadline = max_int;
           done_count = 0;
+          offered_count = 0;
         })
   in
   let rec schedule t =
@@ -103,6 +107,7 @@ let libpreemptible ?(seed = 31L) ?(quantum_ns = 10_000) ?(wheel = false) ~tenant
           (Engine.Sim.after sim gap (fun () ->
                if Engine.Sim.now sim < duration_ns then begin
                  let service = Workload.Service_dist.sample dist rng ~now:(Engine.Sim.now sim) in
+                 t.offered_count <- t.offered_count + 1;
                  Queue.push (Engine.Sim.now sim, service) t.queue;
                  schedule t;
                  arrivals ()
@@ -128,6 +133,12 @@ let libpreemptible ?(seed = 31L) ?(quantum_ns = 10_000) ?(wheel = false) ~tenant
     worst_p99_us = List.fold_left Float.max 0.0 p99s /. 1e3;
     timer_interrupts = Utimer.fired ut;
     completed = List.fold_left (fun acc t -> acc + t.done_count) 0 tenant_list;
+    offered = List.fold_left (fun acc t -> acc + t.offered_count) 0 tenant_list;
+    pending =
+      List.fold_left
+        (fun acc t ->
+          acc + Queue.length t.queue + (match t.current with Some _ -> 1 | None -> 0))
+        0 tenant_list;
   }
 
 let shinjuku_tenant_limit (hw : Hw.Params.t) = hw.Hw.Params.apic_max_cores

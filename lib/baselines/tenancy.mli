@@ -19,6 +19,10 @@ type result = {
   worst_p99_us : float;  (** worst tenant *)
   timer_interrupts : int;
   completed : int;
+  offered : int;  (** arrivals across all tenants *)
+  pending : int;
+      (** requests still queued or on-core when the run ended; the
+          conservation invariant is [offered = completed + pending] *)
 }
 
 val libpreemptible :

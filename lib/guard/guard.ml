@@ -1,0 +1,437 @@
+type state = Normal | Brownout | Open
+
+let state_name = function Normal -> "normal" | Brownout -> "brownout" | Open -> "open"
+let state_index = function Normal -> 0 | Brownout -> 1 | Open -> 2
+
+type bucket_config = { rate_per_sec : float; burst : float }
+
+type shed_config = { max_queue : int; codel_target_ns : int; codel_interval_ns : int }
+
+type retry_config = {
+  max_attempts : int;
+  backoff_ns : int;
+  max_backoff_ns : int;
+  jitter : float;
+  budget : bucket_config option;
+}
+
+type brownout_config = {
+  p99_trip_ns : int;
+  qlen_trip : int;
+  trip_windows : int;
+  recover_windows : int;
+  timeout_shrink : float;
+  probe_every : int;
+}
+
+type config = {
+  timeout_ns : int option;
+  drop_expired : bool;
+  shed : shed_config option;
+  global_bucket : bucket_config option;
+  lc_bucket : bucket_config option;
+  be_bucket : bucket_config option;
+  retry : retry_config option;
+  brownout : brownout_config option;
+}
+
+let disabled =
+  {
+    timeout_ns = None;
+    drop_expired = false;
+    shed = None;
+    global_bucket = None;
+    lc_bucket = None;
+    be_bucket = None;
+    retry = None;
+    brownout = None;
+  }
+
+let default_shed =
+  { max_queue = 256; codel_target_ns = 1_000_000; codel_interval_ns = 5_000_000 }
+
+let default_retry =
+  {
+    max_attempts = 4;
+    backoff_ns = 50_000;
+    max_backoff_ns = 1_000_000;
+    jitter = 0.5;
+    budget = None;
+  }
+
+let default_brownout =
+  {
+    p99_trip_ns = 1_000_000;
+    qlen_trip = 512;
+    trip_windows = 3;
+    recover_windows = 5;
+    timeout_shrink = 0.5;
+    probe_every = 8;
+  }
+
+let check_bucket ctx (b : bucket_config) =
+  if b.rate_per_sec <= 0.0 then invalid_arg (ctx ^ ": bucket rate must be positive");
+  if b.burst < 1.0 then invalid_arg (ctx ^ ": bucket burst must be at least 1")
+
+let validate cfg =
+  (match cfg.timeout_ns with
+  | Some t when t <= 0 -> invalid_arg "Guard: timeout must be positive"
+  | _ -> ());
+  if cfg.drop_expired && cfg.timeout_ns = None then
+    invalid_arg "Guard: drop_expired requires a timeout";
+  (match cfg.shed with
+  | Some s ->
+    if s.max_queue <= 0 then invalid_arg "Guard: shed max_queue must be positive";
+    if s.codel_target_ns <= 0 then invalid_arg "Guard: codel target must be positive";
+    if s.codel_interval_ns <= 0 then invalid_arg "Guard: codel interval must be positive"
+  | None -> ());
+  Option.iter (check_bucket "Guard(global)") cfg.global_bucket;
+  Option.iter (check_bucket "Guard(lc)") cfg.lc_bucket;
+  Option.iter (check_bucket "Guard(be)") cfg.be_bucket;
+  (match cfg.retry with
+  | Some r ->
+    if cfg.timeout_ns = None then invalid_arg "Guard: retry requires a timeout";
+    if r.max_attempts < 1 then invalid_arg "Guard: retry max_attempts must be at least 1";
+    if r.backoff_ns <= 0 then invalid_arg "Guard: retry backoff must be positive";
+    if r.max_backoff_ns < r.backoff_ns then
+      invalid_arg "Guard: retry max_backoff must be at least backoff";
+    if r.jitter < 0.0 || r.jitter > 1.0 then
+      invalid_arg "Guard: retry jitter out of [0,1]";
+    Option.iter (check_bucket "Guard(retry budget)") r.budget
+  | None -> ());
+  match cfg.brownout with
+  | Some b ->
+    if b.p99_trip_ns <= 0 then invalid_arg "Guard: brownout p99 trip must be positive";
+    if b.qlen_trip <= 0 then invalid_arg "Guard: brownout qlen trip must be positive";
+    if b.trip_windows < 1 then invalid_arg "Guard: brownout trip_windows must be at least 1";
+    if b.recover_windows < 1 then
+      invalid_arg "Guard: brownout recover_windows must be at least 1";
+    if b.timeout_shrink <= 0.0 || b.timeout_shrink > 1.0 then
+      invalid_arg "Guard: brownout timeout_shrink out of (0,1]";
+    if b.probe_every < 1 then invalid_arg "Guard: brownout probe_every must be at least 1"
+  | None -> ()
+
+(* Token bucket on the simulation clock: float tokens, lazy refill. *)
+type bucket = {
+  bc : bucket_config;
+  mutable tokens : float;
+  mutable last_ns : int;
+}
+
+let bucket_of (bc : bucket_config) = { bc; tokens = bc.burst; last_ns = 0 }
+
+let bucket_take b ~now =
+  if now > b.last_ns then begin
+    let dt = float_of_int (now - b.last_ns) in
+    b.tokens <- Float.min b.bc.burst (b.tokens +. (dt *. b.bc.rate_per_sec /. 1e9));
+    b.last_ns <- now
+  end;
+  if b.tokens >= 1.0 then begin
+    b.tokens <- b.tokens -. 1.0;
+    true
+  end
+  else false
+
+type t = {
+  cfg : config;
+  global_b : bucket option;
+  lc_b : bucket option;
+  be_b : bucket option;
+  budget_b : bucket option;
+  trip_point : Fault.point option;
+  faults : Fault.t option;
+  trace : Obs.Trace.t option;
+  (* CoDel: when the head age first went (and stayed) above target;
+     [min_int] while below. *)
+  mutable above_since : int;
+  mutable st : state;
+  mutable bad_streak : int;
+  mutable good_streak : int;
+  mutable probe_count : int;
+  (* ledger *)
+  mutable admitted : int;
+  mutable shed_queue : int;
+  mutable shed_delay : int;
+  mutable shed_rate : int;
+  mutable shed_brownout : int;
+  mutable expired : int;
+  mutable client_timeouts : int;
+  mutable retries : int;
+  mutable retry_exhausted : int;
+  mutable budget_denied : int;
+  mutable goodput : int;
+  mutable late : int;
+  mutable trips : int;
+  mutable recoveries : int;
+  mutable degraded_windows : int;
+}
+
+let create ?faults ?trace cfg =
+  validate cfg;
+  {
+    cfg;
+    global_b = Option.map bucket_of cfg.global_bucket;
+    lc_b = Option.map bucket_of cfg.lc_bucket;
+    be_b = Option.map bucket_of cfg.be_bucket;
+    budget_b =
+      (match cfg.retry with Some r -> Option.map bucket_of r.budget | None -> None);
+    trip_point = Option.map (fun f -> Fault.point f "guard.trip") faults;
+    faults;
+    trace;
+    above_since = min_int;
+    st = Normal;
+    bad_streak = 0;
+    good_streak = 0;
+    probe_count = 0;
+    admitted = 0;
+    shed_queue = 0;
+    shed_delay = 0;
+    shed_rate = 0;
+    shed_brownout = 0;
+    expired = 0;
+    client_timeouts = 0;
+    retries = 0;
+    retry_exhausted = 0;
+    budget_denied = 0;
+    goodput = 0;
+    late = 0;
+    trips = 0;
+    recoveries = 0;
+    degraded_windows = 0;
+  }
+
+let config t = t.cfg
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Admit | Shed_queue | Shed_delay | Shed_rate | Shed_brownout
+
+let verdict_name = function
+  | Admit -> "admit"
+  | Shed_queue -> "shed.queue"
+  | Shed_delay -> "shed.delay"
+  | Shed_rate -> "shed.rate"
+  | Shed_brownout -> "shed.brownout"
+
+let take_opt b ~now = match b with None -> true | Some b -> bucket_take b ~now
+
+(* Decision order: breaker first (Open rejects before spending bucket
+   tokens on doomed arrivals), then rate, then queue state. *)
+let decide t ~now ~cls ~qlen ~head_wait_ns =
+  let brown_ok =
+    match (t.st, t.cfg.brownout) with
+    | Normal, _ | _, None -> true
+    | Brownout, Some _ -> cls <> Workload.Request.Best_effort
+    | Open, Some b ->
+      t.probe_count <- t.probe_count + 1;
+      t.probe_count mod b.probe_every = 0
+  in
+  if not brown_ok then Shed_brownout
+  else if not (take_opt t.global_b ~now) then Shed_rate
+  else if
+    not
+      (take_opt ~now
+         (match cls with
+         | Workload.Request.Latency_critical -> t.lc_b
+         | Workload.Request.Best_effort -> t.be_b))
+  then Shed_rate
+  else
+    match t.cfg.shed with
+    | None -> Admit
+    | Some s ->
+      if qlen >= s.max_queue then Shed_queue
+      else if head_wait_ns > s.codel_target_ns then begin
+        if t.above_since = min_int then t.above_since <- now;
+        if now - t.above_since >= s.codel_interval_ns then Shed_delay else Admit
+      end
+      else begin
+        t.above_since <- min_int;
+        Admit
+      end
+
+let admission t ~now ~cls ~qlen ~head_wait_ns =
+  let v = decide t ~now ~cls ~qlen ~head_wait_ns in
+  (match v with
+  | Admit -> t.admitted <- t.admitted + 1
+  | Shed_queue -> t.shed_queue <- t.shed_queue + 1
+  | Shed_delay -> t.shed_delay <- t.shed_delay + 1
+  | Shed_rate -> t.shed_rate <- t.shed_rate + 1
+  | Shed_brownout -> t.shed_brownout <- t.shed_brownout + 1);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Breaker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let transition t next =
+  if next <> t.st then begin
+    if state_index next > state_index t.st then t.trips <- t.trips + 1
+    else t.recoveries <- t.recoveries + 1;
+    t.st <- next;
+    match t.trace with
+    | Some tr ->
+      Obs.Trace.instant tr Obs.Trace.Guard ~name:"guard.state" ~track:0
+        ~arg:(state_index next)
+    | None -> ()
+  end
+
+let on_window t ~now ~p99_ns ~max_qlen =
+  (match (t.cfg.brownout, t.trip_point) with
+  | Some _, Some p when Fault.fires p ~now ->
+    (* Scripted overload episode: slam the breaker open.  Detection is
+       immediate by construction (the breaker *is* the detector);
+       recovery is marked when it walks back to Normal. *)
+    (match t.faults with Some f -> Fault.mark_detected f ~hint:"guard.trip" () | None -> ());
+    t.bad_streak <- 0;
+    t.good_streak <- 0;
+    transition t Open
+  | _ -> ());
+  (match t.cfg.brownout with
+  | None -> ()
+  | Some b ->
+    let unhealthy = p99_ns > float_of_int b.p99_trip_ns || max_qlen > b.qlen_trip in
+    if unhealthy then begin
+      t.bad_streak <- t.bad_streak + 1;
+      t.good_streak <- 0;
+      if t.bad_streak >= b.trip_windows then begin
+        t.bad_streak <- 0;
+        match t.st with
+        | Normal -> transition t Brownout
+        | Brownout -> transition t Open
+        | Open -> ()
+      end
+    end
+    else begin
+      t.good_streak <- t.good_streak + 1;
+      t.bad_streak <- 0;
+      if t.good_streak >= b.recover_windows then begin
+        t.good_streak <- 0;
+        match t.st with
+        | Open -> transition t Brownout
+        | Brownout ->
+          transition t Normal;
+          (match t.faults with
+          | Some f -> Fault.mark_recovered f ~hint:"guard.trip" ()
+          | None -> ())
+        | Normal -> ()
+      end
+    end;
+    if t.st <> Normal then t.degraded_windows <- t.degraded_windows + 1);
+  match t.trace with
+  | Some tr ->
+    Obs.Trace.counter tr Obs.Trace.Guard ~name:"guard.state" ~value:(state_index t.st);
+    Obs.Trace.counter tr Obs.Trace.Guard ~name:"guard.shed"
+      ~value:(t.shed_queue + t.shed_delay + t.shed_rate + t.shed_brownout);
+    Obs.Trace.counter tr Obs.Trace.Guard ~name:"guard.retries" ~value:t.retries;
+    Obs.Trace.counter tr Obs.Trace.Guard ~name:"guard.timeouts" ~value:t.client_timeouts;
+    Obs.Trace.counter tr Obs.Trace.Guard ~name:"guard.goodput" ~value:t.goodput
+  | None -> ()
+
+let breaker_state t = t.st
+
+let force_fifo t = t.cfg.brownout <> None && t.st <> Normal
+
+let client_timeout_ns t = t.cfg.timeout_ns
+
+let effective_timeout_ns t =
+  match t.cfg.timeout_ns with
+  | None -> None
+  | Some tmo ->
+    (match (t.st, t.cfg.brownout) with
+    | Normal, _ | _, None -> Some tmo
+    | (Brownout | Open), Some b ->
+      Some (max 1 (int_of_float (float_of_int tmo *. b.timeout_shrink))))
+
+let expiry_ns t = if t.cfg.drop_expired then effective_timeout_ns t else None
+
+(* ------------------------------------------------------------------ *)
+(* Client model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let retry_gap t rng ~now ~attempt =
+  match t.cfg.retry with
+  | None -> None
+  | Some r ->
+    if attempt >= r.max_attempts then begin
+      t.retry_exhausted <- t.retry_exhausted + 1;
+      None
+    end
+    else if not (take_opt t.budget_b ~now) then begin
+      t.budget_denied <- t.budget_denied + 1;
+      None
+    end
+    else begin
+      (* attempt is 1-based: the wait before attempt 2 is the base. *)
+      let exp = min 30 (attempt - 1) in
+      let gap = min r.max_backoff_ns (r.backoff_ns lsl exp) in
+      let gap =
+        if r.jitter = 0.0 then gap
+        else
+          let u = Engine.Rng.float rng in
+          let f = 1.0 +. (r.jitter *. (u -. 0.5)) in
+          int_of_float (float_of_int gap *. f)
+      in
+      Some (max 1 gap)
+    end
+
+let note_retry t = t.retries <- t.retries + 1
+let note_client_timeout t = t.client_timeouts <- t.client_timeouts + 1
+let note_expired t = t.expired <- t.expired + 1
+let note_goodput t = t.goodput <- t.goodput + 1
+let note_late t = t.late <- t.late + 1
+
+(* ------------------------------------------------------------------ *)
+(* Ledger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  admitted : int;
+  shed_queue : int;
+  shed_delay : int;
+  shed_rate : int;
+  shed_brownout : int;
+  shed_total : int;
+  expired : int;
+  client_timeouts : int;
+  retries : int;
+  retry_exhausted : int;
+  budget_denied : int;
+  goodput : int;
+  late : int;
+  trips : int;
+  recoveries : int;
+  degraded_windows : int;
+  final_state : state;
+}
+
+let report (t : t) =
+  {
+    admitted = t.admitted;
+    shed_queue = t.shed_queue;
+    shed_delay = t.shed_delay;
+    shed_rate = t.shed_rate;
+    shed_brownout = t.shed_brownout;
+    shed_total = t.shed_queue + t.shed_delay + t.shed_rate + t.shed_brownout;
+    expired = t.expired;
+    client_timeouts = t.client_timeouts;
+    retries = t.retries;
+    retry_exhausted = t.retry_exhausted;
+    budget_denied = t.budget_denied;
+    goodput = t.goodput;
+    late = t.late;
+    trips = t.trips;
+    recoveries = t.recoveries;
+    degraded_windows = t.degraded_windows;
+    final_state = t.st;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>admitted=%d shed=%d (queue=%d delay=%d rate=%d brownout=%d)@ timeouts=%d \
+     expired=%d retries=%d (exhausted=%d budget_denied=%d)@ goodput=%d late=%d@ \
+     breaker: trips=%d recoveries=%d degraded_windows=%d final=%s@]"
+    r.admitted r.shed_total r.shed_queue r.shed_delay r.shed_rate r.shed_brownout
+    r.client_timeouts r.expired r.retries r.retry_exhausted r.budget_denied r.goodput
+    r.late r.trips r.recoveries r.degraded_windows (state_name r.final_state)

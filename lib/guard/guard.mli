@@ -1,0 +1,219 @@
+(** Overload control and graceful degradation.
+
+    The paper's experiments stop where the offered load meets capacity;
+    past that point the open-loop {!Preemptible.Server} queues without
+    bound and p99 diverges instead of degrading.  This module is the
+    guard rail a production deployment of the runtime would carry: it
+    decides, per arriving request, whether the system should accept the
+    work at all, and it models the client side — patience, retries —
+    well enough that the classic failure modes (queue collapse, retry
+    storms, metastable overload) are reproducible and preventable in
+    simulation.
+
+    Three cooperating layers:
+
+    - {b Admission control}: a bounded queue, a CoDel-style shed rule
+      on the age of the oldest queued request (sustained standing delay
+      means the queue is not draining), and token-bucket rate limiters
+      — one global and one per request class, the per-tenant knob of
+      the colocation experiments.
+    - {b Client timeouts and retries}: each admitted request carries a
+      client patience [timeout_ns]; on expiry the client gives up and
+      may retry with exponential backoff, jitter, and a token-bucket
+      {e retry budget}.  Naive retries (no budget) reproduce the
+      meltdown where abandoned-but-still-executing work plus retry
+      amplification collapse goodput; the budget caps the amplification.
+    - {b Brownout breaker}: a hysteretic [Normal -> Brownout -> Open]
+      state machine fed from the stats window.  Brownout sheds
+      best-effort traffic, shrinks the server-side expiry multiplier
+      and falls back to FIFO; Open admits only probe traffic.  The
+      ["guard.trip"] fault point lets the {!Fault} schedule DSL script
+      overload episodes together with hardware faults.
+
+    The guard is pure bookkeeping plus one RNG stream for retry jitter:
+    it schedules no simulation events itself (the server owns the
+    clock), so a server configured {e without} a guard is untouched —
+    byte-identical results to a build without this module. *)
+
+type state = Normal | Brownout | Open
+
+val state_name : state -> string
+
+type bucket_config = {
+  rate_per_sec : float;  (** sustained refill rate; must be positive *)
+  burst : float;  (** bucket capacity in tokens; at least 1 *)
+}
+
+type shed_config = {
+  max_queue : int;
+      (** admission bound on total queued requests (dispatch + worker
+          local queues); arrivals beyond it are shed *)
+  codel_target_ns : int;
+      (** tolerable standing delay: the age of the oldest queued
+          request the shedder accepts *)
+  codel_interval_ns : int;
+      (** how long the head age must stay above target before shedding
+          starts (one RTT-ish in CoDel terms) *)
+}
+
+type retry_config = {
+  max_attempts : int;
+      (** total attempts per logical request, first try included *)
+  backoff_ns : int;  (** backoff before the second attempt *)
+  max_backoff_ns : int;  (** cap on the doubled backoff *)
+  jitter : float;
+      (** multiplicative jitter width in [0,1]: the gap is drawn
+          uniformly from [gap*(1 +/- jitter/2)] *)
+  budget : bucket_config option;
+      (** global token budget on retry attempts; [None] = naive
+          unbudgeted retries (the meltdown configuration) *)
+}
+
+type brownout_config = {
+  p99_trip_ns : int;  (** window p99 above this is an unhealthy window *)
+  qlen_trip : int;  (** window max queue length above this likewise *)
+  trip_windows : int;
+      (** consecutive unhealthy windows before escalating one state *)
+  recover_windows : int;
+      (** consecutive healthy windows before de-escalating one state *)
+  timeout_shrink : float;
+      (** server-side expiry multiplier applied to [timeout_ns] while
+          degraded, in (0,1]: shed queued work sooner than the client
+          would abandon it *)
+  probe_every : int;
+      (** in [Open], admit one of every [probe_every] candidates to
+          probe for recovery *)
+}
+
+type config = {
+  timeout_ns : int option;  (** client patience; [None] = infinite *)
+  drop_expired : bool;
+      (** server drops queued requests already past their (effective)
+          timeout instead of burning a worker on work the client
+          abandoned; requires [timeout_ns] *)
+  shed : shed_config option;
+  global_bucket : bucket_config option;
+  lc_bucket : bucket_config option;  (** latency-critical class *)
+  be_bucket : bucket_config option;  (** best-effort class *)
+  retry : retry_config option;  (** requires [timeout_ns] *)
+  brownout : brownout_config option;
+}
+
+val disabled : config
+(** Everything off — admitted unconditionally, no timeouts.  Useful as
+    a base for [{ disabled with ... }]. *)
+
+val default_shed : shed_config
+(** 256-deep bound, 1 ms target, 5 ms interval. *)
+
+val default_retry : retry_config
+(** 4 attempts, 50 µs base backoff doubling to 1 ms, 0.5 jitter, no
+    budget (naive). *)
+
+val default_brownout : brownout_config
+(** p99 trip 1 ms, qlen trip 512, 3 windows to trip, 5 to recover,
+    0.5 timeout shrink, probe every 8. *)
+
+val validate : config -> unit
+(** Raises [Invalid_argument] on out-of-range parameters, [retry] or
+    [drop_expired] without [timeout_ns], etc. *)
+
+type t
+
+val create : ?faults:Fault.t -> ?trace:Obs.Trace.t -> config -> t
+(** Validates the config.  When [faults] is given, registers the
+    ["guard.trip"] point: a firing evaluation (checked once per stats
+    window) forces the breaker to [Open]; the trip is marked detected
+    immediately and recovered when the breaker returns to [Normal].
+    When [trace] is given, state transitions and per-window counters
+    are emitted under {!Obs.Trace.cat.Guard}. *)
+
+val config : t -> config
+
+(** {2 Admission} *)
+
+type verdict =
+  | Admit
+  | Shed_queue  (** bounded queue full *)
+  | Shed_delay  (** CoDel: standing queue delay above target *)
+  | Shed_rate  (** token bucket (global or per-class) empty *)
+  | Shed_brownout  (** breaker degraded: BE in Brownout, non-probe in Open *)
+
+val verdict_name : verdict -> string
+
+val admission :
+  t -> now:int -> cls:Workload.Request.cls -> qlen:int -> head_wait_ns:int -> verdict
+(** Decide one arrival.  [qlen] is the total queued occupancy and
+    [head_wait_ns] the age of the oldest queued request (see
+    {!Rqueue.head_wait_ns}).  Counts the verdict. *)
+
+(** {2 Breaker} *)
+
+val on_window :
+  t -> now:int -> p99_ns:float -> max_qlen:int -> unit
+(** Feed one stats-window observation to the breaker (no-op without a
+    [brownout] config, except for counter emission to the trace). *)
+
+val breaker_state : t -> state
+
+val force_fifo : t -> bool
+(** The degraded discipline override: true while the breaker is out of
+    [Normal] (and a [brownout] config exists). *)
+
+val client_timeout_ns : t -> int option
+(** The client's patience — independent of breaker state. *)
+
+val effective_timeout_ns : t -> int option
+(** The server-side expiry threshold: [timeout_ns], shrunk by
+    [timeout_shrink] while the breaker is degraded. *)
+
+val expiry_ns : t -> int option
+(** [effective_timeout_ns] when [drop_expired] is set, else [None] —
+    the threshold the server's pop path compares queue age against. *)
+
+(** {2 Client model} *)
+
+val retry_gap : t -> Engine.Rng.t -> now:int -> attempt:int -> int option
+(** The client's decision after attempt [attempt] (1-based) failed —
+    timed out or was shed.  [None] when retries are off, the attempt
+    cap is reached, or the retry budget is empty; otherwise the
+    backoff-with-jitter delay before the next attempt.  Consumes a
+    budget token on success. *)
+
+(** {2 Server-side bookkeeping} *)
+
+val note_retry : t -> unit
+(** A retry attempt was actually scheduled (the server may discard a
+    granted retry that would land after the run ends). *)
+
+val note_client_timeout : t -> unit
+val note_expired : t -> unit
+val note_goodput : t -> unit
+val note_late : t -> unit
+(** A completion past the client timeout: wasted work. *)
+
+(** {2 Ledger} *)
+
+type report = {
+  admitted : int;
+  shed_queue : int;
+  shed_delay : int;
+  shed_rate : int;
+  shed_brownout : int;
+  shed_total : int;
+  expired : int;  (** server-side drops of abandoned queued work *)
+  client_timeouts : int;
+  retries : int;  (** retry attempts scheduled *)
+  retry_exhausted : int;  (** give-ups at the attempt cap *)
+  budget_denied : int;  (** retries the budget refused *)
+  goodput : int;  (** completions within the client timeout *)
+  late : int;
+  trips : int;  (** breaker escalations (incl. scripted trips) *)
+  recoveries : int;  (** breaker de-escalations *)
+  degraded_windows : int;  (** windows spent out of [Normal] *)
+  final_state : state;
+}
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,6 @@
-type cat = Uipi | Klock | Utimer | Sched | Server | Request | Fault | Fiber | Exec
+type cat = Uipi | Klock | Utimer | Sched | Server | Request | Fault | Fiber | Exec | Guard
 
-let all_cats = [ Uipi; Klock; Utimer; Sched; Server; Request; Fault; Fiber; Exec ]
+let all_cats = [ Uipi; Klock; Utimer; Sched; Server; Request; Fault; Fiber; Exec; Guard ]
 
 let cat_index = function
   | Uipi -> 0
@@ -12,8 +12,9 @@ let cat_index = function
   | Fault -> 6
   | Fiber -> 7
   | Exec -> 8
+  | Guard -> 9
 
-let n_cats = 9
+let n_cats = 10
 
 let cat_name = function
   | Uipi -> "uipi"
@@ -25,6 +26,7 @@ let cat_name = function
   | Fault -> "fault"
   | Fiber -> "fiber"
   | Exec -> "exec"
+  | Guard -> "guard"
 
 let cat_of_string s =
   match String.lowercase_ascii s with
@@ -37,6 +39,7 @@ let cat_of_string s =
   | "fault" -> Ok Fault
   | "fiber" -> Ok Fiber
   | "exec" -> Ok Exec
+  | "guard" -> Ok Guard
   | other ->
     Error
       (Printf.sprintf "unknown category %S (%s)" other
@@ -60,7 +63,8 @@ let cat_of_index = function
   | 5 -> Request
   | 6 -> Fault
   | 7 -> Fiber
-  | _ -> Exec
+  | 8 -> Exec
+  | _ -> Guard
 
 type event = { ts : int; kind : kind; cat : cat; name : string; track : int; arg : int }
 

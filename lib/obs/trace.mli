@@ -25,6 +25,7 @@ type cat =
   | Fault  (** fault injections, detections, recoveries *)
   | Fiber  (** fiber_rt real-execution runtime *)
   | Exec  (** Exec.Pool sweep workers (host-side, wall-clock) *)
+  | Guard  (** overload control: breaker state, sheds, retries *)
 
 val all_cats : cat list
 val cat_name : cat -> string

@@ -38,6 +38,7 @@ let create ~name =
 let name t = t.qname
 
 let length t = t.len
+let head_wait_ns t ~now = if t.len = 0 then 0 else now - t.enq.(t.head)
 let is_empty t = t.len = 0
 let max_length t = t.hwm
 let total_pushed t = t.pushed

@@ -23,6 +23,12 @@ val pop_by : 'a t -> now:int -> key:('a -> int) -> 'a option
 val peek : 'a t -> 'a option
 
 val length : 'a t -> int
+(** Current depth/occupancy — O(1), unlike walking the ring. *)
+
+val head_wait_ns : 'a t -> now:int -> int
+(** Age of the oldest queued element (0 when empty) — O(1).  The
+    standing-delay signal overload control sheds on: a head that keeps
+    ageing means the queue is not draining. *)
 
 val is_empty : 'a t -> bool
 

@@ -28,6 +28,7 @@ type config = {
   seed : int64;
   max_events : int;
   trace : Obs.Trace.config option;
+  guard : Guard.config option;
 }
 
 let default_config ~n_workers ~policy ~mechanism =
@@ -52,6 +53,7 @@ let default_config ~n_workers ~policy ~mechanism =
     seed = 42L;
     max_events = 400_000_000;
     trace = None;
+    guard = None;
   }
 
 type probes = {
@@ -77,6 +79,9 @@ type result = {
   completed : int;
   cancelled : int;
   dropped : int;
+  shed : int;
+  goodput : int;
+  goodput_rps : float;
   all : Stat.Summary.report;
   lc : Stat.Summary.report option;
   be : Stat.Summary.report option;
@@ -91,6 +96,7 @@ type result = {
   dispatch_queue_hwm : int;
   sim_events : int;
   resilience : resilience option;
+  guard : Guard.report option;
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.snapshot;
 }
@@ -153,6 +159,10 @@ type st = {
   mutable measured_completed : int;
   mutable completed_in_window : int;
   mutable cancelled_measured : int;
+  mutable measured_shed : int;
+  mutable measured_expired : int;
+  mutable goodput_measured : int;
+  mutable goodput_in_window : int;
   mutable preemptions : int;
   mutable spurious : int;
   mutable next_id : int;
@@ -165,6 +175,13 @@ type st = {
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.t;
   m_lat : Obs.Metrics.histogram;
+  guard : Guard.t option;
+  (* Client-side retry state; live only when the guard has a retry
+     config.  [retry_attempts] maps in-flight request id -> attempt
+     number; an id still present when its patience expires means the
+     client gave up on that attempt. *)
+  mutable retry_rng : Engine.Rng.t option;
+  retry_attempts : (int, int) Hashtbl.t;
 }
 
 let now st = Engine.Sim.now st.sim
@@ -190,6 +207,11 @@ let tr_req st (req : Workload.Request.t) ~name ~arg =
 let tr_server st ~name ~track ~arg =
   match st.trace with
   | Some trace -> Obs.Trace.instant trace Obs.Trace.Server ~name ~track ~arg
+  | None -> ()
+
+let tr_guard st ~name ~track ~arg =
+  match st.trace with
+  | Some trace -> Obs.Trace.instant trace Obs.Trace.Guard ~name ~track ~arg
   | None -> ()
 
 let quantum_span_begin st w ~quantum_ns =
@@ -227,9 +249,35 @@ and complete_current st w fn =
   let latency = t - req.Workload.Request.arrival_ns in
   Stats_window.note_completion st.window ~now:t ~latency_ns:latency
     ~service_ns:req.Workload.Request.service_ns;
+  (* Goodput: did the completion reach a client still waiting for it?
+     With the retry model the table entry is the client's presence
+     (removed when its patience expires); without it, plain latency vs
+     patience.  No guard = every completion is goodput. *)
+  let within_patience =
+    match st.guard with
+    | None -> true
+    | Some g ->
+      (match Guard.client_timeout_ns g with
+      | None -> true
+      | Some tmo ->
+        (match st.retry_rng with
+        | Some _ -> Hashtbl.mem st.retry_attempts req.Workload.Request.id
+        | None -> latency <= tmo))
+  in
+  (match st.guard with
+  | Some g ->
+    (match st.retry_rng with
+    | Some _ -> Hashtbl.remove st.retry_attempts req.Workload.Request.id
+    | None -> ());
+    if within_patience then Guard.note_goodput g else Guard.note_late g
+  | None -> ());
   if measured st req then begin
     st.measured_completed <- st.measured_completed + 1;
     if t <= st.duration_ns then st.completed_in_window <- st.completed_in_window + 1;
+    if within_patience then begin
+      st.goodput_measured <- st.goodput_measured + 1;
+      if t <= st.duration_ns then st.goodput_in_window <- st.goodput_in_window + 1
+    end;
     Stat.Summary.record st.sum_all (float_of_int latency);
     (match req.Workload.Request.cls with
     | Workload.Request.Latency_critical -> Stat.Summary.record st.sum_lc (float_of_int latency)
@@ -292,13 +340,45 @@ and schedule_next st w =
     end
   end
 
+and pop_disc st (q : Workload.Request.t Rqueue.t) t =
+  (* Degraded mode falls back to plain FIFO: the clever disciplines
+     scan the queue, and under overload the queue is long. *)
+  let fifo = match st.guard with Some g -> Guard.force_fifo g | None -> false in
+  if fifo then Rqueue.pop q ~now:t
+  else
+    match st.cfg.discipline with
+    | Fifo -> Rqueue.pop q ~now:t
+    | Srpt_oracle -> Rqueue.pop_by q ~now:t ~key:(fun r -> r.Workload.Request.service_ns)
+    | Edf slo ->
+      Rqueue.pop_by q ~now:t ~key:(fun r -> r.Workload.Request.arrival_ns + slo)
+
 and pop_new st (q : Workload.Request.t Rqueue.t) =
   let t = now st in
-  match st.cfg.discipline with
-  | Fifo -> Rqueue.pop q ~now:t
-  | Srpt_oracle -> Rqueue.pop_by q ~now:t ~key:(fun r -> r.Workload.Request.service_ns)
-  | Edf slo ->
-    Rqueue.pop_by q ~now:t ~key:(fun r -> r.Workload.Request.arrival_ns + slo)
+  match st.guard with
+  | None -> pop_disc st q t
+  | Some g ->
+    (match Guard.expiry_ns g with
+    | None -> pop_disc st q t
+    | Some tmo ->
+      (* The client already abandoned anything this old; dropping it at
+         the pop point frees the worker for work that can still count. *)
+      let rec fresh () =
+        match pop_disc st q t with
+        | Some req when t - req.Workload.Request.arrival_ns > tmo ->
+          tr_req st req ~name:"guard.expired" ~arg:(t - req.Workload.Request.arrival_ns);
+          Guard.note_expired g;
+          st.outstanding <- st.outstanding - 1;
+          if measured st req then st.measured_expired <- st.measured_expired + 1;
+          Workload.Request.Pool.release st.req_pool req;
+          fresh ()
+        | r -> r
+      in
+      (match fresh () with
+      | Some _ as r -> r
+      | None ->
+        (* expiry may have emptied the system *)
+        check_drain st;
+        None))
 
 and launch_new st w ~from =
   match pop_new st from.local with
@@ -638,6 +718,88 @@ let admit st (req : Workload.Request.t) =
   Rqueue.push st.dispatch_q ~now:(now st) req;
   pump_dispatcher st
 
+let verdict_arg = function
+  | Guard.Admit -> 0
+  | Guard.Shed_queue -> 1
+  | Guard.Shed_delay -> 2
+  | Guard.Shed_rate -> 3
+  | Guard.Shed_brownout -> 4
+
+(* Guarded admission of attempt [attempt] (1-based) of a logical
+   request.  A shed never enters the system — [outstanding] untouched,
+   record released — but still counts as offered work, and the client
+   reacts to the rejection exactly as to a timeout: back off and maybe
+   retry.  With no guard this is [admit], bit for bit. *)
+let rec attempt_admit st ~attempt (req : Workload.Request.t) =
+  match st.guard with
+  | None -> admit st req
+  | Some g ->
+    let t = now st in
+    let verdict =
+      Guard.admission g ~now:t ~cls:req.Workload.Request.cls ~qlen:(total_qlen st)
+        ~head_wait_ns:(Rqueue.head_wait_ns st.dispatch_q ~now:t)
+    in
+    (match verdict with
+    | Guard.Admit ->
+      (match (st.retry_rng, Guard.client_timeout_ns g) with
+      | Some _, Some tmo ->
+        (* Arm the client's patience clock.  The closure captures only
+           scalars — the pooled record may back another request by the
+           time it fires. *)
+        let id = req.Workload.Request.id in
+        let cls = req.Workload.Request.cls in
+        let service_ns = req.Workload.Request.service_ns in
+        Hashtbl.replace st.retry_attempts id attempt;
+        ignore
+          (Engine.Sim.at st.sim (t + tmo) (fun () ->
+               client_timeout_fire st ~id ~attempt ~cls ~service_ns))
+      | _ -> ());
+      admit st req
+    | shed ->
+      if measured st req then begin
+        st.measured_offered <- st.measured_offered + 1;
+        st.measured_shed <- st.measured_shed + 1
+      end;
+      tr_req st req ~name:"guard.shed" ~arg:(verdict_arg shed);
+      let cls = req.Workload.Request.cls in
+      let service_ns = req.Workload.Request.service_ns in
+      Workload.Request.Pool.release st.req_pool req;
+      schedule_client_retry st ~attempt ~cls ~service_ns)
+
+and client_timeout_fire st ~id ~attempt ~cls ~service_ns =
+  if Hashtbl.mem st.retry_attempts id then begin
+    Hashtbl.remove st.retry_attempts id;
+    (match st.guard with Some g -> Guard.note_client_timeout g | None -> ());
+    tr_guard st ~name:"guard.timeout" ~track:id ~arg:attempt;
+    schedule_client_retry st ~attempt ~cls ~service_ns
+  end
+
+(* The client's reaction to a failed attempt.  Retries landing at or
+   past [duration_ns] are discarded: arrivals stop there and a retry
+   admitted during the drain would wedge the shutdown logic. *)
+and schedule_client_retry st ~attempt ~cls ~service_ns =
+  let t = now st in
+  if t < st.duration_ns then
+    match (st.guard, st.retry_rng) with
+    | Some g, Some rng ->
+      (match Guard.retry_gap g rng ~now:t ~attempt with
+      | Some gap when t + gap < st.duration_ns ->
+        Guard.note_retry g;
+        ignore
+          (Engine.Sim.at st.sim (t + gap) (fun () ->
+               retry_fire st ~attempt:(attempt + 1) ~cls ~service_ns))
+      | Some _ | None -> ())
+    | _ -> ()
+
+and retry_fire st ~attempt ~cls ~service_ns =
+  let t = now st in
+  let req =
+    Workload.Request.Pool.acquire st.req_pool ~id:st.next_id ~arrival_ns:t ~service_ns
+      ~cls
+  in
+  st.next_id <- st.next_id + 1;
+  attempt_admit st ~attempt req
+
 (* One arrival event is outstanding at a time, so a single [fire]
    closure (allocated once here) serves the whole run: it reads the
    arrival instant off the sim clock when it runs. *)
@@ -650,7 +812,7 @@ let arrivals st ~arrival ~source =
         ~service_ns ~cls
     in
     st.next_id <- st.next_id + 1;
-    admit st req;
+    attempt_admit st ~attempt:1 req;
     schedule ()
   and schedule () =
     let t = now st in
@@ -667,11 +829,22 @@ let arrivals st ~arrival ~source =
 
 (* Inject a pre-materialized trace instead of sampling arrivals. *)
 let inject_trace st requests =
+  (* Retries mint fresh ids from [next_id]; start past the trace's own
+     ids so the patience table never sees a collision. *)
+  (match st.guard with
+  | Some _ ->
+    List.iter
+      (fun (r : Workload.Request.t) ->
+        if r.Workload.Request.id >= st.next_id then st.next_id <- r.Workload.Request.id + 1)
+      requests
+  | None -> ());
   List.iter
     (fun (req : Workload.Request.t) ->
       if req.Workload.Request.arrival_ns >= st.duration_ns then
         invalid_arg "Server.run_trace: request arrives at/after duration";
-      ignore (Engine.Sim.at st.sim req.Workload.Request.arrival_ns (fun () -> admit st req)))
+      ignore
+        (Engine.Sim.at st.sim req.Workload.Request.arrival_ns (fun () ->
+             attempt_admit st ~attempt:1 req)))
     requests;
   ignore
     (Engine.Sim.at st.sim st.duration_ns (fun () ->
@@ -688,6 +861,11 @@ let window_loop st =
       Stats_window.note_qlen st.window (total_qlen st);
       let snapshot = Stats_window.roll st.window ~now:t in
       st.cfg.policy.Policy.on_window snapshot;
+      (match st.guard with
+      | Some g ->
+        Guard.on_window g ~now:t ~p99_ns:snapshot.Stats_window.p99_ns
+          ~max_qlen:snapshot.Stats_window.max_qlen
+      | None -> ());
       let quantum_ns =
         st.cfg.policy.Policy.quantum_ns ~now:t ~cls:Workload.Request.Latency_critical
       in
@@ -735,6 +913,7 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
     Obs.Metrics.gauge metrics "trace.recorded" (fun () -> Obs.Trace.recorded tr);
     Obs.Metrics.gauge metrics "trace.dropped" (fun () -> Obs.Trace.dropped tr)
   | None -> ());
+  let guard = Option.map (fun gc -> Guard.create ?faults:cfg.faults ?trace gc) cfg.guard in
   let st =
     {
       sim;
@@ -785,6 +964,10 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       measured_completed = 0;
       completed_in_window = 0;
       cancelled_measured = 0;
+      measured_shed = 0;
+      measured_expired = 0;
+      goodput_measured = 0;
+      goodput_in_window = 0;
       preemptions = 0;
       spurious = 0;
       next_id = 0;
@@ -797,8 +980,17 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       trace;
       metrics;
       m_lat = Obs.Metrics.histogram metrics "latency.all_ns";
+      guard;
+      retry_rng = None;
+      retry_attempts = Hashtbl.create 64;
     }
   in
+  (* The retry stream is forked only when the guard models retries, so
+     a guard-less run forks exactly the streams it always did. *)
+  (match guard with
+  | Some g when (Guard.config g).Guard.retry <> None ->
+    st.retry_rng <- Some (Engine.Sim.fork_rng sim)
+  | Some _ | None -> ());
   st.k_dispatch <- (fun () -> dispatch_done st);
   Array.iter
     (fun w ->
@@ -838,13 +1030,27 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
   Obs.Metrics.add (Obs.Metrics.counter st.metrics "interrupts.timer") (st.mech.mech_fired ());
   Obs.Metrics.add (Obs.Metrics.counter st.metrics "interrupts.spurious") st.spurious;
   Obs.Metrics.add (Obs.Metrics.counter st.metrics "wedged") st.wedged;
+  (match st.guard with
+  | Some g ->
+    let gr = Guard.report g in
+    Obs.Metrics.add (Obs.Metrics.counter st.metrics "guard.shed") gr.Guard.shed_total;
+    Obs.Metrics.add (Obs.Metrics.counter st.metrics "guard.expired") gr.Guard.expired;
+    Obs.Metrics.add
+      (Obs.Metrics.counter st.metrics "guard.timeouts")
+      gr.Guard.client_timeouts;
+    Obs.Metrics.add (Obs.Metrics.counter st.metrics "guard.retries") gr.Guard.retries;
+    Obs.Metrics.add (Obs.Metrics.counter st.metrics "guard.goodput") gr.Guard.goodput
+  | None -> ());
   {
     duration_ns;
     measured_ns;
     offered = st.measured_offered;
     completed = st.measured_completed;
     cancelled = st.cancelled_measured;
-    dropped = 0;
+    dropped = st.measured_expired;
+    shed = st.measured_shed;
+    goodput = st.goodput_measured;
+    goodput_rps = float_of_int st.goodput_in_window *. 1e9 /. float_of_int measured_ns;
     all = Stat.Summary.report st.sum_all;
     lc = (if Stat.Summary.count st.sum_lc = 0 then None else Some (Stat.Summary.report st.sum_lc));
     be = (if Stat.Summary.count st.sum_be = 0 then None else Some (Stat.Summary.report st.sum_be));
@@ -872,6 +1078,7 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
             wedged = st.wedged;
             fallback_engaged = st.fallback_engaged;
           });
+    guard = Option.map Guard.report st.guard;
     trace = st.trace;
     metrics = Obs.Metrics.snapshot st.metrics;
   }

@@ -85,6 +85,12 @@ type config = {
           the fault ledger, and returns it in {!result.trace}.  [None]
           (default) emits nothing and perturbs nothing — a traced and an
           untraced run of the same seed are bit-identical. *)
+  guard : Guard.config option;
+      (** overload control: admission (bounded queue, CoDel-style
+          delay shedding, token buckets), client timeouts with
+          budgeted retries, and the brownout breaker.  [None]
+          (default) is an exact no-op — same events, same RNG forks,
+          byte-identical results to a guard-less build. *)
 }
 
 val default_config : n_workers:int -> policy:Policy.t -> mechanism:mechanism -> config
@@ -114,10 +120,22 @@ type resilience = {
 type result = {
   duration_ns : int;
   measured_ns : int;
-  offered : int;  (** measured arrivals *)
+  offered : int;
+      (** measured arrivals — every attempt the clients presented,
+          including shed ones and retries *)
   completed : int;  (** measured completions *)
   cancelled : int;  (** measured cancellations (SLO-doomed requests) *)
   dropped : int;
+      (** measured server-side drops of expired queued work (guard
+          [drop_expired]); after the drain
+          [offered = completed + cancelled + dropped + shed] *)
+  shed : int;  (** measured admission rejections (never executed) *)
+  goodput : int;
+      (** measured completions that reached a client still waiting —
+          equals [completed] without a guard timeout *)
+  goodput_rps : float;
+      (** goodput completions inside the measurement window over its
+          length — the figure of merit under overload *)
   all : Stat.Summary.report;
   lc : Stat.Summary.report option;
   be : Stat.Summary.report option;
@@ -139,6 +157,9 @@ type result = {
           the numerator of [bench --perf]'s events-per-second figure *)
   resilience : resilience option;
       (** [Some] exactly when the run was configured with a fault plan *)
+  guard : Guard.report option;
+      (** [Some] exactly when {!config.guard} was set: the overload
+          ledger (sheds by cause, timeouts, retries, breaker history) *)
   trace : Obs.Trace.t option;
       (** [Some] exactly when {!config.trace} was set; feed it to
           {!Obs.Export.perfetto} / {!Obs.Breakdown.of_trace} *)

@@ -7,6 +7,14 @@ type kind =
       period_ns : int;
       spike_fraction : float;
     }
+  | Flash of {
+      base_rate : float;
+      peak_rate : float;
+      start_ns : int;
+      ramp_ns : int;
+      hold_ns : int;
+      decay_ns : int;
+    }
   | Piecewise of (int * t) list
 
 and t = { kind : kind; arr_name : string }
@@ -40,6 +48,29 @@ let bursty ~base_rate_per_sec ~spike_rate_per_sec ~period_ns ~spike_fraction =
       Printf.sprintf "bursty(%.0f->%.0f/s)" base_rate_per_sec spike_rate_per_sec;
   }
 
+let flash_crowd ~base_rate_per_sec ~peak_rate_per_sec ~start_ns ~ramp_ns ~hold_ns
+    ~decay_ns =
+  check_rate base_rate_per_sec "Arrival.flash_crowd";
+  check_rate peak_rate_per_sec "Arrival.flash_crowd";
+  if peak_rate_per_sec < base_rate_per_sec then
+    invalid_arg "Arrival.flash_crowd: peak below base";
+  if start_ns < 0 then invalid_arg "Arrival.flash_crowd: negative start";
+  if ramp_ns < 0 || hold_ns < 0 || decay_ns < 0 then
+    invalid_arg "Arrival.flash_crowd: negative phase length";
+  {
+    kind =
+      Flash
+        {
+          base_rate = base_rate_per_sec;
+          peak_rate = peak_rate_per_sec;
+          start_ns;
+          ramp_ns;
+          hold_ns;
+          decay_ns;
+        };
+    arr_name = Printf.sprintf "flash(%.0f->%.0f/s)" base_rate_per_sec peak_rate_per_sec;
+  }
+
 let piecewise segments =
   if segments = [] then invalid_arg "Arrival.piecewise: empty";
   { kind = Piecewise segments; arr_name = "piecewise" }
@@ -50,6 +81,20 @@ let rec rate_at t ~now =
   | Bursty { base_rate; spike_rate; period_ns; spike_fraction } ->
     let phase = float_of_int (now mod period_ns) /. float_of_int period_ns in
     if phase < spike_fraction then spike_rate else base_rate
+  | Flash { base_rate; peak_rate; start_ns; ramp_ns; hold_ns; decay_ns } ->
+    (* Linear ramp up, hold at the peak, linear decay back to base —
+       one flash-crowd envelope. *)
+    if now < start_ns then base_rate
+    else if now < start_ns + ramp_ns then
+      let f = float_of_int (now - start_ns) /. float_of_int ramp_ns in
+      base_rate +. (f *. (peak_rate -. base_rate))
+    else if now < start_ns + ramp_ns + hold_ns then peak_rate
+    else if now < start_ns + ramp_ns + hold_ns + decay_ns then
+      let f =
+        float_of_int (now - start_ns - ramp_ns - hold_ns) /. float_of_int decay_ns
+      in
+      peak_rate -. (f *. (peak_rate -. base_rate))
+    else base_rate
   | Piecewise segments ->
     let rec pick = function
       | [] -> assert false
@@ -63,9 +108,9 @@ let rec next_gap t rng ~now =
     match t.kind with
     | Poisson r -> int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. r))
     | Uniform r -> int_of_float (1e9 /. r)
-    | Bursty _ ->
+    | Bursty _ | Flash _ ->
       (* Sample from the instantaneous rate; fine-grained enough since
-         spikes last many inter-arrival times. *)
+         spikes and ramps last many inter-arrival times. *)
       let r = rate_at t ~now in
       int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. r))
     | Piecewise segments ->

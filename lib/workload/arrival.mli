@@ -23,6 +23,19 @@ val bursty :
     the remainder at [base_rate] — the paper's spiky load generator
     (QPS 40 → 110 kRPS). *)
 
+val flash_crowd :
+  base_rate_per_sec:float ->
+  peak_rate_per_sec:float ->
+  start_ns:int ->
+  ramp_ns:int ->
+  hold_ns:int ->
+  decay_ns:int ->
+  t
+(** A flash-crowd envelope: steady [base_rate] until [start_ns], a
+    linear ramp to [peak_rate] over [ramp_ns], a hold of [hold_ns], and
+    a linear decay back to base over [decay_ns].  The overload-control
+    experiments drive the guard with a peak past capacity. *)
+
 val piecewise : (int * t) list -> t
 (** [(until_ns, process)] segments in increasing order of [until_ns];
     the process of the first segment whose bound exceeds the current

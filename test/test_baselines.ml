@@ -232,6 +232,71 @@ let test_utimer_power_model () =
     (Utimer.energy_joules parked ~duration_ns:(Units.sec 1))
 
 (* ------------------------------------------------------------------ *)
+(* Request flood (tail attack through the front door)                  *)
+(* ------------------------------------------------------------------ *)
+
+let flood_guard =
+  {
+    Guard.disabled with
+    Guard.timeout_ns = Some (Units.us 300);
+    drop_expired = true;
+    shed =
+      Some
+        { Guard.max_queue = 32; codel_target_ns = Units.us 50; codel_interval_ns = Units.us 250 };
+    be_bucket = Some { Guard.rate_per_sec = 10_000.0; burst = 8.0 };
+    brownout = Some Guard.default_brownout;
+  }
+
+let run_flood ?guard ~flood_rate () =
+  Baselines.Attack.request_flood ?guard ~victim_rate:200_000.0 ~flood_rate
+    ~slo_ns:(Units.us 300) ~duration_ns:(Units.ms 30) ()
+
+let test_flood_conservation () =
+  (* Drained run: every offered request either completed, was shed at
+     admission, or was dropped after the client abandoned it. *)
+  List.iter
+    (fun (guard, flood_rate) ->
+      let r = run_flood ?guard ~flood_rate () in
+      check_int "offered = completed + shed + expired"
+        r.Baselines.Attack.offered
+        (r.Baselines.Attack.completed + r.Baselines.Attack.shed + r.Baselines.Attack.expired))
+    [ (None, 0.0); (None, 45_000.0); (Some flood_guard, 0.0); (Some flood_guard, 45_000.0) ]
+
+let test_flood_guard_protects_lc () =
+  let naive = run_flood ~flood_rate:100_000.0 () in
+  let guarded = run_flood ~guard:flood_guard ~flood_rate:100_000.0 () in
+  let control = run_flood ~flood_rate:0.0 () in
+  (* Preemption already shields LC requests shorter than the quantum,
+     so the flood's damage lands on the LC tail: requests longer than
+     the quantum are demoted behind the BE glut and their p99 explodes
+     past the SLO.  The guard's BE bucket sheds the flood and restores
+     both the tail and the lost goodput. *)
+  let slo_us = 300.0 in
+  check_bool "flood explodes the naive LC tail" true
+    (naive.Baselines.Attack.lc_p99_us > 10.0 *. slo_us);
+  check_bool "flood costs the naive victim goodput" true
+    (naive.Baselines.Attack.lc_goodput_rps < 0.98 *. control.Baselines.Attack.lc_goodput_rps);
+  check_bool "guard restores the LC tail" true
+    (guarded.Baselines.Attack.lc_p99_us < slo_us);
+  check_bool "guard restores goodput" true
+    (guarded.Baselines.Attack.lc_goodput_rps > naive.Baselines.Attack.lc_goodput_rps);
+  check_bool "guard actually shed" true (guarded.Baselines.Attack.shed > 0);
+  check_bool "shed work never executes" true
+    (guarded.Baselines.Attack.completed + guarded.Baselines.Attack.expired
+    <= guarded.Baselines.Attack.offered - guarded.Baselines.Attack.shed);
+  match guarded.Baselines.Attack.guard_report with
+  | None -> Alcotest.fail "guarded run carries a ledger"
+  | Some g ->
+    check_int "ledger agrees with result" g.Guard.shed_total guarded.Baselines.Attack.shed
+
+let test_flood_validation () =
+  Alcotest.check_raises "negative flood"
+    (Invalid_argument "Attack.request_flood: negative flood rate") (fun () ->
+      ignore
+        (Baselines.Attack.request_flood ~victim_rate:1.0 ~flood_rate:(-1.0) ~slo_ns:1
+           ~duration_ns:1 ()))
+
+(* ------------------------------------------------------------------ *)
 (* Tenancy                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -255,6 +320,22 @@ let test_tenancy_scales () =
       ~duration_ns:(Units.ms 30) ()
   in
   check_bool "wheel variant also works" true (wheel.Baselines.Tenancy.completed > 0)
+
+let test_tenancy_conservation () =
+  (* Every arrival is accounted for: completed, or still pending when
+     the run stopped — nothing lost, nothing invented. *)
+  List.iter
+    (fun tenants ->
+      let r =
+        Baselines.Tenancy.libpreemptible ~tenants ~per_tenant_rate:150_000.0
+          ~duration_ns:(Units.ms 20) ()
+      in
+      check_int
+        (Printf.sprintf "offered = completed + pending (%d tenants)" tenants)
+        r.Baselines.Tenancy.offered
+        (r.Baselines.Tenancy.completed + r.Baselines.Tenancy.pending);
+      check_bool "tenants actually served" true (r.Baselines.Tenancy.completed > 0))
+    [ 1; 8 ]
 
 let test_tenancy_validation () =
   Alcotest.check_raises "zero tenants"
@@ -285,6 +366,9 @@ let suites =
         Alcotest.test_case "native uintr degrades" `Slow test_attack_native_uintr_degrades;
         Alcotest.test_case "apic worst" `Slow test_attack_apic_worst;
         Alcotest.test_case "validation" `Quick test_attack_validation;
+        Alcotest.test_case "flood conservation" `Slow test_flood_conservation;
+        Alcotest.test_case "flood: guard protects LC" `Slow test_flood_guard_protects_lc;
+        Alcotest.test_case "flood validation" `Quick test_flood_validation;
       ] );
     ( "baselines.hw_offload",
       [
@@ -294,6 +378,7 @@ let suites =
     ( "baselines.tenancy",
       [
         Alcotest.test_case "scales past APIC limit" `Slow test_tenancy_scales;
+        Alcotest.test_case "conservation" `Slow test_tenancy_conservation;
         Alcotest.test_case "validation" `Quick test_tenancy_validation;
       ] );
     ( "baselines.timer_strategies",

@@ -1,0 +1,463 @@
+(* Tests for lib/guard: admission layers in isolation, breaker
+   hysteresis, the client retry model, the guard-off no-op, and the
+   conservation / retry-bound properties on full server runs. *)
+
+open Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let lc = Workload.Request.Latency_critical
+let be = Workload.Request.Best_effort
+
+(* ------------------------------------------------------------------ *)
+(* Admission layers in isolation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate () =
+  Guard.validate Guard.disabled;
+  let raises name cfg =
+    check_bool name true
+      (try
+         Guard.validate cfg;
+         false
+       with Invalid_argument _ -> true)
+  in
+  raises "retry without timeout"
+    { Guard.disabled with Guard.retry = Some Guard.default_retry };
+  raises "drop_expired without timeout" { Guard.disabled with Guard.drop_expired = true };
+  raises "bad bucket rate"
+    { Guard.disabled with Guard.global_bucket = Some { Guard.rate_per_sec = 0.0; burst = 4.0 } };
+  raises "bad jitter"
+    {
+      Guard.disabled with
+      Guard.timeout_ns = Some 1_000;
+      retry = Some { Guard.default_retry with Guard.jitter = 1.5 };
+    };
+  raises "bad shed bound"
+    { Guard.disabled with Guard.shed = Some { Guard.default_shed with Guard.max_queue = 0 } };
+  raises "bad brownout shrink"
+    {
+      Guard.disabled with
+      Guard.brownout = Some { Guard.default_brownout with Guard.timeout_shrink = 0.0 };
+    }
+
+let test_queue_bound () =
+  let g =
+    Guard.create
+      { Guard.disabled with Guard.shed = Some { Guard.default_shed with Guard.max_queue = 4 } }
+  in
+  check_bool "below bound admits" true
+    (Guard.admission g ~now:0 ~cls:lc ~qlen:3 ~head_wait_ns:0 = Guard.Admit);
+  check_bool "at bound sheds" true
+    (Guard.admission g ~now:0 ~cls:lc ~qlen:4 ~head_wait_ns:0 = Guard.Shed_queue);
+  let rep = Guard.report g in
+  check_int "shed counted" 1 rep.Guard.shed_queue;
+  check_int "admit counted" 1 rep.Guard.admitted
+
+let test_token_bucket () =
+  (* burst 2, refill 1000/s = one token per ms *)
+  let g =
+    Guard.create
+      {
+        Guard.disabled with
+        Guard.global_bucket = Some { Guard.rate_per_sec = 1000.0; burst = 2.0 };
+      }
+  in
+  let admit now = Guard.admission g ~now ~cls:lc ~qlen:0 ~head_wait_ns:0 in
+  check_bool "burst token 1" true (admit 0 = Guard.Admit);
+  check_bool "burst token 2" true (admit 0 = Guard.Admit);
+  check_bool "bucket empty" true (admit 0 = Guard.Shed_rate);
+  check_bool "still empty at half refill" true (admit 500_000 = Guard.Shed_rate);
+  check_bool "one token after 1.6ms" true (admit 1_600_000 = Guard.Admit);
+  check_bool "and it is spent" true (admit 1_600_000 = Guard.Shed_rate)
+
+let test_per_class_bucket () =
+  let g =
+    Guard.create
+      {
+        Guard.disabled with
+        Guard.be_bucket = Some { Guard.rate_per_sec = 1000.0; burst = 1.0 };
+      }
+  in
+  check_bool "BE first admit" true
+    (Guard.admission g ~now:0 ~cls:be ~qlen:0 ~head_wait_ns:0 = Guard.Admit);
+  check_bool "BE rate-shed" true
+    (Guard.admission g ~now:0 ~cls:be ~qlen:0 ~head_wait_ns:0 = Guard.Shed_rate);
+  check_bool "LC unaffected" true
+    (Guard.admission g ~now:0 ~cls:lc ~qlen:0 ~head_wait_ns:0 = Guard.Admit)
+
+let test_codel_persistence () =
+  (* target 10us, interval 100us: shedding starts only once the head
+     age has stayed above target for a full interval. *)
+  let shed =
+    Some
+      { Guard.max_queue = 1_000_000; codel_target_ns = 10_000; codel_interval_ns = 100_000 }
+  in
+  let g = Guard.create { Guard.disabled with Guard.shed } in
+  let admit now head = Guard.admission g ~now ~cls:lc ~qlen:1 ~head_wait_ns:head in
+  check_bool "above target, clock starts" true (admit 0 50_000 = Guard.Admit);
+  check_bool "above target, within interval" true (admit 50_000 50_000 = Guard.Admit);
+  check_bool "interval elapsed: shed" true (admit 100_000 50_000 = Guard.Shed_delay);
+  check_bool "dip below target resets" true (admit 150_000 0 = Guard.Admit);
+  check_bool "above again, clock restarted" true (admit 200_000 50_000 = Guard.Admit);
+  check_bool "persists again: shed" true (admit 300_000 50_000 = Guard.Shed_delay)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker hysteresis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_guard () =
+  Guard.create
+    {
+      Guard.disabled with
+      Guard.brownout =
+        Some
+          {
+            Guard.p99_trip_ns = 1_000_000;
+            qlen_trip = 100;
+            trip_windows = 2;
+            recover_windows = 2;
+            timeout_shrink = 0.5;
+            probe_every = 4;
+          };
+    }
+
+let test_breaker_transitions () =
+  let g = breaker_guard () in
+  let bad now = Guard.on_window g ~now ~p99_ns:5e6 ~max_qlen:10 in
+  let good now = Guard.on_window g ~now ~p99_ns:1e3 ~max_qlen:0 in
+  check_bool "starts normal" true (Guard.breaker_state g = Guard.Normal);
+  bad 1;
+  check_bool "one bad window is not enough" true (Guard.breaker_state g = Guard.Normal);
+  bad 2;
+  check_bool "two bad windows: brownout" true (Guard.breaker_state g = Guard.Brownout);
+  check_bool "brownout forces fifo" true (Guard.force_fifo g);
+  check_bool "brownout sheds BE" true
+    (Guard.admission g ~now:3 ~cls:be ~qlen:0 ~head_wait_ns:0 = Guard.Shed_brownout);
+  check_bool "brownout keeps LC" true
+    (Guard.admission g ~now:3 ~cls:lc ~qlen:0 ~head_wait_ns:0 = Guard.Admit);
+  bad 3;
+  bad 4;
+  check_bool "two more: open" true (Guard.breaker_state g = Guard.Open);
+  (* Open: one probe in [probe_every], the rest shed — regardless of class. *)
+  let admitted = ref 0 in
+  for i = 0 to 7 do
+    if Guard.admission g ~now:(5 + i) ~cls:lc ~qlen:0 ~head_wait_ns:0 = Guard.Admit then
+      incr admitted
+  done;
+  check_int "open admits 2 of 8 probes" 2 !admitted;
+  good 10;
+  check_bool "one good window is not enough" true (Guard.breaker_state g = Guard.Open);
+  good 11;
+  check_bool "recovers one step" true (Guard.breaker_state g = Guard.Brownout);
+  bad 12;
+  good 13;
+  check_bool "hysteresis: streak broken" true (Guard.breaker_state g = Guard.Brownout);
+  good 14;
+  good 15;
+  check_bool "full recovery" true (Guard.breaker_state g = Guard.Normal);
+  let rep = Guard.report g in
+  check_int "trips" 2 rep.Guard.trips;
+  check_int "recoveries" 2 rep.Guard.recoveries;
+  check_bool "degraded windows counted" true (rep.Guard.degraded_windows >= 4)
+
+let test_timeout_shrink () =
+  let g = breaker_guard () in
+  (* No timeout configured: shrink has nothing to act on. *)
+  check_bool "no timeout" true (Guard.effective_timeout_ns g = None);
+  let g =
+    Guard.create
+      {
+        (Guard.config (breaker_guard ())) with
+        Guard.timeout_ns = Some 100_000;
+        drop_expired = true;
+      }
+  in
+  check_bool "normal: full patience" true (Guard.effective_timeout_ns g = Some 100_000);
+  check_bool "expiry armed" true (Guard.expiry_ns g = Some 100_000);
+  Guard.on_window g ~now:1 ~p99_ns:5e6 ~max_qlen:0;
+  Guard.on_window g ~now:2 ~p99_ns:5e6 ~max_qlen:0;
+  check_bool "degraded: shrunk expiry" true (Guard.effective_timeout_ns g = Some 50_000);
+  check_bool "client patience unchanged" true (Guard.client_timeout_ns g = Some 100_000)
+
+(* ------------------------------------------------------------------ *)
+(* Client retry model                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let retry_guard ?budget ?(jitter = 0.5) () =
+  Guard.create
+    {
+      Guard.disabled with
+      Guard.timeout_ns = Some 100_000;
+      retry =
+        Some
+          {
+            Guard.max_attempts = 4;
+            backoff_ns = 50_000;
+            max_backoff_ns = 400_000;
+            jitter;
+            budget;
+          };
+    }
+
+let test_retry_backoff_bounds () =
+  let g = retry_guard () in
+  let rng = Rng.create 5L in
+  (* attempt k's backoff doubles from 50us, capped at 400us, with
+     +/-25% jitter; never below 1ns. *)
+  List.iter
+    (fun (attempt, base) ->
+      for _ = 1 to 50 do
+        match Guard.retry_gap g rng ~now:0 ~attempt with
+        | None -> Alcotest.fail "retry denied below the attempt cap"
+        | Some gap ->
+          let lo = int_of_float (0.74 *. float_of_int base)
+          and hi = int_of_float (1.26 *. float_of_int base) in
+          check_bool
+            (Printf.sprintf "gap %d within [%d,%d] for attempt %d" gap lo hi attempt)
+            true
+            (gap >= lo && gap <= hi)
+      done)
+    [ (1, 50_000); (2, 100_000); (3, 200_000) ];
+  check_bool "cap reached: give up" true (Guard.retry_gap g rng ~now:0 ~attempt:4 = None);
+  let rep = Guard.report g in
+  check_int "exhaustion counted" 1 rep.Guard.retry_exhausted
+
+let test_retry_budget () =
+  let g =
+    retry_guard ~budget:{ Guard.rate_per_sec = 1000.0; burst = 2.0 } ()
+  in
+  let rng = Rng.create 6L in
+  check_bool "budget token 1" true (Guard.retry_gap g rng ~now:0 ~attempt:1 <> None);
+  check_bool "budget token 2" true (Guard.retry_gap g rng ~now:0 ~attempt:1 <> None);
+  check_bool "budget empty: denied" true (Guard.retry_gap g rng ~now:0 ~attempt:1 = None);
+  check_bool "refills with time" true
+    (Guard.retry_gap g rng ~now:2_000_000 ~attempt:1 <> None);
+  let rep = Guard.report g in
+  check_int "denial counted" 1 rep.Guard.budget_denied
+
+(* ------------------------------------------------------------------ *)
+(* Server integration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dist = Workload.Service_dist.exponential ~mean_ns:2_000
+let source = Workload.Source.of_dist dist ~cls:lc
+
+let server_cfg ?guard () =
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:2
+      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(Units.us 5))
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  { cfg with Preemptible.Server.guard; stats_window_ns = Units.ms 2 }
+
+let run_server ?guard ~rate ~duration_ns () =
+  Preemptible.Server.run (server_cfg ?guard ())
+    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+    ~source ~duration_ns
+
+let test_guard_off_noop () =
+  (* A disabled guard record must behave exactly like no guard at all:
+     same completions, same latencies, same preemption counts. *)
+  let a = run_server ~rate:600_000.0 ~duration_ns:(Units.ms 20) () in
+  let b =
+    run_server ~guard:Guard.disabled ~rate:600_000.0 ~duration_ns:(Units.ms 20) ()
+  in
+  check_int "offered" a.Preemptible.Server.offered b.Preemptible.Server.offered;
+  check_int "completed" a.Preemptible.Server.completed b.Preemptible.Server.completed;
+  check_int "preemptions" a.Preemptible.Server.preemptions b.Preemptible.Server.preemptions;
+  Alcotest.(check (float 0.0))
+    "p99" a.Preemptible.Server.all.Stat.Summary.p99
+    b.Preemptible.Server.all.Stat.Summary.p99;
+  check_bool "guard ledger present only when configured" true
+    (a.Preemptible.Server.guard = None && b.Preemptible.Server.guard <> None)
+
+let full_guard =
+  {
+    Guard.disabled with
+    Guard.timeout_ns = Some (Units.us 200);
+    drop_expired = true;
+    shed = Some { Guard.max_queue = 24; codel_target_ns = Units.us 40; codel_interval_ns = Units.us 200 };
+    brownout = Some { Guard.default_brownout with Guard.p99_trip_ns = Units.us 300 };
+  }
+
+let test_overload_smoke () =
+  (* The CI gate: at 2x capacity the guarded server must keep at least
+     as much goodput (completions inside the client patience) as the
+     naive one — in practice several times more. *)
+  let workers = 4 in
+  let dist = Workload.Service_dist.workload_b in
+  let cap = float_of_int workers *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0 in
+  let rate = 2.0 *. cap in
+  let duration_ns = Units.ms 15 in
+  let patience = Units.us 200 in
+  let goodput guard =
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:workers
+        ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(Units.us 5))
+        ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+    in
+    let cfg = { cfg with Preemptible.Server.guard; stats_window_ns = Units.ms 2 } in
+    let good = ref 0 in
+    let probes =
+      {
+        Preemptible.Server.no_probes with
+        Preemptible.Server.on_complete =
+          (fun ~now:_ ~latency_ns ~cls:_ -> if latency_ns <= patience then incr good);
+      }
+    in
+    ignore
+      (Preemptible.Server.run ~probes cfg
+         ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+         ~source:(Workload.Source.of_dist dist ~cls:lc)
+         ~duration_ns);
+    !good
+  in
+  let naive = goodput None in
+  let guarded = goodput (Some full_guard) in
+  check_bool
+    (Printf.sprintf "guard goodput (%d) >= naive goodput (%d) at 2x capacity" guarded naive)
+    true (guarded >= naive)
+
+let test_shed_grows_with_load () =
+  let shed_at rate =
+    let r = run_server ~guard:full_guard ~rate ~duration_ns:(Units.ms 10) () in
+    (match r.Preemptible.Server.guard with
+    | Some g ->
+      check_int "result.shed mirrors ledger causes" g.Guard.shed_total
+        (g.Guard.shed_queue + g.Guard.shed_delay + g.Guard.shed_rate + g.Guard.shed_brownout)
+    | None -> Alcotest.fail "guard report missing");
+    r.Preemptible.Server.shed
+  in
+  let low = shed_at 300_000.0 in
+  let high = shed_at 2_000_000.0 in
+  check_int "no shedding well under capacity" 0 low;
+  check_bool "heavy shedding past capacity" true (high > 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* offered = completed + cancelled + dropped + shed after a drained
+   run (warmup 0 so measured counters cover every request), under any
+   guard configuration; and shed requests never execute. *)
+let conservation_prop =
+  QCheck.Test.make ~name:"guard: offered = completed + cancelled + dropped + shed"
+    ~count:8
+    QCheck.(pair (int_range 3 30) (int_bound 3))
+    (fun (rate_dhz, variant) ->
+      let rate = float_of_int rate_dhz *. 100_000.0 in
+      let guard =
+        match variant with
+        | 0 -> None
+        | 1 -> Some full_guard
+        | 2 ->
+          Some
+            {
+              Guard.disabled with
+              Guard.timeout_ns = Some (Units.us 150);
+              retry = Some { Guard.default_retry with Guard.max_attempts = 3 };
+            }
+        | _ ->
+          Some
+            {
+              Guard.disabled with
+              Guard.global_bucket = Some { Guard.rate_per_sec = 500_000.0; burst = 32.0 };
+            }
+      in
+      let r =
+        Preemptible.Server.run ~warmup_ns:0 (server_cfg ?guard ())
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source ~duration_ns:(Units.ms 8)
+      in
+      let open Preemptible.Server in
+      r.offered = r.completed + r.cancelled + r.dropped + r.shed
+      && r.goodput <= r.completed
+      &&
+      match r.guard with
+      | None -> r.shed = 0 && r.dropped = 0
+      | Some g ->
+        (* the ledger's execution-side counts agree: everything admitted
+           either completed or was dropped unexecuted *)
+        g.Guard.admitted = r.completed + r.cancelled + r.dropped)
+
+(* The retry budget bounds total attempts: offered <= arrivals *
+   max_attempts without a budget, and retries <= burst + rate * T with
+   one. *)
+let retry_bound_prop =
+  QCheck.Test.make ~name:"guard: retry budget bounds total attempts" ~count:6
+    QCheck.(pair (int_range 8 20) bool)
+    (fun (rate_dhz, budgeted) ->
+      let rate = float_of_int rate_dhz *. 100_000.0 in
+      let duration_ns = Units.ms 8 in
+      let budget =
+        if budgeted then Some { Guard.rate_per_sec = 10_000.0; burst = 16.0 } else None
+      in
+      let guard =
+        {
+          Guard.disabled with
+          Guard.timeout_ns = Some (Units.us 100);
+          retry =
+            Some
+              {
+                Guard.max_attempts = 4;
+                backoff_ns = Units.us 20;
+                max_backoff_ns = Units.us 100;
+                jitter = 0.5;
+                budget;
+              };
+        }
+      in
+      let r =
+        Preemptible.Server.run ~warmup_ns:0 (server_cfg ~guard ())
+          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+          ~source ~duration_ns
+      in
+      let open Preemptible.Server in
+      match r.guard with
+      | None -> false
+      | Some g ->
+        let originals = r.offered - g.Guard.retries in
+        let attempt_cap_ok = r.offered <= 4 * originals in
+        let budget_ok =
+          match budget with
+          | None -> true
+          | Some b ->
+            float_of_int g.Guard.retries
+            <= b.Guard.burst +. (b.Guard.rate_per_sec *. float_of_int duration_ns /. 1e9) +. 1.0
+        in
+        originals > 0 && attempt_cap_ok && budget_ok)
+
+let suites =
+  [
+    ( "guard.admission",
+      [
+        Alcotest.test_case "validate rejects bad configs" `Quick test_validate;
+        Alcotest.test_case "queue bound" `Quick test_queue_bound;
+        Alcotest.test_case "token bucket refill" `Quick test_token_bucket;
+        Alcotest.test_case "per-class bucket" `Quick test_per_class_bucket;
+        Alcotest.test_case "codel persistence" `Quick test_codel_persistence;
+      ] );
+    ( "guard.breaker",
+      [
+        Alcotest.test_case "transitions + hysteresis" `Quick test_breaker_transitions;
+        Alcotest.test_case "timeout shrink" `Quick test_timeout_shrink;
+      ] );
+    ( "guard.retry",
+      [
+        Alcotest.test_case "backoff bounds + exhaustion" `Quick test_retry_backoff_bounds;
+        Alcotest.test_case "budget denies and refills" `Quick test_retry_budget;
+      ] );
+    ( "guard.server",
+      [
+        Alcotest.test_case "guard off is a no-op" `Slow test_guard_off_noop;
+        Alcotest.test_case "overload smoke: guard >= naive at 2x" `Slow test_overload_smoke;
+        Alcotest.test_case "shed grows with load" `Slow test_shed_grows_with_load;
+      ] );
+    ( "guard.properties",
+      [
+        QCheck_alcotest.to_alcotest conservation_prop;
+        QCheck_alcotest.to_alcotest retry_bound_prop;
+      ] );
+  ]

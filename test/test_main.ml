@@ -2,6 +2,6 @@ let () =
   Alcotest.run "libpreemptible"
     (Test_engine.suites @ Test_stat.suites @ Test_hw.suites @ Test_ksim.suites
    @ Test_workload.suites @ Test_utimer.suites @ Test_fault.suites
-   @ Test_preemptible.suites @ Test_baselines.suites @ Test_fiber.suites
+   @ Test_preemptible.suites @ Test_guard.suites @ Test_baselines.suites @ Test_fiber.suites
    @ Test_integration.suites @ Test_properties.suites @ Test_edge.suites
    @ Test_obs.suites @ Test_exec.suites)

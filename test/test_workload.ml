@@ -96,6 +96,45 @@ let test_bursty_rate_profile () =
   Alcotest.(check (float 1e-9)) "in spike" 110_000.0 (Workload.Arrival.rate_at a ~now:(Units.ms 100));
   Alcotest.(check (float 1e-9)) "after spike" 40_000.0 (Workload.Arrival.rate_at a ~now:(Units.ms 500))
 
+let test_flash_crowd_envelope () =
+  let a =
+    Workload.Arrival.flash_crowd ~base_rate_per_sec:100_000.0 ~peak_rate_per_sec:300_000.0
+      ~start_ns:(Units.ms 10) ~ramp_ns:(Units.ms 2) ~hold_ns:(Units.ms 5)
+      ~decay_ns:(Units.ms 4)
+  in
+  let rate now = Workload.Arrival.rate_at a ~now in
+  Alcotest.(check (float 1e-6)) "base before start" 100_000.0 (rate (Units.ms 5));
+  Alcotest.(check (float 1e-6)) "halfway up the ramp" 200_000.0 (rate (Units.ms 11));
+  Alcotest.(check (float 1e-6)) "peak holds" 300_000.0 (rate (Units.ms 14));
+  Alcotest.(check (float 1e-6)) "halfway down the decay" 200_000.0 (rate (Units.ms 19));
+  Alcotest.(check (float 1e-6)) "back to base" 100_000.0 (rate (Units.ms 25));
+  (* Sampled gaps track the envelope: the peak phase arrives ~3x as
+     fast as the base phase. *)
+  let rng = Engine.Rng.create 9L in
+  let mean_gap at n =
+    let total = ref 0 in
+    for _ = 1 to n do
+      total := !total + Workload.Arrival.next_gap a rng ~now:at
+    done;
+    float_of_int !total /. float_of_int n
+  in
+  let base_gap = mean_gap (Units.ms 5) 3_000 in
+  let peak_gap = mean_gap (Units.ms 14) 3_000 in
+  check_bool "peak gaps ~3x shorter" true
+    (base_gap /. peak_gap > 2.5 && base_gap /. peak_gap < 3.5)
+
+let test_flash_crowd_validation () =
+  Alcotest.check_raises "peak below base"
+    (Invalid_argument "Arrival.flash_crowd: peak below base") (fun () ->
+      ignore
+        (Workload.Arrival.flash_crowd ~base_rate_per_sec:2.0 ~peak_rate_per_sec:1.0
+           ~start_ns:0 ~ramp_ns:1 ~hold_ns:1 ~decay_ns:1));
+  Alcotest.check_raises "negative phase"
+    (Invalid_argument "Arrival.flash_crowd: negative phase length") (fun () ->
+      ignore
+        (Workload.Arrival.flash_crowd ~base_rate_per_sec:1.0 ~peak_rate_per_sec:2.0
+           ~start_ns:0 ~ramp_ns:(-1) ~hold_ns:1 ~decay_ns:1))
+
 let test_piecewise () =
   let p1 = Workload.Arrival.uniform ~rate_per_sec:10.0 in
   let p2 = Workload.Arrival.uniform ~rate_per_sec:20.0 in
@@ -320,6 +359,8 @@ let suites =
         Alcotest.test_case "poisson rate" `Slow test_poisson_rate;
         Alcotest.test_case "uniform gap" `Quick test_uniform_gap;
         Alcotest.test_case "bursty profile" `Quick test_bursty_rate_profile;
+        Alcotest.test_case "flash crowd envelope" `Slow test_flash_crowd_envelope;
+        Alcotest.test_case "flash crowd validation" `Quick test_flash_crowd_validation;
         Alcotest.test_case "piecewise" `Quick test_piecewise;
         Alcotest.test_case "validation" `Quick test_arrival_validation;
       ] );
