@@ -61,6 +61,7 @@ let run_one policy =
           | Workload.Request.Best_effort ->
             Stat.Timeseries.record tr.be ~time:now (float_of_int latency_ns));
       on_window = (fun _ ~quantum_ns:_ -> ());
+      on_tick = ignore;
     }
   in
   let cfg =

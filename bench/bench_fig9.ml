@@ -32,6 +32,7 @@ let run_one policy =
       on_window =
         (fun snapshot ~quantum_ns ->
           quanta := (snapshot.Preemptible.Stats_window.window_start_ns, quantum_ns) :: !quanta);
+      on_tick = ignore;
     }
   in
   let cfg =

@@ -46,6 +46,9 @@ let elements =
     ( "--overload",
       "Overload: goodput past capacity, guard on/off, retry storms",
       Bench_overload.run );
+    ( "--slo",
+      "SLO telemetry: burn-rate vs static alerts through a flash crowd",
+      Bench_slo.run );
     ("--micro", "Bechamel micro-benchmarks", fun ~jobs:_ () -> Bench_micro.run ());
     ( "--perf",
       "Engine hot-path throughput + allocation budget (meta-only)",

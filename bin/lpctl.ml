@@ -177,7 +177,7 @@ let parse_rates s =
   rates
 
 let serve system workload rate_s jobs quantum_us workers duration_ms adaptive seed
-    timeout_us shed_depth retry_budget brownout =
+    timeout_us shed_depth retry_budget brownout metrics_out =
   let duration_ns = ms duration_ms in
   let rates = parse_rates rate_s in
   match workload_of_string duration_ns workload with
@@ -209,8 +209,21 @@ let serve system workload rate_s jobs quantum_us workers duration_ms adaptive se
     let run_one =
       serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guard
     in
+    (* Prometheus text exposition of the run's metrics snapshot; for a
+       multi-rate sweep the last rate's snapshot wins (one scrape file,
+       valid exposition needs unique metric names). *)
+    let export_metrics (r : Preemptible.Server.result) =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+        Obs.Export.prometheus_to_file r.Preemptible.Server.metrics ~path;
+        Format.printf "(metrics: %s)@." path
+    in
     (match rates with
-    | [ rate ] -> pp_result (run_one rate)
+    | [ rate ] ->
+      let r = run_one rate in
+      pp_result r;
+      export_metrics r
     | rates ->
       let results =
         Exec.Sweep.run ?trace:(Lazy.force pool_trace) ~label:"serve" ~jobs run_one rates
@@ -219,7 +232,8 @@ let serve system workload rate_s jobs quantum_us workers duration_ms adaptive se
         (fun rate r ->
           Format.printf "@.-- rate %.0f/s --@." rate;
           pp_result r)
-        rates results)
+        rates results;
+      (match List.rev results with r :: _ -> export_metrics r | [] -> ()))
 
 let jobs_arg =
   Arg.(
@@ -267,12 +281,241 @@ let serve_cmd =
       value & flag
       & info [ "brownout" ] ~doc:"enable the hysteretic brownout/circuit-breaker controller")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "write the run's metrics snapshot in Prometheus text exposition format to \
+             this file (multi-rate sweeps export the last rate)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"simulate a request-serving system under load"
        ~envs:[ env_pool_trace ])
     Term.(
       const serve $ system $ workload $ rate $ jobs_arg $ quantum $ workers $ duration
-      $ adaptive $ seed $ timeout $ shed $ retry_budget $ brownout)
+      $ adaptive $ seed $ timeout $ shed $ retry_budget $ brownout $ metrics_out)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Periodically refreshed dashboard over the telemetry tick.  The
+   simulation runs at full speed; rendering is throttled on wall clock
+   (--refresh-ms) so a fast run does not flood the terminal.  --once
+   suppresses live repaints and prints the final frame exactly once —
+   the CI smoke mode. *)
+
+let occupancy_bar frac width =
+  let frac = if Float.is_nan frac then 0.0 else Float.min 1.0 (Float.max 0.0 frac) in
+  let n = int_of_float ((frac *. float_of_int width) +. 0.5) in
+  String.make n '#' ^ String.make (width - n) '.'
+
+let render_frame ~clear (f : Preemptible.Telemetry.frame) =
+  if clear then print_string "\027[2J\027[H";
+  let quantum =
+    if f.Preemptible.Telemetry.f_quantum_ns = max_int then "uncapped"
+    else Printf.sprintf "%.1fus" (float_of_int f.Preemptible.Telemetry.f_quantum_ns /. 1e3)
+  in
+  let guard =
+    match f.Preemptible.Telemetry.f_guard with
+    | None -> "-"
+    | Some s -> Guard.state_name s
+  in
+  let pct_ns ns elapsed = 100.0 *. float_of_int ns /. float_of_int (max 1 elapsed) in
+  let us_or_dash v = if Float.is_nan v then "-" else Printf.sprintf "%.1fus" (v /. 1e3) in
+  Format.printf "lpctl top  t=%7.2fms  quantum=%s  guard=%s  qlen=%d@."
+    (float_of_int f.Preemptible.Telemetry.f_at_ns /. 1e6)
+    quantum guard f.Preemptible.Telemetry.f_qlen;
+  Format.printf "  tick: %d arrivals, %d completions, p50=%s p99=%s@."
+    f.Preemptible.Telemetry.f_arrivals f.Preemptible.Telemetry.f_completions
+    (us_or_dash f.Preemptible.Telemetry.f_p50_ns)
+    (us_or_dash f.Preemptible.Telemetry.f_p99_ns);
+  Array.iteri
+    (fun i (c : Preemptible.Telemetry.core_attr) ->
+      let el = f.Preemptible.Telemetry.f_elapsed_ns in
+      let busy = float_of_int c.service_ns /. float_of_int (max 1 el) in
+      Format.printf
+        "  core %d [%s] %5.1f%% busy  (sched %4.1f%% preempt %4.1f%% idle %4.1f%%)@." i
+        (occupancy_bar busy 20) (100.0 *. busy) (pct_ns c.sched_ns el)
+        (pct_ns c.preempt_ns el) (pct_ns c.idle_ns el))
+    f.Preemptible.Telemetry.f_cores;
+  List.iter
+    (fun (name, (s : Obs.Slo.status)) ->
+      Format.printf "  slo %-12s burn fast %5.2fx slow %5.2fx  budget %5.1f%%%s@." name
+        s.Obs.Slo.fast_burn s.Obs.Slo.slow_burn
+        (100.0 *. s.Obs.Slo.budget_consumed)
+        (if s.Obs.Slo.burn_firing then "  [BURN ALERT]"
+         else if s.Obs.Slo.static_firing then "  [budget exhausted]"
+         else ""))
+    f.Preemptible.Telemetry.f_slos;
+  Format.print_flush ()
+
+let top workload rate workers quantum_us adaptive duration_ms tick_us slo_us refresh_ms
+    once seed timeout_us shed_depth brownout =
+  let duration_ns = ms duration_ms in
+  if rate <= 0.0 then begin
+    prerr_endline "--rate must be positive";
+    exit 1
+  end;
+  if tick_us <= 0 then begin
+    prerr_endline "--tick must be positive (us)";
+    exit 1
+  end;
+  if slo_us <= 0 then begin
+    prerr_endline "--slo must be positive (us)";
+    exit 1
+  end;
+  if refresh_ms < 0 then begin
+    prerr_endline "--refresh-ms must be non-negative";
+    exit 1
+  end;
+  match workload_of_string duration_ns workload with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    exit 1
+  | Ok dist ->
+    let guard = guard_of_flags ~timeout_us ~shed_depth ~retry_budget:None ~brownout in
+    let tick_ns = us tick_us in
+    let slo_spec =
+      {
+        Obs.Slo.default_spec with
+        Obs.Slo.name = Printf.sprintf "p99_%dus" slo_us;
+        threshold_ns = us slo_us;
+        window_ns = tick_ns;
+        fast_windows = 2;
+        slow_windows = 6;
+        burn_threshold = 3.0;
+      }
+    in
+    let policy =
+      if adaptive then
+        Preemptible.Policy.adaptive
+          (Preemptible.Quantum_controller.create
+             ~max_load_per_s:
+               (float_of_int workers *. 1e9
+               /. Workload.Service_dist.mean_ns dist ~now:0)
+             ~initial_quantum_ns:(us quantum_us) ())
+      else Preemptible.Policy.fcfs_preempt ~quantum_ns:(us quantum_us)
+    in
+    let cfg =
+      Preemptible.Server.default_config ~n_workers:workers ~policy
+        ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+    in
+    let cfg =
+      {
+        cfg with
+        Preemptible.Server.seed;
+        guard;
+        (* A dashboard wants the controller acting at dashboard
+           timescales; the 100 ms default stats window would leave the
+           quantum frozen for short runs. *)
+        stats_window_ns = ms 2;
+        telemetry =
+          Some
+            {
+              Preemptible.Telemetry.default with
+              Preemptible.Telemetry.tick_ns;
+              slos = [ slo_spec ];
+            };
+      }
+    in
+    let last_frame = ref None in
+    let last_render = ref neg_infinity in
+    let refresh_s = float_of_int refresh_ms /. 1e3 in
+    let probes =
+      {
+        Preemptible.Server.no_probes with
+        Preemptible.Server.on_tick =
+          (fun frame ->
+            last_frame := Some frame;
+            if not once then begin
+              let now = Unix.gettimeofday () in
+              if now -. !last_render >= refresh_s then begin
+                last_render := now;
+                render_frame ~clear:true frame
+              end
+            end);
+      }
+    in
+    let r =
+      Preemptible.Server.run ~probes cfg
+        ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
+        ~source:(Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical)
+        ~duration_ns
+    in
+    (* Final frame: the only render in --once mode; live mode repaints
+       it so the terminal ends on the last state, not mid-run. *)
+    (match !last_frame with
+    | Some frame -> render_frame ~clear:(not once) frame
+    | None ->
+      Format.printf "lpctl top: no telemetry frame recorded (duration below one tick?)@.");
+    (match r.Preemptible.Server.telemetry with
+    | None -> ()
+    | Some tel ->
+      Format.printf "@.run summary: %d ticks, %d completed, p99=%.1fus@."
+        tel.Preemptible.Telemetry.t_ticks r.Preemptible.Server.completed
+        (r.Preemptible.Server.all.Stat.Summary.p99 /. 1e3);
+      Format.printf "  LC: %a@." Stat.Summary.pp_report_opt_us r.Preemptible.Server.lc;
+      Array.iteri
+        (fun i c ->
+          Format.printf "  core %d: %a@." i Preemptible.Telemetry.pp_core_attr c)
+        tel.Preemptible.Telemetry.t_cores;
+      List.iter
+        (fun rep -> Format.printf "  %a@." Obs.Slo.pp_report rep)
+        tel.Preemptible.Telemetry.t_slos;
+      Format.printf "  controller audit: %d decisions (%d dropped)@."
+        (List.length tel.Preemptible.Telemetry.t_audit)
+        tel.Preemptible.Telemetry.t_audit_dropped);
+    match r.Preemptible.Server.guard with
+    | Some g -> Format.printf "  guard: %a@." Guard.pp_report g
+    | None -> ()
+
+let top_cmd =
+  let workload = Arg.(value & opt string "a1" & info [ "workload" ] ~doc:"a1|a2|b|c") in
+  let rate =
+    Arg.(value & opt float 500_000.0 & info [ "rate" ] ~doc:"offered load, requests/s")
+  in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"worker threads") in
+  let quantum = Arg.(value & opt int 5 & info [ "quantum" ] ~doc:"time quantum, us") in
+  let adaptive =
+    Arg.(value & flag & info [ "adaptive" ] ~doc:"use the Algorithm-1 controller")
+  in
+  let duration = Arg.(value & opt int 200 & info [ "duration" ] ~doc:"run length, ms") in
+  let tick =
+    Arg.(value & opt int 1000 & info [ "tick" ] ~doc:"telemetry tick / SLO window, us")
+  in
+  let slo =
+    Arg.(
+      value & opt int 250
+      & info [ "slo" ] ~doc:"latency SLO threshold, us (objective 99% under threshold)")
+  in
+  let refresh =
+    Arg.(
+      value & opt int 50
+      & info [ "refresh-ms" ] ~doc:"minimum wall-clock delay between repaints")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"no live repaints; print the final frame once and exit")
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"simulation seed") in
+  let timeout =
+    Arg.(value & opt int 0 & info [ "timeout" ] ~doc:"client patience, us (0 = none)")
+  in
+  let shed =
+    Arg.(value & opt int 0 & info [ "shed" ] ~doc:"queue bound for shedding (0 = off)")
+  in
+  let brownout =
+    Arg.(value & flag & info [ "brownout" ] ~doc:"enable the brownout controller")
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc:"live telemetry dashboard for a simulated server")
+    Term.(
+      const top $ workload $ rate $ workers $ quantum $ adaptive $ duration $ tick $ slo
+      $ refresh $ once $ seed $ timeout $ shed $ brownout)
 
 (* ------------------------------------------------------------------ *)
 (* ipc                                                                 *)
@@ -658,6 +901,7 @@ let () =
        (Cmd.group (Cmd.info "lpctl" ~doc)
           [
             serve_cmd;
+            top_cmd;
             ipc_cmd;
             timer_cmd;
             colocate_cmd;

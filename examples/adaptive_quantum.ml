@@ -41,6 +41,7 @@ let run name policy =
       on_window =
         (fun snapshot ~quantum_ns ->
           quanta := (snapshot.Preemptible.Stats_window.window_start_ns, quantum_ns) :: !quanta);
+      on_tick = ignore;
     }
   in
   let cfg =

@@ -351,4 +351,5 @@ let run ?(probes = Preemptible.Server.no_probes) ?(warmup_ns = 0) cfg ~arrival ~
     guard = None;
     trace = None;
     metrics = [];
+    telemetry = None;
   }

@@ -273,7 +273,17 @@ let transition t next =
     match t.trace with
     | Some tr ->
       Obs.Trace.instant tr Obs.Trace.Guard ~name:"guard.state" ~track:0
-        ~arg:(state_index next)
+        ~arg:(state_index next);
+      (* Per-state named instants (constant strings — the ring stores
+         names by reference) so transitions read off a Perfetto track
+         without decoding the integer arg. *)
+      let name =
+        match next with
+        | Normal -> "guard.enter_normal"
+        | Brownout -> "guard.enter_brownout"
+        | Open -> "guard.enter_open"
+      in
+      Obs.Trace.instant tr Obs.Trace.Guard ~name ~track:0 ~arg:(state_index next)
     | None -> ()
   end
 

@@ -39,6 +39,11 @@ type state = Normal | Brownout | Open
 
 val state_name : state -> string
 
+val state_index : state -> int
+(** 0 = Normal, 1 = Brownout, 2 = Open — the encoding used by the
+    ["guard.state"] gauge / trace counter, so dashboards and exported
+    snapshots agree on the mapping. *)
+
 type bucket_config = {
   rate_per_sec : float;  (** sustained refill rate; must be positive *)
   burst : float;  (** bucket capacity in tokens; at least 1 *)

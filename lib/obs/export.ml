@@ -86,3 +86,56 @@ let to_file path s =
 
 let perfetto_to_file trace ~path = to_file path (perfetto trace)
 let csv_to_file trace ~path = to_file path (csv trace)
+
+(* Prometheus text exposition (0.0.4).  Names must match
+   [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted registry names mangle with
+   dots -> underscores under an lp_ prefix. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 3) in
+  Buffer.add_string b "lp_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus snap =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Metrics.Counter c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" n c)
+      | Metrics.Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" n g)
+      | Metrics.Histogram r ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+        List.iter
+          (fun (q, value) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (prom_float value)))
+          [
+            ("0.5", r.Stat.Summary.p50);
+            ("0.9", r.Stat.Summary.p90);
+            ("0.99", r.Stat.Summary.p99);
+            ("0.999", r.Stat.Summary.p999);
+          ];
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" n
+             (prom_float (r.Stat.Summary.mean *. float_of_int r.Stat.Summary.count)));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n r.Stat.Summary.count))
+    snap;
+  Buffer.contents buf
+
+let prometheus_to_file snap ~path = to_file path (prometheus snap)

@@ -8,7 +8,13 @@
     process per category.
 
     {!csv} renders the same events as a flat
-    [ts_ns,kind,cat,name,track,arg] table for ad-hoc analysis. *)
+    [ts_ns,kind,cat,name,track,arg] table for ad-hoc analysis.
+
+    {!prometheus} renders a {!Metrics.snapshot} in Prometheus text
+    exposition format (version 0.0.4): counters and gauges as single
+    samples, histograms as summaries (quantile-labelled samples plus
+    [_sum]/[_count]).  Metric names are mangled to the Prometheus
+    alphabet (dots become underscores) under an [lp_] prefix. *)
 
 val perfetto : Trace.t -> string
 
@@ -17,3 +23,7 @@ val csv : Trace.t -> string
 val perfetto_to_file : Trace.t -> path:string -> unit
 
 val csv_to_file : Trace.t -> path:string -> unit
+
+val prometheus : Metrics.snapshot -> string
+
+val prometheus_to_file : Metrics.snapshot -> path:string -> unit

@@ -49,9 +49,10 @@ let snapshot t =
       match entry with
       | E_counter c -> (name, Counter c.n) :: acc
       | E_gauge read -> (name, Gauge (read ())) :: acc
-      | E_hist h ->
-        if Stat.Summary.count h = 0 then acc
-        else (name, Histogram (Stat.Summary.report h)) :: acc)
+      | E_hist h -> (
+        match Stat.Summary.report_opt h with
+        | None -> acc
+        | Some r -> (name, Histogram r) :: acc))
     t.tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 

@@ -1,0 +1,105 @@
+type t = {
+  a : float;
+  gamma : float;
+  inv_log_gamma : float;
+  bins : int array;
+  mutable zero : int; (* observations <= 0 *)
+  mutable n : int;
+  mutable s : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create ?(alpha = 0.01) ?(max_bins = 2048) () =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Sketch.create: alpha outside (0,1)";
+  if max_bins < 1 then invalid_arg "Sketch.create: max_bins must be at least 1";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  {
+    a = alpha;
+    gamma;
+    inv_log_gamma = 1.0 /. log gamma;
+    bins = Array.make max_bins 0;
+    zero = 0;
+    n = 0;
+    s = 0.0;
+    lo = infinity;
+    hi = neg_infinity;
+  }
+
+let alpha t = t.a
+let count t = t.n
+let sum t = t.s
+let min_value t = if t.n = 0 then nan else t.lo
+let max_value t = if t.n = 0 then nan else t.hi
+
+(* Bucket k covers (gamma^(k-1), gamma^k]; values in (0,1] land in
+   bucket 0, values past the grid ceiling clamp to the last bucket. *)
+let key_of t v =
+  if v <= 1.0 then 0
+  else begin
+    let k = int_of_float (Float.ceil (log v *. t.inv_log_gamma)) in
+    if k < 0 then 0 else if k >= Array.length t.bins then Array.length t.bins - 1 else k
+  end
+
+let add t v =
+  t.n <- t.n + 1;
+  t.s <- t.s +. v;
+  if v < t.lo then t.lo <- v;
+  if v > t.hi then t.hi <- v;
+  if v <= 0.0 then t.zero <- t.zero + 1
+  else
+    let k = key_of t v in
+    t.bins.(k) <- t.bins.(k) + 1
+
+(* Geometric bucket midpoint: within alpha of every value the bucket
+   can hold.  Clamped to the exact observed range so q=0 / q=1 stay
+   honest even for clamped buckets. *)
+let value_of_key t k =
+  let est = if k = 0 then 1.0 else 2.0 *. (t.gamma ** float_of_int k) /. (t.gamma +. 1.0) in
+  Float.min t.hi (Float.max t.lo est)
+
+let quantile_opt t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Sketch.quantile: q outside [0,1]";
+  if t.n = 0 then None
+  else begin
+    (* Nearest-rank (ceil) — mirror the oracle in the accuracy test. *)
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int (t.n - 1))) in
+      if r < 0 then 0 else if r > t.n - 1 then t.n - 1 else r
+    in
+    if rank < t.zero then Some (Float.min 0.0 t.lo)
+    else begin
+      let cum = ref t.zero and k = ref 0 and found = ref None in
+      while !found = None && !k < Array.length t.bins do
+        cum := !cum + t.bins.(!k);
+        if !cum > rank then found := Some (value_of_key t !k);
+        incr k
+      done;
+      match !found with Some v -> Some v | None -> Some t.hi
+    end
+  end
+
+let quantile t q =
+  match quantile_opt t q with
+  | Some v -> v
+  | None -> invalid_arg "Sketch.quantile: empty sketch"
+
+let merge_into ~dst ~src =
+  if dst.a <> src.a || Array.length dst.bins <> Array.length src.bins then
+    invalid_arg "Sketch.merge_into: geometry mismatch";
+  for k = 0 to Array.length dst.bins - 1 do
+    dst.bins.(k) <- dst.bins.(k) + src.bins.(k)
+  done;
+  dst.zero <- dst.zero + src.zero;
+  dst.n <- dst.n + src.n;
+  dst.s <- dst.s +. src.s;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi
+
+let clear t =
+  Array.fill t.bins 0 (Array.length t.bins) 0;
+  t.zero <- 0;
+  t.n <- 0;
+  t.s <- 0.0;
+  t.lo <- infinity;
+  t.hi <- neg_infinity

@@ -1,0 +1,64 @@
+(** Mergeable streaming quantile sketch (DDSketch-style).
+
+    {!Stat.Summary} answers "what were the quantiles of the whole run";
+    live telemetry needs the same answer {e per window, per core}, with
+    cheap reset and cheap aggregation.  This sketch buckets positive
+    values on a geometric grid with ratio [gamma = (1+alpha)/(1-alpha)],
+    so any reported quantile is within relative error [alpha] of the
+    exact empirical quantile of the observed multiset — the guarantee
+    the qcheck property in [test_obs] verifies against a sorted-sample
+    oracle.
+
+    Storage is one fixed [int array] of [max_bins] buckets plus a few
+    scalars: constant memory, allocation-free [add], O(bins) [quantile].
+    Two sketches with the same geometry merge by bucket-wise addition
+    ({!merge_into}), and merging is {e exact}: a merged sketch is
+    indistinguishable from one that observed the concatenated stream.
+    The per-core -> global aggregation of {!Preemptible.Telemetry}
+    leans on exactly that property.
+
+    Values are latencies in nanoseconds: non-positive values land in a
+    dedicated zero bucket, values below 1 ns clamp to the first bucket,
+    and values above the grid ceiling clamp to the last bucket (the
+    exact tracked maximum keeps the top quantiles honest). *)
+
+type t
+
+val create : ?alpha:float -> ?max_bins:int -> unit -> t
+(** [create ()] builds an empty sketch with relative accuracy [alpha]
+    (default 0.01) and [max_bins] buckets (default 2048 — with the
+    default alpha the grid spans 1 ns to beyond 10^17 ns).  Raises
+    [Invalid_argument] unless [0 < alpha < 1] and [max_bins >= 1]. *)
+
+val alpha : t -> float
+
+val add : t -> float -> unit
+(** Record one observation.  O(1), allocation-free. *)
+
+val count : t -> int
+
+val sum : t -> float
+(** Sum of observations (exact, for mean/throughput arithmetic). *)
+
+val min_value : t -> float
+(** Exact smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Exact largest observation; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: an estimate within relative error
+    [alpha] of the exact empirical q-quantile (nearest-rank, the same
+    convention as the test oracle).  Raises [Invalid_argument] when the
+    sketch is empty or [q] is outside [0,1]. *)
+
+val quantile_opt : t -> float -> float option
+(** Like {!quantile}; [None] when the sketch is empty. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Bucket-wise merge; [src] is left untouched.  Raises
+    [Invalid_argument] when the two sketches' geometry (alpha,
+    max_bins) differs. *)
+
+val clear : t -> unit
+(** Empty the sketch in place (no allocation) — window reset. *)

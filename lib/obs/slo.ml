@@ -1,0 +1,205 @@
+type spec = {
+  name : string;
+  threshold_ns : int;
+  objective : float;
+  window_ns : int;
+  fast_windows : int;
+  slow_windows : int;
+  burn_threshold : float;
+}
+
+let default_spec =
+  {
+    name = "p99_250us";
+    threshold_ns = 250_000;
+    objective = 0.99;
+    window_ns = 1_000_000;
+    fast_windows = 3;
+    slow_windows = 30;
+    burn_threshold = 4.0;
+  }
+
+let validate s =
+  if s.name = "" then invalid_arg "Slo: empty name";
+  if s.threshold_ns <= 0 then invalid_arg "Slo: threshold_ns must be positive";
+  if s.objective <= 0.0 || s.objective >= 1.0 then
+    invalid_arg "Slo: objective outside (0,1)";
+  if s.window_ns <= 0 then invalid_arg "Slo: window_ns must be positive";
+  if s.fast_windows < 1 then invalid_arg "Slo: fast_windows must be >= 1";
+  if s.slow_windows < s.fast_windows then
+    invalid_arg "Slo: slow_windows must be >= fast_windows";
+  if s.burn_threshold <= 0.0 then invalid_arg "Slo: burn_threshold must be positive"
+
+type t = {
+  sp : spec;
+  budget : float; (* 1 - objective *)
+  (* open window *)
+  mutable cur_good : int;
+  mutable cur_bad : int;
+  (* trailing ring of the last slow_windows closed windows *)
+  ring_good : int array;
+  ring_bad : int array;
+  mutable head : int; (* next slot to overwrite *)
+  mutable filled : int; (* closed windows currently in the ring *)
+  (* running sums over the fast / slow trailing windows *)
+  mutable fast_good : int;
+  mutable fast_bad : int;
+  mutable slow_good : int;
+  mutable slow_bad : int;
+  (* cumulative *)
+  mutable windows : int;
+  mutable total : int;
+  mutable bad : int;
+  (* alert state *)
+  mutable burn_on : bool;
+  mutable static_on : bool;
+  mutable burn_alerts : int;
+  mutable first_burn : int option;
+  mutable first_static : int option;
+  mutable max_fast_burn : float;
+}
+
+let create sp =
+  validate sp;
+  {
+    sp;
+    budget = 1.0 -. sp.objective;
+    cur_good = 0;
+    cur_bad = 0;
+    ring_good = Array.make sp.slow_windows 0;
+    ring_bad = Array.make sp.slow_windows 0;
+    head = 0;
+    filled = 0;
+    fast_good = 0;
+    fast_bad = 0;
+    slow_good = 0;
+    slow_bad = 0;
+    windows = 0;
+    total = 0;
+    bad = 0;
+    burn_on = false;
+    static_on = false;
+    burn_alerts = 0;
+    first_burn = None;
+    first_static = None;
+    max_fast_burn = 0.0;
+  }
+
+let spec t = t.sp
+
+let observe t ~latency_ns =
+  if latency_ns <= t.sp.threshold_ns then t.cur_good <- t.cur_good + 1
+  else t.cur_bad <- t.cur_bad + 1
+
+let burn_of t ~good ~bad =
+  let n = good + bad in
+  if n = 0 then 0.0 else float_of_int bad /. float_of_int n /. t.budget
+
+type status = {
+  at_ns : int;
+  window_good : int;
+  window_bad : int;
+  fast_burn : float;
+  slow_burn : float;
+  budget_consumed : float;
+  burn_firing : bool;
+  static_firing : bool;
+}
+
+let roll t ~now =
+  let g = t.cur_good and b = t.cur_bad in
+  t.cur_good <- 0;
+  t.cur_bad <- 0;
+  t.windows <- t.windows + 1;
+  t.total <- t.total + g + b;
+  t.bad <- t.bad + b;
+  (* evict the window leaving the slow ring *)
+  if t.filled = t.sp.slow_windows then begin
+    t.slow_good <- t.slow_good - t.ring_good.(t.head);
+    t.slow_bad <- t.slow_bad - t.ring_bad.(t.head)
+  end;
+  (* evict the window leaving the fast trailing sum: the one inserted
+     fast_windows insertions ago, once that many are closed *)
+  if t.filled >= t.sp.fast_windows then begin
+    let i =
+      (t.head - t.sp.fast_windows + t.sp.slow_windows) mod t.sp.slow_windows
+    in
+    t.fast_good <- t.fast_good - t.ring_good.(i);
+    t.fast_bad <- t.fast_bad - t.ring_bad.(i)
+  end;
+  t.ring_good.(t.head) <- g;
+  t.ring_bad.(t.head) <- b;
+  t.head <- (t.head + 1) mod t.sp.slow_windows;
+  if t.filled < t.sp.slow_windows then t.filled <- t.filled + 1;
+  t.fast_good <- t.fast_good + g;
+  t.fast_bad <- t.fast_bad + b;
+  t.slow_good <- t.slow_good + g;
+  t.slow_bad <- t.slow_bad + b;
+  let fast_burn = burn_of t ~good:t.fast_good ~bad:t.fast_bad in
+  let slow_burn = burn_of t ~good:t.slow_good ~bad:t.slow_bad in
+  if fast_burn > t.max_fast_burn then t.max_fast_burn <- fast_burn;
+  let firing = fast_burn >= t.sp.burn_threshold && slow_burn >= t.sp.burn_threshold in
+  if firing && not t.burn_on then begin
+    t.burn_alerts <- t.burn_alerts + 1;
+    if t.first_burn = None then t.first_burn <- Some now
+  end;
+  t.burn_on <- firing;
+  let budget_consumed =
+    if t.total = 0 then 0.0
+    else float_of_int t.bad /. float_of_int t.total /. t.budget
+  in
+  let static_firing = budget_consumed >= 1.0 in
+  if static_firing && not t.static_on && t.first_static = None then
+    t.first_static <- Some now;
+  t.static_on <- static_firing;
+  {
+    at_ns = now;
+    window_good = g;
+    window_bad = b;
+    fast_burn;
+    slow_burn;
+    budget_consumed;
+    burn_firing = firing;
+    static_firing;
+  }
+
+type report = {
+  r_name : string;
+  windows : int;
+  total : int;
+  bad : int;
+  budget_consumed : float;
+  max_fast_burn : float;
+  burn_alerts : int;
+  first_burn_alert_ns : int option;
+  first_static_alert_ns : int option;
+}
+
+let report (t : t) =
+  let total = t.total + t.cur_good + t.cur_bad in
+  let bad = t.bad + t.cur_bad in
+  {
+    r_name = t.sp.name;
+    windows = t.windows;
+    total;
+    bad;
+    budget_consumed =
+      (if total = 0 then 0.0
+       else float_of_int bad /. float_of_int total /. t.budget);
+    max_fast_burn = t.max_fast_burn;
+    burn_alerts = t.burn_alerts;
+    first_burn_alert_ns = t.first_burn;
+    first_static_alert_ns = t.first_static;
+  }
+
+let pp_report ppf r =
+  let pp_first ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some ns -> Format.fprintf ppf "%.3f ms" (float_of_int ns /. 1e6)
+  in
+  Format.fprintf ppf
+    "slo %s: windows=%d total=%d bad=%d budget=%.2f%% burn-alerts=%d \
+     (first %a) static-first %a max-fast-burn=%.2f"
+    r.r_name r.windows r.total r.bad (100.0 *. r.budget_consumed) r.burn_alerts
+    pp_first r.first_burn_alert_ns pp_first r.first_static_alert_ns
+    r.max_fast_burn

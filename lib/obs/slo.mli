@@ -1,0 +1,88 @@
+(** Declarative latency SLOs with rolling windows, error-budget
+    accounting, and multi-window burn-rate alerts.
+
+    A {!spec} reads as "[objective] of requests finish within
+    [threshold_ns], evaluated in [window_ns] windows".  The tracker
+    classifies each completion as good or bad against the threshold;
+    at every window boundary ({!roll}) it computes:
+
+    - the {e burn rate} over a fast and a slow trailing window — the
+      rate at which the error budget [1 - objective] is being consumed,
+      where burn 1.0 means "exactly on budget" and burn 10 means "the
+      budget for the whole period is gone in a tenth of it";
+    - the cumulative {e budget consumed} since tracking started;
+    - two alert signals: the {b burn-rate alert} (classic fast+slow
+      window pair: both trailing burns above [burn_threshold]) and the
+      {b naive static-threshold alert} (the cumulative bad fraction has
+      crossed the budget, i.e. the SLO is already lost).  The burn-rate
+      alert is the one that fires {e during} a flash crowd; the naive
+      alert confirms the damage after the fact — the gap between the
+      two is the gated [bench --slo] headline.
+
+    The tracker is pure bookkeeping on the caller's clock: it schedules
+    nothing, allocates O(slow_windows) once at create time, and O(1)
+    per observation — fit for the telemetry hot path. *)
+
+type spec = {
+  name : string;  (** metric/track label, e.g. ["p99_250us"] *)
+  threshold_ns : int;  (** a completion is good iff latency <= this *)
+  objective : float;  (** target good fraction in (0,1), e.g. 0.99 *)
+  window_ns : int;  (** evaluation window (the caller rolls at this period) *)
+  fast_windows : int;  (** burn-rate fast window, in windows (>= 1) *)
+  slow_windows : int;  (** burn-rate slow window (>= fast_windows) *)
+  burn_threshold : float;  (** alert when both burns reach this (> 0) *)
+}
+
+val default_spec : spec
+(** "99% under 250 µs, 1 ms windows, 3/30 window pair, burn 4". *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on out-of-range fields. *)
+
+type t
+
+val create : spec -> t
+(** Validates the spec. *)
+
+val spec : t -> spec
+
+val observe : t -> latency_ns:int -> unit
+(** Classify one completion into the current window.  O(1). *)
+
+type status = {
+  at_ns : int;  (** window-boundary clock *)
+  window_good : int;  (** completions in the window just closed *)
+  window_bad : int;
+  fast_burn : float;  (** burn rate over the fast trailing window *)
+  slow_burn : float;
+  budget_consumed : float;
+      (** cumulative bad fraction over the error budget; >= 1.0 means
+          the SLO is lost *)
+  burn_firing : bool;
+  static_firing : bool;
+}
+
+val roll : t -> now:int -> status
+(** Close the current window, fold it into the trailing rings, update
+    both alert states and return the resulting status.  The caller
+    (the telemetry tick) invokes this once per [window_ns]. *)
+
+type report = {
+  r_name : string;
+  windows : int;
+  total : int;  (** observations across all windows *)
+  bad : int;
+  budget_consumed : float;
+  max_fast_burn : float;
+  burn_alerts : int;  (** rising edges of the burn-rate alert *)
+  first_burn_alert_ns : int option;
+  first_static_alert_ns : int option;
+}
+
+val report : t -> report
+(** Cumulative accounting.  [total] and [bad] telescope: they equal the
+    sums of the per-window [window_good + window_bad] / [window_bad]
+    over every rolled window plus the still-open one (the qcheck
+    property in [test_obs]). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -29,6 +29,7 @@ type config = {
   max_events : int;
   trace : Obs.Trace.config option;
   guard : Guard.config option;
+  telemetry : Telemetry.config option;
 }
 
 let default_config ~n_workers ~policy ~mechanism =
@@ -54,15 +55,21 @@ let default_config ~n_workers ~policy ~mechanism =
     max_events = 400_000_000;
     trace = None;
     guard = None;
+    telemetry = None;
   }
 
 type probes = {
   on_complete : now:int -> latency_ns:int -> cls:Workload.Request.cls -> unit;
   on_window : Stats_window.snapshot -> quantum_ns:int -> unit;
+  on_tick : Telemetry.frame -> unit;
 }
 
 let no_probes =
-  { on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ()); on_window = (fun _ ~quantum_ns:_ -> ()) }
+  {
+    on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ());
+    on_window = (fun _ ~quantum_ns:_ -> ());
+    on_tick = ignore;
+  }
 
 type resilience = {
   fault_report : Fault.report;
@@ -99,6 +106,7 @@ type result = {
   guard : Guard.report option;
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.snapshot;
+  telemetry : Telemetry.report option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +184,11 @@ type st = {
   metrics : Obs.Metrics.t;
   m_lat : Obs.Metrics.histogram;
   guard : Guard.t option;
+  (* Live telemetry; [None] (the default) must be an exact no-op on
+     the hot path.  Set after [st] is built (needs the worker cores),
+     like [mech]. *)
+  mutable tel : Telemetry.t option;
+  mutable tel_ev : Engine.Sim.event;
   (* Client-side retry state; live only when the guard has a retry
      config.  [retry_attempts] maps in-flight request id -> attempt
      number; an id still present when its patience expires means the
@@ -271,6 +284,12 @@ and complete_current st w fn =
     | None -> ());
     if within_patience then Guard.note_goodput g else Guard.note_late g
   | None -> ());
+  (match st.tel with
+  | Some tel ->
+    (* A completion nobody waits for anymore is pure wasted service. *)
+    if not within_patience then
+      Telemetry.note_wasted tel ~core:w.wid ~ns:req.Workload.Request.service_ns
+  | None -> ());
   if measured st req then begin
     st.measured_completed <- st.measured_completed + 1;
     if t <= st.duration_ns then st.completed_in_window <- st.completed_in_window + 1;
@@ -283,6 +302,9 @@ and complete_current st w fn =
     | Workload.Request.Latency_critical -> Stat.Summary.record st.sum_lc (float_of_int latency)
     | Workload.Request.Best_effort -> Stat.Summary.record st.sum_be (float_of_int latency));
     Obs.Metrics.observe st.m_lat (float_of_int latency);
+    (match st.tel with
+    | Some tel -> Telemetry.note_latency tel ~core:w.wid ~latency_ns:latency
+    | None -> ());
     st.probes.on_complete ~now:t ~latency_ns:latency ~cls:req.Workload.Request.cls
   end;
   (* Retirement point: the record may back a later arrival from here
@@ -290,7 +312,11 @@ and complete_current st w fn =
   Workload.Request.Pool.release st.req_pool req;
   w.current <- None;
   w.cur_deadline <- max_int;
-  after_transition st w (st.cfg.complete_cost_ns + st.mech.disarm_cost_ns);
+  let cost = st.cfg.complete_cost_ns + st.mech.disarm_cost_ns in
+  (match st.tel with
+  | Some tel -> Telemetry.note_sched tel ~core:w.wid ~ns:cost
+  | None -> ());
+  after_transition st w cost;
   (* A freed context may unblock other idle workers that had new
      requests queued but no context to run them on. *)
   wake_idle st;
@@ -390,6 +416,9 @@ and launch_new st w ~from =
     (* Stealing pays an extra cross-core cacheline transfer. *)
     let steal_cost = if from.wid = w.wid then 0 else st.cfg.hw.Hw.Params.cacheline_ns in
     let cost = st.cfg.launch_cost_ns + st.mech.arm_cost_ns + steal_cost in
+    (match st.tel with
+    | Some tel -> Telemetry.note_sched tel ~core:w.wid ~ns:cost
+    | None -> ());
     ignore (Engine.Sim.after st.sim cost w.k_launch)
 
 and run_current st w ~resuming =
@@ -412,6 +441,9 @@ and resume_preempted st w =
   | Some fn ->
     w.current <- Some fn;
     let cost = st.cfg.costs.Ksim.Costs.fcontext_swap_ns + st.mech.arm_cost_ns in
+    (match st.tel with
+    | Some tel -> Telemetry.note_sched tel ~core:w.wid ~ns:cost
+    | None -> ());
     ignore (Engine.Sim.after st.sim cost w.k_resume)
 
 and check_drain st =
@@ -419,7 +451,9 @@ and check_drain st =
     st.drained <- true;
     st.mech.mech_shutdown ();
     Engine.Sim.cancel st.window_ev;
-    st.window_ev <- Engine.Sim.null
+    st.window_ev <- Engine.Sim.null;
+    Engine.Sim.cancel st.tel_ev;
+    st.tel_ev <- Engine.Sim.null
   end
 
 (* Fault "server.wedge": the interrupt caught the worker inside a
@@ -462,6 +496,13 @@ let on_interrupt st i =
       (* Sec III-B: the request already blew its SLO; cancel it and
          release its resources instead of letting it consume more. *)
       tr_req st (Fn.request fn) ~name:"req.cancel" ~arg:w.wid;
+      (match st.tel with
+      | Some tel ->
+        (* Everything the doomed request executed so far is now waste. *)
+        let r = Fn.request fn in
+        Telemetry.note_wasted tel ~core:w.wid
+          ~ns:(r.Workload.Request.service_ns - Fn.remaining_ns fn)
+      | None -> ());
       Context.release st.pool (Fn.context fn);
       st.outstanding <- st.outstanding - 1;
       let req = Fn.request fn in
@@ -476,6 +517,9 @@ let on_interrupt st i =
       st.mech.entry_cost_ns + st.cfg.costs.Ksim.Costs.fcontext_swap_ns
       + st.mech.exit_cost_ns
     in
+    (match st.tel with
+    | Some tel -> Telemetry.note_preempt tel ~core:w.wid ~ns:overhead
+    | None -> ());
     after_transition st w overhead;
     wake_idle st
   | Some _ when Hw.Core.busy w.core ->
@@ -860,6 +904,15 @@ let window_loop st =
       let t = now st in
       Stats_window.note_qlen st.window (total_qlen st);
       let snapshot = Stats_window.roll st.window ~now:t in
+      (* Audit Algorithm 1: quantum in force before the controller ran
+         vs after.  Reading [quantum_ns] is a pure controller-state
+         lookup, done only when telemetry is on. *)
+      let quantum_before =
+        match st.tel with
+        | Some _ ->
+          st.cfg.policy.Policy.quantum_ns ~now:t ~cls:Workload.Request.Latency_critical
+        | None -> 0
+      in
       st.cfg.policy.Policy.on_window snapshot;
       (match st.guard with
       | Some g ->
@@ -869,6 +922,11 @@ let window_loop st =
       let quantum_ns =
         st.cfg.policy.Policy.quantum_ns ~now:t ~cls:Workload.Request.Latency_critical
       in
+      (match st.tel with
+      | Some tel ->
+        Telemetry.audit tel ~now:t ~snapshot ~quantum_before_ns:quantum_before
+          ~quantum_after_ns:quantum_ns
+      | None -> ());
       (match st.trace with
       | Some trace ->
         Obs.Trace.counter trace Obs.Trace.Server ~name:"qlen.dispatch"
@@ -885,6 +943,28 @@ let window_loop st =
       tick ()
     end
   and tick () = st.window_ev <- Engine.Sim.after st.sim st.cfg.stats_window_ns body in
+  tick ()
+
+(* The telemetry tick mirrors [window_loop]: one preallocated body,
+   re-armed every [tick_ns], cancelled by [check_drain].  It only reads
+   simulation state (queues, cores, controller) — no RNG, no
+   scheduling decisions — so enabling it leaves latencies untouched. *)
+let telemetry_loop st tel tick_ns =
+  let rec body () =
+    st.tel_ev <- Engine.Sim.null;
+    if not st.drained then begin
+      let t = now st in
+      let quantum_ns =
+        st.cfg.policy.Policy.quantum_ns ~now:t ~cls:Workload.Request.Latency_critical
+      in
+      let frame =
+        Telemetry.tick tel ~now:t ~quantum_ns ~arrivals_total:st.next_id
+          ~qlen:(total_qlen st)
+      in
+      st.probes.on_tick frame;
+      tick ()
+    end
+  and tick () = st.tel_ev <- Engine.Sim.after st.sim tick_ns body in
   tick ()
 
 (* ------------------------------------------------------------------ *)
@@ -981,10 +1061,17 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       metrics;
       m_lat = Obs.Metrics.histogram metrics "latency.all_ns";
       guard;
+      tel = None;
+      tel_ev = Engine.Sim.null;
       retry_rng = None;
       retry_attempts = Hashtbl.create 64;
     }
   in
+  (match guard with
+  | Some g ->
+    Obs.Metrics.gauge metrics "guard.state" (fun () ->
+        Guard.state_index (Guard.breaker_state g))
+  | None -> ());
   (* The retry stream is forked only when the guard models retries, so
      a guard-less run forks exactly the streams it always did. *)
   (match guard with
@@ -1007,8 +1094,19 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
       w.k_resume <- (fun () -> run_current st w ~resuming:true))
     st.workers;
   st.mech <- make_mech st;
+  (match cfg.telemetry with
+  | Some tc ->
+    st.tel <-
+      Some
+        (Telemetry.create tc ~n_cores:cfg.n_workers
+           ~cores:(Array.map (fun w -> w.core) st.workers)
+           ?guard ?trace ())
+  | None -> ());
   feed st;
   window_loop st;
+  (match st.tel with
+  | Some tel -> telemetry_loop st tel (Option.get cfg.telemetry).tick_ns
+  | None -> ());
   Engine.Sim.run ~max_events:cfg.max_events sim;
   if st.outstanding > 0 then
     failwith
@@ -1081,6 +1179,7 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
     guard = Option.map Guard.report st.guard;
     trace = st.trace;
     metrics = Obs.Metrics.snapshot st.metrics;
+    telemetry = Option.map Telemetry.report st.tel;
   }
 
 let run ?(probes = no_probes) ?(warmup_ns = 0) cfg ~arrival ~source ~duration_ns =

@@ -91,6 +91,14 @@ type config = {
           budgeted retries, and the brownout breaker.  [None]
           (default) is an exact no-op — same events, same RNG forks,
           byte-identical results to a guard-less build. *)
+  telemetry : Telemetry.config option;
+      (** live telemetry: a sim-time tick aggregating per-core latency
+          sketches, SLO burn rates, core-time attribution and the
+          quantum-controller audit trail, surfaced through
+          {!probes.on_tick} and {!result.telemetry}.  [None] (default)
+          skips every hook — identical latencies, allocation-free hot
+          path.  (The tick does add bookkeeping events, so
+          {!result.sim_events} grows when enabled.) *)
 }
 
 val default_config : n_workers:int -> policy:Policy.t -> mechanism:mechanism -> config
@@ -101,6 +109,10 @@ type probes = {
       (** fired at every stats-window boundary, after the policy's
           controller ran; [quantum_ns] is the policy's quantum for LC
           requests at that moment *)
+  on_tick : Telemetry.frame -> unit;
+      (** fired at every telemetry tick (only when
+          {!config.telemetry} is set) — the live feed behind
+          [lpctl top] *)
 }
 
 val no_probes : probes
@@ -166,8 +178,14 @@ type result = {
   metrics : Obs.Metrics.snapshot;
       (** registry snapshot taken after the drain: request totals,
           interrupt counts, [sim.live_events] / [sim.pending] gauges,
-          the end-to-end latency histogram, and (when tracing)
-          [trace.recorded] / [trace.dropped] *)
+          the end-to-end latency histogram, the [guard.state] gauge
+          (when guarded), and (when tracing) [trace.recorded] /
+          [trace.dropped] *)
+  telemetry : Telemetry.report option;
+      (** [Some] exactly when {!config.telemetry} was set: tick count,
+          whole-run per-core time attribution, SLO reports (budget
+          consumed, burn-alert edges and their first-fire times) and
+          the quantum-controller audit trail *)
 }
 
 val run :

@@ -1,0 +1,301 @@
+type config = {
+  tick_ns : int;
+  slos : Obs.Slo.spec list;
+  sketch_alpha : float;
+  audit_capacity : int;
+}
+
+let default =
+  {
+    tick_ns = 1_000_000;
+    slos = [ Obs.Slo.default_spec ];
+    sketch_alpha = 0.01;
+    audit_capacity = 8192;
+  }
+
+type core_attr = {
+  service_ns : int;
+  sched_ns : int;
+  preempt_ns : int;
+  idle_ns : int;
+  wasted_ns : int;
+}
+
+type frame = {
+  f_at_ns : int;
+  f_elapsed_ns : int;
+  f_quantum_ns : int;
+  f_guard : Guard.state option;
+  f_arrivals : int;
+  f_completions : int;
+  f_qlen : int;
+  f_p50_ns : float;
+  f_p99_ns : float;
+  f_cores : core_attr array;
+  f_slos : (string * Obs.Slo.status) list;
+}
+
+type audit_entry = {
+  a_at_ns : int;
+  a_arrival_rate_per_s : float;
+  a_p99_ns : float;
+  a_qlen : int;
+  a_quantum_before_ns : int;
+  a_quantum_after_ns : int;
+}
+
+type report = {
+  t_ticks : int;
+  t_cores : core_attr array;
+  t_slos : Obs.Slo.report list;
+  t_audit : audit_entry list;
+  t_audit_dropped : int;
+}
+
+type slo_rt = {
+  tracker : Obs.Slo.t;
+  (* counter-track names, built once so per-tick emission reuses them *)
+  c_burn : string;
+  c_budget : string;
+  mutable next_roll_ns : int;
+  mutable last : Obs.Slo.status option;
+  mutable was_firing : bool;
+}
+
+(* Per-window accumulators the server feeds between ticks. *)
+type acc = {
+  mutable ac_sched : int;
+  mutable ac_preempt : int;
+  mutable ac_wasted : int;
+}
+
+type t = {
+  cfg : config;
+  n : int;
+  cores : Hw.Core.t array;
+  guard : Guard.t option;
+  trace : Obs.Trace.t option;
+  sketches : Obs.Sketch.t array;
+  global : Obs.Sketch.t;
+  slos : slo_rt array;
+  accs : acc array;
+  prev_busy : int array;
+  prev_stall : int array;
+  mutable prev_now : int;
+  mutable prev_arrivals : int;
+  mutable ticks : int;
+  (* run totals *)
+  tot_service : int array;
+  tot_sched : int array;
+  tot_preempt : int array;
+  tot_idle : int array;
+  tot_wasted : int array;
+  mutable audit_rev : audit_entry list;
+  mutable audit_count : int;
+  mutable audit_dropped : int;
+}
+
+let create cfg ~n_cores ~cores ?guard ?trace () =
+  if cfg.tick_ns <= 0 then invalid_arg "Telemetry: tick_ns must be positive";
+  if cfg.sketch_alpha <= 0.0 || cfg.sketch_alpha >= 1.0 then
+    invalid_arg "Telemetry: sketch_alpha outside (0,1)";
+  if cfg.audit_capacity < 0 then invalid_arg "Telemetry: negative audit_capacity";
+  if n_cores <= 0 then invalid_arg "Telemetry: need at least one core";
+  if Array.length cores < n_cores then invalid_arg "Telemetry: cores array too short";
+  List.iter Obs.Slo.validate cfg.slos;
+  {
+    cfg;
+    n = n_cores;
+    cores;
+    guard;
+    trace;
+    sketches = Array.init n_cores (fun _ -> Obs.Sketch.create ~alpha:cfg.sketch_alpha ());
+    global = Obs.Sketch.create ~alpha:cfg.sketch_alpha ();
+    slos =
+      Array.of_list
+        (List.map
+           (fun sp ->
+             {
+               tracker = Obs.Slo.create sp;
+               c_burn = "slo." ^ sp.Obs.Slo.name ^ ".burn_x100";
+               c_budget = "slo." ^ sp.Obs.Slo.name ^ ".budget_x100";
+               next_roll_ns = sp.Obs.Slo.window_ns;
+               last = None;
+               was_firing = false;
+             })
+           cfg.slos);
+    accs = Array.init n_cores (fun _ -> { ac_sched = 0; ac_preempt = 0; ac_wasted = 0 });
+    prev_busy = Array.make n_cores 0;
+    prev_stall = Array.make n_cores 0;
+    prev_now = 0;
+    prev_arrivals = 0;
+    ticks = 0;
+    tot_service = Array.make n_cores 0;
+    tot_sched = Array.make n_cores 0;
+    tot_preempt = Array.make n_cores 0;
+    tot_idle = Array.make n_cores 0;
+    tot_wasted = Array.make n_cores 0;
+    audit_rev = [];
+    audit_count = 0;
+    audit_dropped = 0;
+  }
+
+let note_latency t ~core ~latency_ns =
+  Obs.Sketch.add t.sketches.(core) (float_of_int latency_ns);
+  Array.iter (fun s -> Obs.Slo.observe s.tracker ~latency_ns) t.slos
+
+let note_sched t ~core ~ns =
+  let a = t.accs.(core) in
+  a.ac_sched <- a.ac_sched + ns
+
+let note_preempt t ~core ~ns =
+  let a = t.accs.(core) in
+  a.ac_preempt <- a.ac_preempt + ns
+
+let note_wasted t ~core ~ns =
+  let a = t.accs.(core) in
+  a.ac_wasted <- a.ac_wasted + ns
+
+let audit t ~now ~snapshot ~quantum_before_ns ~quantum_after_ns =
+  if t.audit_count < t.cfg.audit_capacity then begin
+    t.audit_rev <-
+      {
+        a_at_ns = now;
+        a_arrival_rate_per_s = snapshot.Stats_window.arrival_rate_per_s;
+        a_p99_ns = snapshot.Stats_window.p99_ns;
+        a_qlen = snapshot.Stats_window.max_qlen;
+        a_quantum_before_ns = quantum_before_ns;
+        a_quantum_after_ns = quantum_after_ns;
+      }
+      :: t.audit_rev;
+    t.audit_count <- t.audit_count + 1
+  end
+  else t.audit_dropped <- t.audit_dropped + 1;
+  match t.trace with
+  | Some tr ->
+    Obs.Trace.instant tr Obs.Trace.Sched ~name:"qc.decision" ~track:0
+      ~arg:(if quantum_after_ns = max_int then 0 else quantum_after_ns)
+  | None -> ()
+
+let burn_x100 b = int_of_float (Float.min (b *. 100.0) 1e9)
+
+let roll_slos t ~now =
+  Array.iteri
+    (fun idx s ->
+      if now >= s.next_roll_ns then begin
+        let window = (Obs.Slo.spec s.tracker).Obs.Slo.window_ns in
+        let st = Obs.Slo.roll s.tracker ~now in
+        s.last <- Some st;
+        (* If the tick outpaces the window we roll once per tick and the
+           window stretches; catch the schedule up either way. *)
+        while s.next_roll_ns <= now do
+          s.next_roll_ns <- s.next_roll_ns + window
+        done;
+        (match t.trace with
+        | Some tr ->
+          Obs.Trace.counter tr Obs.Trace.Server ~name:s.c_burn
+            ~value:(burn_x100 st.Obs.Slo.fast_burn);
+          Obs.Trace.counter tr Obs.Trace.Server ~name:s.c_budget
+            ~value:(burn_x100 st.Obs.Slo.budget_consumed);
+          if st.Obs.Slo.burn_firing && not s.was_firing then
+            Obs.Trace.instant tr Obs.Trace.Server ~name:"slo.burn_fire" ~track:idx
+              ~arg:(burn_x100 st.Obs.Slo.fast_burn)
+          else if (not st.Obs.Slo.burn_firing) && s.was_firing then
+            Obs.Trace.instant tr Obs.Trace.Server ~name:"slo.burn_clear" ~track:idx
+              ~arg:(burn_x100 st.Obs.Slo.fast_burn)
+        | None -> ());
+        s.was_firing <- st.Obs.Slo.burn_firing
+      end)
+    t.slos
+
+let tick t ~now ~quantum_ns ~arrivals_total ~qlen =
+  let elapsed = now - t.prev_now in
+  (* Merge the per-core window sketches into the global one (exact:
+     bucket-wise addition), then read the windowed quantiles. *)
+  Obs.Sketch.clear t.global;
+  Array.iter (fun s -> Obs.Sketch.merge_into ~dst:t.global ~src:s) t.sketches;
+  let completions = Obs.Sketch.count t.global in
+  let p50 = match Obs.Sketch.quantile_opt t.global 0.50 with Some v -> v | None -> nan in
+  let p99 = match Obs.Sketch.quantile_opt t.global 0.99 with Some v -> v | None -> nan in
+  let cores =
+    Array.init t.n (fun i ->
+        let busy = Hw.Core.busy_ns t.cores.(i) in
+        let stall = Hw.Core.stall_ns t.cores.(i) in
+        let service = busy - t.prev_busy.(i) in
+        t.prev_busy.(i) <- busy;
+        let d_stall = stall - t.prev_stall.(i) in
+        t.prev_stall.(i) <- stall;
+        let a = t.accs.(i) in
+        let preempt = a.ac_preempt + d_stall in
+        let sched = a.ac_sched in
+        let wasted = a.ac_wasted in
+        a.ac_preempt <- 0;
+        a.ac_sched <- 0;
+        a.ac_wasted <- 0;
+        let idle = max 0 (elapsed - service - sched - preempt) in
+        t.tot_service.(i) <- t.tot_service.(i) + service;
+        t.tot_sched.(i) <- t.tot_sched.(i) + sched;
+        t.tot_preempt.(i) <- t.tot_preempt.(i) + preempt;
+        t.tot_idle.(i) <- t.tot_idle.(i) + idle;
+        t.tot_wasted.(i) <- t.tot_wasted.(i) + wasted;
+        { service_ns = service; sched_ns = sched; preempt_ns = preempt;
+          idle_ns = idle; wasted_ns = wasted })
+  in
+  Array.iter Obs.Sketch.clear t.sketches;
+  roll_slos t ~now;
+  (match t.trace with
+  | Some tr ->
+    if completions > 0 then begin
+      Obs.Trace.counter tr Obs.Trace.Server ~name:"tel.p50_ns" ~value:(int_of_float p50);
+      Obs.Trace.counter tr Obs.Trace.Server ~name:"tel.p99_ns" ~value:(int_of_float p99)
+    end;
+    Obs.Trace.counter tr Obs.Trace.Server ~name:"tel.qlen" ~value:qlen
+  | None -> ());
+  let arrivals = arrivals_total - t.prev_arrivals in
+  t.prev_arrivals <- arrivals_total;
+  t.prev_now <- now;
+  t.ticks <- t.ticks + 1;
+  {
+    f_at_ns = now;
+    f_elapsed_ns = elapsed;
+    f_quantum_ns = quantum_ns;
+    f_guard = Option.map Guard.breaker_state t.guard;
+    f_arrivals = arrivals;
+    f_completions = completions;
+    f_qlen = qlen;
+    f_p50_ns = p50;
+    f_p99_ns = p99;
+    f_cores = cores;
+    f_slos =
+      Array.to_list t.slos
+      |> List.filter_map (fun s ->
+             match s.last with
+             | Some st -> Some ((Obs.Slo.spec s.tracker).Obs.Slo.name, st)
+             | None -> None);
+  }
+
+let report t =
+  {
+    t_ticks = t.ticks;
+    t_cores =
+      Array.init t.n (fun i ->
+          {
+            service_ns = t.tot_service.(i);
+            sched_ns = t.tot_sched.(i);
+            preempt_ns = t.tot_preempt.(i);
+            idle_ns = t.tot_idle.(i);
+            wasted_ns = t.tot_wasted.(i);
+          });
+    t_slos = Array.to_list t.slos |> List.map (fun s -> Obs.Slo.report s.tracker);
+    t_audit = List.rev t.audit_rev;
+    t_audit_dropped = t.audit_dropped;
+  }
+
+let pp_core_attr ppf c =
+  Format.fprintf ppf
+    "service=%.3fms (wasted %.3fms) sched=%.3fms preempt=%.3fms idle=%.3fms"
+    (float_of_int c.service_ns /. 1e6)
+    (float_of_int c.wasted_ns /. 1e6)
+    (float_of_int c.sched_ns /. 1e6)
+    (float_of_int c.preempt_ns /. 1e6)
+    (float_of_int c.idle_ns /. 1e6)

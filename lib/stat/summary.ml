@@ -36,6 +36,8 @@ let report t =
     p999 = quantile t 0.999;
   }
 
+let report_opt t = if count t = 0 then None else Some (report t)
+
 let merge_into ~dst ~src =
   Histogram.merge_into ~dst:dst.hist ~src:src.hist;
   Welford.merge_into ~dst:dst.moments ~src:src.moments
@@ -45,3 +47,7 @@ let pp_report_us fmt r =
     "n=%d mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus p99.9=%.2fus max=%.2fus"
     r.count (r.mean /. 1e3) (r.p50 /. 1e3) (r.p90 /. 1e3) (r.p99 /. 1e3)
     (r.p999 /. 1e3) (r.max /. 1e3)
+
+let pp_report_opt_us fmt = function
+  | None -> Format.pp_print_string fmt "n=0 (no data)"
+  | Some r -> pp_report_us fmt r

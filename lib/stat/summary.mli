@@ -32,7 +32,15 @@ val quantile : t -> float -> float
 val report : t -> report
 (** Raises [Invalid_argument] if no data was recorded. *)
 
+val report_opt : t -> report option
+(** Like {!report}; [None] instead of raising when no data was
+    recorded.  Snapshot paths (metrics export, [lpctl] rendering) use
+    this so an idle histogram never turns into an exception. *)
+
 val merge_into : dst:t -> src:t -> unit
 
 val pp_report_us : Format.formatter -> report -> unit
 (** Render a report with latencies converted from ns to µs. *)
+
+val pp_report_opt_us : Format.formatter -> report option -> unit
+(** {!pp_report_us} that renders [None] as ["n=0 (no data)"]. *)

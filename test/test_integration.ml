@@ -149,6 +149,7 @@ let test_adaptive_trajectory () =
     {
       Preemptible.Server.on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ());
       on_window = (fun _ ~quantum_ns -> quanta := quantum_ns :: !quanta);
+      on_tick = ignore;
     }
   in
   let cfg =

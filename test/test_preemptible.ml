@@ -374,6 +374,7 @@ let test_server_adaptive_policy_runs () =
     {
       Server.on_complete = (fun ~now:_ ~latency_ns:_ ~cls:_ -> ());
       on_window = (fun _ ~quantum_ns:_ -> incr windows);
+      on_tick = ignore;
     }
   in
   let policy = Preemptible.Policy.adaptive controller in
@@ -609,6 +610,7 @@ let test_trace_preemption_reorders () =
       Server.on_complete =
         (fun ~now ~latency_ns:_ ~cls:_ -> completions := now :: !completions);
       on_window = (fun _ ~quantum_ns:_ -> ());
+      on_tick = ignore;
     }
   in
   let r =

@@ -1,0 +1,367 @@
+(* SLO telemetry: sketch accuracy and merge properties, burn-rate
+   budget telescoping against a reference model, empty-safe summaries,
+   the Prometheus exporter, and the passivity of the telemetry tick
+   (telemetry on = telemetry off, bit for bit). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Sketch properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let quantile_grid = [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+(* The same nearest-rank convention the sketch uses, over the exact
+   sorted samples. *)
+let oracle sorted q =
+  let n = Array.length sorted in
+  let r = int_of_float (Float.ceil (q *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) r))
+
+(* Latencies are ns integers >= 1; the sketch's relative-error
+   guarantee covers values >= 1 (everything below collapses into
+   bucket 0). *)
+let samples_gen =
+  QCheck.(list_of_size (Gen.int_range 1 400) (int_range 1 1_000_000_000))
+
+let sketch_accuracy =
+  QCheck.Test.make ~name:"sketch: quantiles within alpha of the sorted oracle" ~count:300
+    samples_gen (fun samples ->
+      let alpha = 0.01 in
+      let s = Obs.Sketch.create ~alpha () in
+      List.iter (fun v -> Obs.Sketch.add s (float_of_int v)) samples;
+      let sorted = Array.of_list (List.map float_of_int samples) in
+      Array.sort compare sorted;
+      List.for_all
+        (fun q ->
+          let exact = oracle sorted q in
+          let est = Obs.Sketch.quantile s q in
+          Float.abs (est -. exact) <= (alpha +. 1e-9) *. exact)
+        quantile_grid)
+
+let sketch_merge =
+  QCheck.Test.make ~name:"sketch: merge equals the concatenated stream" ~count:300
+    QCheck.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let a = Obs.Sketch.create () and b = Obs.Sketch.create () in
+      let whole = Obs.Sketch.create () in
+      List.iter (fun v -> Obs.Sketch.add a (float_of_int v)) xs;
+      List.iter (fun v -> Obs.Sketch.add b (float_of_int v)) ys;
+      List.iter (fun v -> Obs.Sketch.add whole (float_of_int v)) (xs @ ys);
+      Obs.Sketch.merge_into ~dst:a ~src:b;
+      Obs.Sketch.count a = Obs.Sketch.count whole
+      && Obs.Sketch.sum a = Obs.Sketch.sum whole
+      && Obs.Sketch.min_value a = Obs.Sketch.min_value whole
+      && Obs.Sketch.max_value a = Obs.Sketch.max_value whole
+      && List.for_all
+           (fun q -> Obs.Sketch.quantile a q = Obs.Sketch.quantile whole q)
+           quantile_grid)
+
+let test_sketch_edges () =
+  let s = Obs.Sketch.create () in
+  check_bool "empty quantile_opt" true (Obs.Sketch.quantile_opt s 0.5 = None);
+  check_int "empty count" 0 (Obs.Sketch.count s);
+  check_bool "empty min is nan" true (Float.is_nan (Obs.Sketch.min_value s));
+  (* Non-positive observations land in the zero bucket and surface at
+     the low quantiles without breaking the positive tail. *)
+  Obs.Sketch.add s (-5.0);
+  Obs.Sketch.add s 0.0;
+  Obs.Sketch.add s 1000.0;
+  check_bool "low quantile covers the zero bucket" true (Obs.Sketch.quantile s 0.0 <= 0.0);
+  check_bool "high quantile stays positive" true (Obs.Sketch.quantile s 1.0 = 1000.0);
+  Obs.Sketch.clear s;
+  check_int "clear empties" 0 (Obs.Sketch.count s);
+  (* Geometry mismatches must fail loudly, not merge garbage. *)
+  check_bool "alpha mismatch rejected" true
+    (try
+       Obs.Sketch.merge_into ~dst:(Obs.Sketch.create ~alpha:0.01 ())
+         ~src:(Obs.Sketch.create ~alpha:0.02 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bin-count mismatch rejected" true
+    (try
+       Obs.Sketch.merge_into ~dst:(Obs.Sketch.create ~max_bins:64 ())
+         ~src:(Obs.Sketch.create ~max_bins:128 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Slo against a reference model                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Windows of (good, bad) counts; fast/slow window sizes. *)
+let slo_case_gen =
+  QCheck.(
+    pair
+      (list_of_size (Gen.int_range 1 50) (pair (int_range 0 20) (int_range 0 20)))
+      (pair (int_range 1 4) (int_range 0 6)))
+
+(* Reference burn over the trailing [w] closed windows ending at
+   index [i] (inclusive), computed from scratch. *)
+let ref_burn windows ~budget ~upto ~w =
+  let lo = max 0 (upto - w + 1) in
+  let good = ref 0 and bad = ref 0 in
+  for j = lo to upto do
+    let g, b = List.nth windows j in
+    good := !good + g;
+    bad := !bad + b
+  done;
+  let n = !good + !bad in
+  if n = 0 then 0.0 else float_of_int !bad /. float_of_int n /. budget
+
+let slo_telescopes =
+  QCheck.Test.make
+    ~name:"slo: burns match a from-scratch model; budget telescopes across windows"
+    ~count:300 slo_case_gen
+    (fun (windows, (fast, extra)) ->
+      let spec =
+        {
+          Obs.Slo.default_spec with
+          Obs.Slo.threshold_ns = 1000;
+          objective = 0.9;
+          window_ns = 100;
+          fast_windows = fast;
+          slow_windows = fast + extra;
+          burn_threshold = 2.0;
+        }
+      in
+      let t = Obs.Slo.create spec in
+      let budget = 1.0 -. spec.Obs.Slo.objective in
+      let ok = ref true in
+      List.iteri
+        (fun i (g, b) ->
+          for _ = 1 to g do
+            Obs.Slo.observe t ~latency_ns:500
+          done;
+          for _ = 1 to b do
+            Obs.Slo.observe t ~latency_ns:5000
+          done;
+          let st = Obs.Slo.roll t ~now:((i + 1) * 100) in
+          let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b) in
+          if st.Obs.Slo.window_good <> g || st.Obs.Slo.window_bad <> b then ok := false;
+          if
+            not
+              (close st.Obs.Slo.fast_burn
+                 (ref_burn windows ~budget ~upto:i ~w:spec.Obs.Slo.fast_windows))
+          then ok := false;
+          if
+            not
+              (close st.Obs.Slo.slow_burn
+                 (ref_burn windows ~budget ~upto:i ~w:spec.Obs.Slo.slow_windows))
+          then ok := false;
+          (* telescoping: cumulative budget equals the sum over all
+             closed windows, never just the trailing rings *)
+          if not (close st.Obs.Slo.budget_consumed (ref_burn windows ~budget ~upto:i ~w:(i + 1)))
+          then ok := false)
+        windows;
+      let r = Obs.Slo.report t in
+      let total = List.fold_left (fun acc (g, b) -> acc + g + b) 0 windows in
+      let bad = List.fold_left (fun acc (_, b) -> acc + b) 0 windows in
+      !ok && r.Obs.Slo.total = total && r.Obs.Slo.bad = bad
+      && r.Obs.Slo.windows = List.length windows)
+
+let test_slo_validate () =
+  let bad_spec f = try f (); false with Invalid_argument _ -> true in
+  check_bool "objective 1.0 rejected" true
+    (bad_spec (fun () ->
+         ignore (Obs.Slo.create { Obs.Slo.default_spec with Obs.Slo.objective = 1.0 })));
+  check_bool "slow < fast rejected" true
+    (bad_spec (fun () ->
+         ignore
+           (Obs.Slo.create
+              { Obs.Slo.default_spec with Obs.Slo.fast_windows = 5; slow_windows = 4 })));
+  check_bool "zero window rejected" true
+    (bad_spec (fun () ->
+         ignore (Obs.Slo.create { Obs.Slo.default_spec with Obs.Slo.window_ns = 0 })))
+
+(* ------------------------------------------------------------------ *)
+(* Empty-safe summaries                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_opt () =
+  let s = Stat.Summary.create () in
+  check_bool "empty -> None" true (Stat.Summary.report_opt s = None);
+  check_string "empty renders, does not raise" "n=0 (no data)"
+    (Format.asprintf "%a" Stat.Summary.pp_report_opt_us None);
+  Stat.Summary.record s 1500.0;
+  (match Stat.Summary.report_opt s with
+  | Some r -> check_int "non-empty -> Some" 1 r.Stat.Summary.count
+  | None -> Alcotest.fail "report_opt lost the data");
+  (* The metrics snapshot rides the same path: an idle histogram is
+     omitted rather than raising at snapshot time. *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  check_bool "idle histogram omitted from snapshot" true
+    (Obs.Metrics.find (Obs.Metrics.snapshot m) "lat" = None);
+  Obs.Metrics.observe h 10.0;
+  check_bool "histogram appears once fed" true
+    (Obs.Metrics.find (Obs.Metrics.snapshot m) "lat" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exporter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "requests.completed" in
+  Obs.Metrics.add c 5;
+  Obs.Metrics.gauge m "guard.state" (fun () -> 2);
+  let h = Obs.Metrics.histogram m "latency.all_ns" in
+  List.iter (fun v -> Obs.Metrics.observe h v) [ 100.0; 200.0; 300.0 ];
+  let text = Obs.Export.prometheus (Obs.Metrics.snapshot m) in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  check_bool "counter TYPE line" true (has "# TYPE lp_requests_completed counter");
+  check_bool "counter sample" true (has "lp_requests_completed 5");
+  check_bool "gauge TYPE line" true (has "# TYPE lp_guard_state gauge");
+  check_bool "gauge sample" true (has "lp_guard_state 2");
+  check_bool "histogram as summary" true (has "# TYPE lp_latency_all_ns summary");
+  check_bool "quantile sample" true
+    (List.exists
+       (fun l -> Astring_contains.contains l "lp_latency_all_ns{quantile=\"0.99\"}")
+       lines);
+  check_bool "count sample" true (has "lp_latency_all_ns_count 3");
+  (* every non-comment line must use mangled names: [a-zA-Z0-9_] only
+     up to the first space or brace *)
+  check_bool "names mangled" true
+    (List.for_all
+       (fun l ->
+         l = "" || l.[0] = '#'
+         ||
+         let stop = try String.index l '{' with Not_found -> String.index l ' ' in
+         let name = String.sub l 0 stop in
+         String.for_all
+           (fun ch ->
+             (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+             || (ch >= '0' && ch <= '9')
+             || ch = '_')
+           name)
+       lines)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry tick: passivity and attribution                           *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_config =
+  {
+    Preemptible.Telemetry.default with
+    Preemptible.Telemetry.tick_ns = 1_000_000;
+    slos = [ Obs.Slo.default_spec ];
+  }
+
+let run_server ?(telemetry = false) ?(guard = None) ?(adaptive = false)
+    ?(duration_ms = 20) () =
+  let quantum_ns = 5_000 in
+  let policy =
+    if adaptive then
+      Preemptible.Policy.adaptive
+        (Preemptible.Quantum_controller.create ~max_load_per_s:1e6
+           ~initial_quantum_ns:quantum_ns ())
+    else Preemptible.Policy.fcfs_preempt ~quantum_ns
+  in
+  let cfg =
+    Preemptible.Server.default_config ~n_workers:2 ~policy
+      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+  in
+  let cfg =
+    {
+      cfg with
+      Preemptible.Server.seed = 7L;
+      stats_window_ns = 2_000_000;
+      guard;
+      telemetry = (if telemetry then Some telemetry_config else None);
+    }
+  in
+  Preemptible.Server.run cfg
+    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:150_000.0)
+    ~source:
+      (Workload.Source.of_dist Workload.Service_dist.workload_a1
+         ~cls:Workload.Request.Latency_critical)
+    ~duration_ns:(duration_ms * 1_000_000)
+
+let test_telemetry_passive () =
+  let on = run_server ~telemetry:true () in
+  let off = run_server ~telemetry:false () in
+  check_bool "latency summary identical" true
+    (on.Preemptible.Server.all = off.Preemptible.Server.all);
+  check_int "completions identical" off.Preemptible.Server.completed
+    on.Preemptible.Server.completed;
+  check_int "preemptions identical" off.Preemptible.Server.preemptions
+    on.Preemptible.Server.preemptions;
+  check_bool "off-run carries no report" true (off.Preemptible.Server.telemetry = None);
+  match on.Preemptible.Server.telemetry with
+  | None -> Alcotest.fail "telemetry-enabled run returned no report"
+  | Some tel ->
+    check_bool "ticks cover the run" true (tel.Preemptible.Telemetry.t_ticks >= 20)
+
+let test_attribution_sane () =
+  let r = run_server ~telemetry:true () in
+  let tel = Option.get r.Preemptible.Server.telemetry in
+  check_int "one attribution per core" 2
+    (Array.length tel.Preemptible.Telemetry.t_cores);
+  Array.iter
+    (fun (c : Preemptible.Telemetry.core_attr) ->
+      check_bool "components non-negative" true
+        (c.service_ns >= 0 && c.sched_ns >= 0 && c.preempt_ns >= 0 && c.idle_ns >= 0);
+      check_bool "wasted within service" true
+        (c.wasted_ns >= 0 && c.wasted_ns <= c.service_ns);
+      check_bool "core did something" true (c.service_ns + c.idle_ns > 0))
+    tel.Preemptible.Telemetry.t_cores;
+  (* The SLO tracker saw every measured completion. *)
+  (match tel.Preemptible.Telemetry.t_slos with
+  | [ s ] -> check_int "slo total = completions" r.Preemptible.Server.completed s.Obs.Slo.total
+  | _ -> Alcotest.fail "expected one SLO report");
+  check_int "no audit entries dropped" 0 tel.Preemptible.Telemetry.t_audit_dropped
+
+let test_audit_trail () =
+  let r = run_server ~telemetry:true ~adaptive:true () in
+  let tel = Option.get r.Preemptible.Server.telemetry in
+  let audit = tel.Preemptible.Telemetry.t_audit in
+  check_bool "controller decisions recorded" true (List.length audit >= 5);
+  let sorted = ref true and prev = ref min_int in
+  List.iter
+    (fun (a : Preemptible.Telemetry.audit_entry) ->
+      if a.a_at_ns < !prev then sorted := false;
+      prev := a.a_at_ns;
+      if a.a_quantum_after_ns <= 0 then sorted := false)
+    audit;
+  check_bool "audit in decision order with positive quanta" true !sorted
+
+let test_guard_gauge () =
+  let guard =
+    Some { Guard.disabled with Guard.brownout = Some Guard.default_brownout }
+  in
+  let r = run_server ~guard () in
+  match Obs.Metrics.find r.Preemptible.Server.metrics "guard.state" with
+  | Some (Obs.Metrics.Gauge v) ->
+    check_bool "gauge uses the state_index encoding" true (v >= 0 && v <= 2)
+  | _ -> Alcotest.fail "guard.state gauge missing from the snapshot"
+
+let suites =
+  [
+    ( "telemetry.sketch",
+      [
+        QCheck_alcotest.to_alcotest sketch_accuracy;
+        QCheck_alcotest.to_alcotest sketch_merge;
+        Alcotest.test_case "edge cases" `Quick test_sketch_edges;
+      ] );
+    ( "telemetry.slo",
+      [
+        QCheck_alcotest.to_alcotest slo_telescopes;
+        Alcotest.test_case "spec validation" `Quick test_slo_validate;
+      ] );
+    ( "telemetry.export",
+      [
+        Alcotest.test_case "report_opt / empty-safe paths" `Quick test_report_opt;
+        Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
+      ] );
+    ( "telemetry.server",
+      [
+        Alcotest.test_case "tick is passive" `Quick test_telemetry_passive;
+        Alcotest.test_case "core attribution sane" `Quick test_attribution_sane;
+        Alcotest.test_case "controller audit trail" `Quick test_audit_trail;
+        Alcotest.test_case "guard.state gauge" `Quick test_guard_gauge;
+      ] );
+  ]
