@@ -46,6 +46,9 @@ let elements =
     ( "--overload",
       "Overload: goodput past capacity, guard on/off, retry storms",
       Bench_overload.run );
+    ( "--cluster",
+      "Cluster: fleet size x load balancer sweeps, quanta crossover, stealing",
+      Bench_cluster.run );
     ( "--slo",
       "SLO telemetry: burn-rate vs static alerts through a flash crowd",
       Bench_slo.run );

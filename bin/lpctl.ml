@@ -165,6 +165,53 @@ let serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guar
       (Printf.sprintf "unknown system %S (lp|lp-nouintr|shinjuku|libinger|nopreempt|go)" s);
     exit 1
 
+(* One fleet simulation at one offered rate (serve --servers N).  The
+   member config mirrors the single-server lp/lp-nouintr paths. *)
+let serve_fleet ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guard
+    ~servers ~lb ~steal rate =
+  let arrival = Workload.Arrival.poisson ~rate_per_sec:rate in
+  let source = Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical in
+  let policy =
+    if adaptive then
+      Preemptible.Policy.adaptive
+        (Preemptible.Quantum_controller.create
+           ~max_load_per_s:
+             (float_of_int workers *. 1e9 /. Workload.Service_dist.mean_ns dist ~now:0)
+           ~initial_quantum_ns:quantum ())
+    else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
+  in
+  let mechanism =
+    match system with
+    | "lp" -> Preemptible.Server.Uintr_utimer Utimer.default_config
+    | _ -> Preemptible.Server.Signal_utimer { poll_ns = 500 }
+  in
+  let member =
+    {
+      (Preemptible.Server.default_config ~n_workers:workers ~policy ~mechanism) with
+      Preemptible.Server.guard;
+    }
+  in
+  let cfg =
+    {
+      (Cluster.uniform ~n:servers ~lb member) with
+      Cluster.seed;
+      steal = (if steal then Some Cluster.default_steal else None);
+    }
+  in
+  Cluster.run cfg ~arrival ~source ~duration_ns
+
+let pp_fleet_result (r : Cluster.result) =
+  Format.printf "%a@." Cluster.pp_fleet r.Cluster.fleet;
+  Array.iteri
+    (fun i (s : Preemptible.Server.result) ->
+      Format.printf
+        "  server %d: completed=%d shed=%d p50=%.1fus p99=%.1fus busy=%.2f preempts=%d@." i
+        s.Preemptible.Server.completed s.Preemptible.Server.shed
+        (s.Preemptible.Server.all.Stat.Summary.p50 /. 1e3)
+        (s.Preemptible.Server.all.Stat.Summary.p99 /. 1e3)
+        s.Preemptible.Server.worker_busy_frac s.Preemptible.Server.preemptions)
+    r.Cluster.per_server
+
 let parse_rates s =
   let parts = String.split_on_char ',' s |> List.map String.trim in
   let rates = List.filter_map float_of_string_opt parts in
@@ -177,9 +224,36 @@ let parse_rates s =
   rates
 
 let serve system workload rate_s jobs quantum_us workers duration_ms adaptive seed
-    timeout_us shed_depth retry_budget brownout metrics_out =
+    timeout_us shed_depth retry_budget brownout metrics_out servers lb_s steal =
   let duration_ns = ms duration_ms in
   let rates = parse_rates rate_s in
+  (* Cluster flags validate before any simulation runs. *)
+  if servers < 1 then begin
+    prerr_endline "--servers expects a positive fleet size";
+    exit 1
+  end;
+  let lb =
+    match Cluster.lb_of_string lb_s with
+    | Ok lb -> lb
+    | Error m ->
+      prerr_endline ("--lb: " ^ m);
+      exit 1
+  in
+  if servers = 1 && steal then begin
+    prerr_endline "--steal needs a fleet (--servers > 1)";
+    exit 1
+  end;
+  if servers > 1 && not (List.mem system [ "lp"; "lp-nouintr" ]) then begin
+    prerr_endline
+      (Printf.sprintf "--servers applies to lp|lp-nouintr fleets, not %S" system);
+    exit 1
+  end;
+  if steal && retry_budget <> None then begin
+    prerr_endline
+      "--steal cannot be combined with --retry-budget (a stolen request's patience clock \
+       cannot follow it across servers)";
+    exit 1
+  end;
   match workload_of_string duration_ns workload with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -205,6 +279,28 @@ let serve system workload rate_s jobs quantum_us workers duration_ms adaptive se
         (Printf.sprintf "guard flags (--timeout/--shed/--retry-budget/--brownout) only \
                          apply to lp|lp-nouintr, not %S" system);
       exit 1
+    end;
+    if servers > 1 then begin
+      if metrics_out <> None then begin
+        prerr_endline "--metrics-out applies to single-server runs";
+        exit 1
+      end;
+      let run_one =
+        serve_fleet ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guard
+          ~servers ~lb ~steal
+      in
+      (match rates with
+      | [ rate ] -> pp_fleet_result (run_one rate)
+      | rates ->
+        let results =
+          Exec.Sweep.run ?trace:(Lazy.force pool_trace) ~label:"serve" ~jobs run_one rates
+        in
+        List.iter2
+          (fun rate r ->
+            Format.printf "@.-- rate %.0f/s (fleet) --@." rate;
+            pp_fleet_result r)
+          rates results);
+      exit 0
     end;
     let run_one =
       serve_one ~system ~dist ~quantum ~workers ~duration_ns ~adaptive ~seed ~guard
@@ -290,12 +386,31 @@ let serve_cmd =
             "write the run's metrics snapshot in Prometheus text exposition format to \
              this file (multi-rate sweeps export the last rate)")
   in
+  let servers =
+    Arg.(
+      value & opt int 1
+      & info [ "servers" ]
+          ~doc:"fleet size; above 1 simulates N servers behind a load balancer (lp|lp-nouintr)")
+  in
+  let lb =
+    Arg.(
+      value & opt string "p2c"
+      & info [ "lb" ] ~doc:"fleet dispatch policy: random|rr|jsq|p2c (with --servers)")
+  in
+  let steal =
+    Arg.(
+      value & flag
+      & info [ "steal" ]
+          ~doc:"enable cross-server work stealing (with --servers; incompatible with \
+                --retry-budget)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"simulate a request-serving system under load"
        ~envs:[ env_pool_trace ])
     Term.(
       const serve $ system $ workload $ rate $ jobs_arg $ quantum $ workers $ duration
-      $ adaptive $ seed $ timeout $ shed $ retry_budget $ brownout $ metrics_out)
+      $ adaptive $ seed $ timeout $ shed $ retry_budget $ brownout $ metrics_out $ servers
+      $ lb $ steal)
 
 (* ------------------------------------------------------------------ *)
 (* top                                                                 *)

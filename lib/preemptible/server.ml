@@ -968,15 +968,19 @@ let telemetry_loop st tel tick_ns =
   tick ()
 
 (* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
+(* Instances and entry points                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
+(* An instance is a fully wired server attached to a caller-owned
+   simulation.  [run]/[run_trace] build one on a private sim; the
+   cluster layer builds N on a shared sim and feeds them itself. *)
+type t = st
+
+let create ?(probes = no_probes) ?(warmup_ns = 0) cfg ~sim ~duration_ns =
   if cfg.n_workers <= 0 then invalid_arg "Server.run: need at least one worker";
   if duration_ns <= 0 then invalid_arg "Server.run: non-positive duration";
   if warmup_ns < 0 || warmup_ns >= duration_ns then
     invalid_arg "Server.run: warmup must lie within the run";
-  let sim = Engine.Sim.create ~seed:cfg.seed () in
   let trace =
     Option.map
       (fun tc -> Obs.Trace.create ~config:tc ~clock:(fun () -> Engine.Sim.now sim) ())
@@ -1102,21 +1106,99 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
            ~cores:(Array.map (fun w -> w.core) st.workers)
            ?guard ?trace ())
   | None -> ());
-  feed st;
+  st
+
+(* Arm the periodic loops (stats window, telemetry tick).  Called after
+   the initial arrivals are scheduled so the event-insertion order — and
+   with it equal-timestamp tie-breaking — matches the pre-instance
+   behaviour bit for bit. *)
+let start st =
   window_loop st;
-  (match st.tel with
-  | Some tel -> telemetry_loop st tel (Option.get cfg.telemetry).tick_ns
-  | None -> ());
-  Engine.Sim.run ~max_events:cfg.max_events sim;
+  match st.tel with
+  | Some tel -> telemetry_loop st tel (Option.get st.cfg.telemetry).tick_ns
+  | None -> ()
+
+let inject st ~service_ns ~cls =
+  let at = now st in
+  if at >= st.duration_ns then invalid_arg "Server.inject: arrivals ended";
+  let req =
+    Workload.Request.Pool.acquire st.req_pool ~id:st.next_id ~arrival_ns:at ~service_ns
+      ~cls
+  in
+  st.next_id <- st.next_id + 1;
+  attempt_admit st ~attempt:1 req
+
+let end_arrivals st =
+  st.arrivals_done <- true;
+  check_drain st
+
+let inflight st = st.outstanding
+
+let queue_depth st = total_qlen st
+
+let completed_so_far st = st.measured_completed
+
+(* Cluster work stealing: transplant up to [max] queued-but-unstarted
+   requests from [victim] into [thief]'s dispatch pipeline.  The fleet
+   counted each request when it was first offered, so the thief admits
+   it without re-counting offered/shed and without a second guard
+   admission decision; latency keeps the original arrival stamp, so
+   fleet-level conservation (offered = completed+cancelled+dropped+shed
+   summed over servers) survives any number of migrations. *)
+let steal_from ~victim ~thief ~max =
+  if victim == thief then invalid_arg "Server.steal_from: victim and thief are the same";
+  let t = now victim in
+  let moved = ref 0 in
+  let exhausted = ref false in
+  while (not !exhausted) && !moved < max do
+    (* Prefer undispatched work, then the longest worker backlog. *)
+    let popped =
+      match Rqueue.pop victim.dispatch_q ~now:t with
+      | Some _ as r -> r
+      | None ->
+        let best = ref None in
+        Array.iter
+          (fun w ->
+            let len = Rqueue.length w.local in
+            if len > 0 then
+              match !best with
+              | Some b when Rqueue.length b.local >= len -> ()
+              | Some _ | None -> best := Some w)
+          victim.workers;
+        (match !best with Some w -> Rqueue.pop w.local ~now:t | None -> None)
+    in
+    match popped with
+    | None -> exhausted := true
+    | Some req ->
+      let arrival_ns = req.Workload.Request.arrival_ns in
+      let service_ns = req.Workload.Request.service_ns in
+      let cls = req.Workload.Request.cls in
+      tr_req victim req ~name:"req.stolen_away" ~arg:0;
+      victim.outstanding <- victim.outstanding - 1;
+      Workload.Request.Pool.release victim.req_pool req;
+      let req' =
+        Workload.Request.Pool.acquire thief.req_pool ~id:thief.next_id ~arrival_ns
+          ~service_ns ~cls
+      in
+      thief.next_id <- thief.next_id + 1;
+      thief.outstanding <- thief.outstanding + 1;
+      tr_req thief req' ~name:"req.stolen_in" ~arg:0;
+      Rqueue.push thief.dispatch_q ~now:t req';
+      pump_dispatcher thief;
+      incr moved
+  done;
+  if !moved > 0 then check_drain victim;
+  !moved
+
+let finish st =
+  let cfg = st.cfg and sim = st.sim and duration_ns = st.duration_ns in
   if st.outstanding > 0 then
     failwith
       (Printf.sprintf
          "Server.run: event cap (%d) hit with %d requests outstanding — raise max_events \
           or lower the load"
          cfg.max_events st.outstanding);
-  if st.measured_completed = 0 then
-    failwith "Server.run: no measured completions (warmup too long or load too low)";
-  let measured_ns = duration_ns - warmup_ns in
+  let measured_ns = duration_ns - st.warmup_ns in
   let final = Engine.Sim.now sim in
   let busy = Array.fold_left (fun acc w -> acc + Hw.Core.busy_ns w.core) 0 st.workers in
   (* End-of-run totals, folded into the registry so one snapshot carries
@@ -1181,6 +1263,17 @@ let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
     metrics = Obs.Metrics.snapshot st.metrics;
     telemetry = Option.map Telemetry.report st.tel;
   }
+
+let run_with ~probes ~warmup_ns cfg ~feed ~duration_ns =
+  let sim = Engine.Sim.create ~seed:cfg.seed () in
+  let st = create ~probes ~warmup_ns cfg ~sim ~duration_ns in
+  feed st;
+  start st;
+  Engine.Sim.run ~max_events:cfg.max_events sim;
+  let r = finish st in
+  if r.completed = 0 then
+    failwith "Server.run: no measured completions (warmup too long or load too low)";
+  r
 
 let run ?(probes = no_probes) ?(warmup_ns = 0) cfg ~arrival ~source ~duration_ns =
   run_with ~probes ~warmup_ns cfg ~feed:(fun st -> arrivals st ~arrival ~source) ~duration_ns

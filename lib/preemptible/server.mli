@@ -217,3 +217,63 @@ val run_trace :
 val pp_result : Format.formatter -> result -> unit
 
 val pp_resilience : Format.formatter -> resilience -> unit
+
+(** {2 Cluster composition}
+
+    [run] owns its whole simulation; a fleet needs N servers sharing
+    one clock so a load balancer can read live queue state.  An
+    {e instance} is a fully wired server attached to a caller-owned
+    {!Engine.Sim.t}: the caller feeds it arrivals ({!inject}), ends the
+    arrival phase ({!end_arrivals}), runs the shared engine, and
+    collects the usual {!result} with {!finish}.  [Cluster.run] is the
+    intended consumer; [run] itself is [create] + [start] + one
+    private sim. *)
+
+type t
+(** A live server instance attached to a shared simulation. *)
+
+val create :
+  ?probes:probes -> ?warmup_ns:int -> config -> sim:Engine.Sim.t -> duration_ns:int -> t
+(** Wire a server onto [sim]: cores, queues, pools, the preemption
+    mechanism and (when configured) guard/trace/telemetry.  RNG streams
+    are forked from [sim] in a fixed order, so instance creation order
+    is part of the experiment's seed.  [config.seed] and
+    [config.max_events] are ignored — the caller owns the engine.
+    Raises [Invalid_argument] on inconsistent parameters, exactly like
+    {!run}. *)
+
+val start : t -> unit
+(** Arm the periodic stats-window and telemetry loops.  Call once,
+    after the initial arrival events are scheduled (event-insertion
+    order breaks equal-timestamp ties). *)
+
+val inject : t -> service_ns:int -> cls:Workload.Request.cls -> unit
+(** Offer one request arriving at the current simulation time; it runs
+    the same admission path (guard verdicts included) as a sampled
+    arrival.  Raises [Invalid_argument] at or past [duration_ns]. *)
+
+val end_arrivals : t -> unit
+(** Declare the arrival phase over; the instance drains and then shuts
+    its mechanism and loops down. *)
+
+val inflight : t -> int
+(** Requests admitted but not yet completed/cancelled/dropped — the
+    JSQ/least-loaded dispatch signal. *)
+
+val queue_depth : t -> int
+(** Requests queued but not in service (dispatch + long + local
+    queues) — the work-stealing imbalance signal. *)
+
+val completed_so_far : t -> int
+(** Measured completions so far (fleet telemetry ticks). *)
+
+val steal_from : victim:t -> thief:t -> max:int -> int
+(** Migrate up to [max] queued-but-unstarted requests from [victim]
+    into [thief]'s dispatch pipeline, returning the number moved.
+    Arrival stamps are preserved, and the stolen requests are {e not}
+    re-counted as offered at the thief, so fleet-level conservation
+    holds.  Raises [Invalid_argument] when [victim == thief]. *)
+
+val finish : t -> result
+(** Collect the result after the shared engine drained.  Raises
+    [Failure] when requests are still outstanding (event cap hit). *)

@@ -16,6 +16,18 @@ type kind =
       decay_ns : int;
     }
   | Piecewise of (int * t) list
+  | Diurnal of { base_rate : float; amplitude : float; period_ns : int }
+  | Mmpp of {
+      rates : float array;
+      mean_hold_ns : int;
+      mseed : int64;
+      (* memo of the epoch covering the last query; the walk from epoch
+         0 is deterministic, so the memo is an O(1)-amortized cursor,
+         never a source of nondeterminism *)
+      mutable m_epoch : int;
+      mutable m_start : int;
+      mutable m_end : int;
+    }
 
 and t = { kind : kind; arr_name : string }
 
@@ -75,6 +87,61 @@ let piecewise segments =
   if segments = [] then invalid_arg "Arrival.piecewise: empty";
   { kind = Piecewise segments; arr_name = "piecewise" }
 
+let diurnal ~base_rate_per_sec ~amplitude ~period_ns =
+  check_rate base_rate_per_sec "Arrival.diurnal";
+  if amplitude < 0.0 || amplitude >= 1.0 then
+    invalid_arg "Arrival.diurnal: amplitude out of [0,1)";
+  if period_ns <= 0 then invalid_arg "Arrival.diurnal: period must be positive";
+  {
+    kind = Diurnal { base_rate = base_rate_per_sec; amplitude; period_ns };
+    arr_name = Printf.sprintf "diurnal(%.0f/s±%.0f%%)" base_rate_per_sec (100.0 *. amplitude);
+  }
+
+let mmpp ~rates_per_sec ~mean_hold_ns ~seed =
+  if Array.length rates_per_sec < 2 then invalid_arg "Arrival.mmpp: need at least 2 states";
+  Array.iter (fun r -> check_rate r "Arrival.mmpp") rates_per_sec;
+  if mean_hold_ns <= 0 then invalid_arg "Arrival.mmpp: mean hold must be positive";
+  {
+    kind =
+      Mmpp
+        {
+          rates = Array.copy rates_per_sec;
+          mean_hold_ns;
+          mseed = seed;
+          m_epoch = -1;
+          m_start = 0;
+          m_end = 0;
+        };
+    arr_name =
+      Printf.sprintf "mmpp(%d states,%.0f-%.0f/s)" (Array.length rates_per_sec)
+        (Array.fold_left min infinity rates_per_sec)
+        (Array.fold_left max 0.0 rates_per_sec);
+  }
+
+(* Epoch [k]'s hold time is a pure function of (seed, k): a fresh
+   SplitMix64 stream keyed by the epoch index.  The modulating chain is
+   therefore shareable across runs and immune to query order. *)
+let mmpp_hold ~mseed ~mean_hold_ns k =
+  let key = Int64.logxor mseed (Int64.mul (Int64.of_int (k + 1)) 0x9E3779B97F4A7C15L) in
+  let rng = Engine.Rng.create key in
+  max 1 (int_of_float (Engine.Rng.exponential rng ~mean:(float_of_int mean_hold_ns)))
+
+let mmpp_rate m ~now =
+  match m with
+  | Mmpp mm ->
+    if mm.m_epoch < 0 || now < mm.m_start then begin
+      mm.m_epoch <- 0;
+      mm.m_start <- 0;
+      mm.m_end <- mmpp_hold ~mseed:mm.mseed ~mean_hold_ns:mm.mean_hold_ns 0
+    end;
+    while now >= mm.m_end do
+      mm.m_epoch <- mm.m_epoch + 1;
+      mm.m_start <- mm.m_end;
+      mm.m_end <- mm.m_end + mmpp_hold ~mseed:mm.mseed ~mean_hold_ns:mm.mean_hold_ns mm.m_epoch
+    done;
+    mm.rates.(mm.m_epoch mod Array.length mm.rates)
+  | _ -> assert false
+
 let rec rate_at t ~now =
   match t.kind with
   | Poisson r | Uniform r -> r
@@ -102,15 +169,20 @@ let rec rate_at t ~now =
       | (until_ns, p) :: rest -> if now < until_ns then rate_at p ~now else pick rest
     in
     pick segments
+  | Diurnal { base_rate; amplitude; period_ns } ->
+    let phase = 2.0 *. Float.pi *. float_of_int (now mod period_ns) /. float_of_int period_ns in
+    base_rate *. (1.0 +. (amplitude *. sin phase))
+  | Mmpp _ -> mmpp_rate t.kind ~now
 
 let rec next_gap t rng ~now =
   let gap =
     match t.kind with
     | Poisson r -> int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. r))
     | Uniform r -> int_of_float (1e9 /. r)
-    | Bursty _ | Flash _ ->
+    | Bursty _ | Flash _ | Diurnal _ | Mmpp _ ->
       (* Sample from the instantaneous rate; fine-grained enough since
-         spikes and ramps last many inter-arrival times. *)
+         spikes, ramps and modulation epochs last many inter-arrival
+         times. *)
       let r = rate_at t ~now in
       int_of_float (Engine.Rng.exponential rng ~mean:(1e9 /. r))
     | Piecewise segments ->

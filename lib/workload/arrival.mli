@@ -42,6 +42,20 @@ val piecewise : (int * t) list -> t
     time is used. The last segment extends to infinity regardless of
     its bound. *)
 
+val diurnal : base_rate_per_sec:float -> amplitude:float -> period_ns:int -> t
+(** Sinusoidally modulated Poisson arrivals:
+    [rate(t) = base * (1 + amplitude * sin(2pi t / period))] — a
+    compressed day/night cycle for fleet sizing studies.  [amplitude]
+    must lie in [\[0, 1)]. *)
+
+val mmpp : rates_per_sec:float array -> mean_hold_ns:int -> seed:int64 -> t
+(** A Markov-modulated Poisson process: the rate walks the given states
+    cyclically, holding each for an exponential time with mean
+    [mean_hold_ns].  The modulating chain is a pure function of
+    [seed] — independent of the arrival RNG and of query order — so two
+    runs (or two fleets) driven by equal configs see the same rate
+    trajectory.  Requires at least two states. *)
+
 val next_gap : t -> Engine.Rng.t -> now:int -> int
 (** Nanoseconds until the next arrival (>= 1). *)
 

@@ -29,6 +29,18 @@ let mix weighted =
         pick 0.0 weighted);
   }
 
+let tenants ~theta members =
+  if members = [] then invalid_arg "Source.tenants: empty";
+  let arr = Array.of_list members in
+  let z = Zipf.create ~n:(Array.length arr) ~theta in
+  {
+    src_name = Printf.sprintf "tenants(%d,theta=%.2f)" (Array.length arr) theta;
+    draw_fn =
+      (fun rng ~now ->
+        let i = Zipf.sample z rng in
+        arr.(i).draw_fn rng ~now);
+  }
+
 let draw t rng ~now =
   let service, cls = t.draw_fn rng ~now in
   if service <= 0 then invalid_arg "Source.draw: sampler returned non-positive service time";

@@ -17,6 +17,13 @@ val mix : (float * t) list -> t
 (** Weighted mixture. Weights must be positive; they are normalized.
     Raises on an empty list. *)
 
+val tenants : theta:float -> t list -> t
+(** A Zipf-skewed multi-tenant mix: tenant [i] (list order, 0 = most
+    popular) is drawn with Zipfian probability of skew [theta] — the
+    production-shaped "one hot tenant, a long tail of cold ones" traffic
+    that cluster dispatch policies must absorb.  [theta = 0] is a
+    uniform mix. *)
+
 val draw : t -> Engine.Rng.t -> now:int -> int * Request.cls
 
 val name : t -> string

@@ -147,7 +147,84 @@ let test_arrival_validation () =
   Alcotest.check_raises "zero rate" (Invalid_argument "Arrival.poisson: rate must be positive")
     (fun () -> ignore (Workload.Arrival.poisson ~rate_per_sec:0.0));
   Alcotest.check_raises "empty piecewise" (Invalid_argument "Arrival.piecewise: empty")
-    (fun () -> ignore (Workload.Arrival.piecewise []))
+    (fun () -> ignore (Workload.Arrival.piecewise []));
+  Alcotest.check_raises "diurnal amplitude" (Invalid_argument "Arrival.diurnal: amplitude out of [0,1)")
+    (fun () ->
+      ignore (Workload.Arrival.diurnal ~base_rate_per_sec:1.0 ~amplitude:1.0 ~period_ns:10));
+  Alcotest.check_raises "mmpp single state" (Invalid_argument "Arrival.mmpp: need at least 2 states")
+    (fun () ->
+      ignore (Workload.Arrival.mmpp ~rates_per_sec:[| 5.0 |] ~mean_hold_ns:100 ~seed:1L))
+
+let test_diurnal_cycle () =
+  let base = 100_000.0 in
+  let a =
+    Workload.Arrival.diurnal ~base_rate_per_sec:base ~amplitude:0.5 ~period_ns:(Units.ms 8)
+  in
+  let rate now = Workload.Arrival.rate_at a ~now in
+  Alcotest.(check (float 1.0)) "cycle start at base" base (rate 0);
+  Alcotest.(check (float 1.0)) "peak at quarter period" (1.5 *. base) (rate (Units.ms 2));
+  Alcotest.(check (float 1.0)) "trough at three quarters" (0.5 *. base) (rate (Units.ms 6));
+  Alcotest.(check (float 1.0)) "periodic" (rate (Units.ms 2)) (rate (Units.ms 10));
+  (* the rate never leaves [base*(1-amp), base*(1+amp)] *)
+  let ok = ref true in
+  for i = 0 to 200 do
+    let r = rate (i * 100_000) in
+    if r < 0.5 *. base -. 1.0 || r > 1.5 *. base +. 1.0 then ok := false
+  done;
+  check_bool "bounded by amplitude" true !ok
+
+let test_mmpp_deterministic () =
+  let mk () =
+    Workload.Arrival.mmpp
+      ~rates_per_sec:[| 50_000.0; 200_000.0; 100_000.0 |]
+      ~mean_hold_ns:(Units.ms 1) ~seed:21L
+  in
+  let a = mk () and b = mk () in
+  (* the modulating trajectory is a pure function of the seed: two
+     instances agree at every sample, regardless of query order *)
+  let same = ref true and seen_states = ref 0 in
+  let seen = Array.make 3 false in
+  for i = 0 to 400 do
+    let now = i * 50_000 in
+    let ra = Workload.Arrival.rate_at a ~now in
+    if ra <> Workload.Arrival.rate_at b ~now then same := false;
+    Array.iteri (fun j r -> if ra = r then seen.(j) <- true) [| 50_000.0; 200_000.0; 100_000.0 |]
+  done;
+  Array.iter (fun s -> if s then incr seen_states) seen;
+  check_bool "two instances agree" true !same;
+  check_int "walks through all states" 3 !seen_states;
+  (* querying backwards matches a fresh forward walk *)
+  let c = mk () in
+  let fwd = Workload.Arrival.rate_at a ~now:(Units.ms 2) in
+  ignore (Workload.Arrival.rate_at c ~now:(Units.ms 7));
+  Alcotest.(check (float 1e-9)) "memo rewinds" fwd (Workload.Arrival.rate_at c ~now:(Units.ms 2));
+  (* a different seed gives a different trajectory somewhere *)
+  let d =
+    Workload.Arrival.mmpp
+      ~rates_per_sec:[| 50_000.0; 200_000.0; 100_000.0 |]
+      ~mean_hold_ns:(Units.ms 1) ~seed:22L
+  in
+  let differs = ref false in
+  for i = 0 to 400 do
+    let now = i * 50_000 in
+    if Workload.Arrival.rate_at a ~now <> Workload.Arrival.rate_at d ~now then differs := true
+  done;
+  check_bool "seed changes the walk" true !differs
+
+let test_tenants_skew () =
+  let rng = Rng.create 31L in
+  let hot = Workload.Source.of_fn ~name:"hot" (fun _ ~now:_ -> (1_000, Workload.Request.Latency_critical)) in
+  let cold = Workload.Source.of_fn ~name:"cold" (fun _ ~now:_ -> (9_000, Workload.Request.Best_effort)) in
+  let src = Workload.Source.tenants ~theta:0.9 [ hot; cold ] in
+  let hot_n = ref 0 and n = 5_000 in
+  for _ = 1 to n do
+    let service, _ = Workload.Source.draw src rng ~now:0 in
+    if service = 1_000 then incr hot_n
+  done;
+  check_bool "hot tenant dominates" true (float_of_int !hot_n /. float_of_int n > 0.6);
+  check_bool "cold tenant still sampled" true (!hot_n < n);
+  Alcotest.check_raises "empty tenants" (Invalid_argument "Source.tenants: empty") (fun () ->
+      ignore (Workload.Source.tenants ~theta:0.5 []))
 
 (* ------------------------------------------------------------------ *)
 (* Zipf                                                                *)
@@ -362,6 +439,8 @@ let suites =
         Alcotest.test_case "flash crowd envelope" `Slow test_flash_crowd_envelope;
         Alcotest.test_case "flash crowd validation" `Quick test_flash_crowd_validation;
         Alcotest.test_case "piecewise" `Quick test_piecewise;
+        Alcotest.test_case "diurnal cycle" `Quick test_diurnal_cycle;
+        Alcotest.test_case "mmpp deterministic walk" `Quick test_mmpp_deterministic;
         Alcotest.test_case "validation" `Quick test_arrival_validation;
       ] );
     ( "workload.zipf",
@@ -382,6 +461,7 @@ let suites =
       [
         Alcotest.test_case "mix weights" `Slow test_source_mix_weights;
         Alcotest.test_case "mix validation" `Quick test_source_mix_validation;
+        Alcotest.test_case "zipf tenant skew" `Quick test_tenants_skew;
       ] );
     ( "workload.tracegen",
       [
