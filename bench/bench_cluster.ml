@@ -26,20 +26,14 @@
                 A work-stealing pair on a lopsided heterogeneous fleet
                 closes the section. *)
 
-let us = Engine.Units.us
 let ms = Engine.Units.ms
 
-let seed = 17L
 let workers = 2
 
-let member_cfg ?(policy = Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 5)) () =
-  Preemptible.Server.default_config ~n_workers:workers ~policy
-    ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-
-let fleet_capacity dist ~n ~duration_ns =
-  Bench_util.capacity_rps dist ~workers:(n * workers) ~duration_ns
-
-let cluster_cfg ?steal ~n ~lb member = { (Cluster.uniform ~n ~lb member) with Cluster.steal; seed }
+let override spec text =
+  match Scenario.override spec text with
+  | Ok s -> s
+  | Error e -> invalid_arg ("bench_cluster: " ^ Scenario.error_to_string e)
 
 let point ~section ~labels ~metrics =
   Bench_report.point ~fig:"cluster" ~labels:(("mode", section) :: labels) ~metrics
@@ -56,27 +50,15 @@ let lat_metrics (f : Cluster.fleet) =
 (* Section 1: fleet size x policy, production-shaped traffic           *)
 (* ------------------------------------------------------------------ *)
 
-(* A Zipf-skewed tenant mix: one hot exponential tenant, a warm
-   mid-size one, a cold heavy-tailed one. *)
-let tenant_dists =
-  [ Workload.Service_dist.workload_b; Workload.Service_dist.workload_a2 ]
-
-let tenant_theta = 0.9
-
-let tenant_source () =
-  Workload.Source.tenants ~theta:tenant_theta
-    (List.map Bench_util.lc_source tenant_dists)
-
-(* Effective mean service time of the mix, for capacity placement. *)
-let tenant_mean_ns =
-  let z = Workload.Zipf.create ~n:(List.length tenant_dists) ~theta:tenant_theta in
-  List.fold_left ( +. ) 0.0
-    (List.mapi
-       (fun i dist -> Workload.Zipf.probability z i *. Workload.Service_dist.mean_ns dist ~now:0)
-       tenant_dists)
+(* A Zipf-skewed tenant mix (hot exponential tenant, cold heavy-tailed
+   one) under production-shaped diurnal arrivals; the capacity-relative
+   0.75x rate resolves against the fleet's total worker count. *)
+let lb_base =
+  Bench_util.spec_of_string
+    "workers=2; quantum=5us; seed=17; src=tenants:0.9(b,a2); \
+     arrival=diurnal:0.75x:0.25:8ms; dur=24ms; warmup=6ms"
 
 let lb_section ~jobs =
-  let duration_ns = ms 24 and warmup_ns = ms 6 in
   let sizes = [ 2; 4; 8 ] in
   let specs =
     List.concat_map (fun n -> List.map (fun lb -> (n, lb)) Cluster.all_lbs) sizes
@@ -84,24 +66,19 @@ let lb_section ~jobs =
   let results =
     Bench_util.sweep ~label:"cluster.lb" ~jobs
       (fun (n, lb) ->
-        let capacity = float_of_int (n * workers) *. 1e9 /. tenant_mean_ns in
-        let arrival =
-          Workload.Arrival.diurnal ~base_rate_per_sec:(0.75 *. capacity) ~amplitude:0.25
-            ~period_ns:(ms 8)
-        in
         let r =
-          Cluster.run ~warmup_ns
-            (cluster_cfg ~n ~lb (member_cfg ()))
-            ~arrival ~source:(tenant_source ()) ~duration_ns
+          Scenario.run_fleet
+            (override lb_base
+               (Printf.sprintf "fleet={n=%d;lb=%s}" n (Cluster.lb_name lb)))
         in
         r.Cluster.fleet)
       specs
   in
   Bench_util.header
     (Printf.sprintf
-       "Cluster: fleet size x balancer, diurnal arrivals (0.75x±25%%), Zipf(%.1f) tenant \
+       "Cluster: fleet size x balancer, diurnal arrivals (0.75x±25%%), Zipf(0.9) tenant \
         mix, %d workers/server"
-       tenant_theta workers);
+       workers);
   Format.printf "  %7s %8s %10s %10s %10s %11s@." "servers" "lb" "mean_us" "p99_us"
     "imbalance" "goodput/s";
   let rows = ref [] in
@@ -126,24 +103,24 @@ let lb_section ~jobs =
 (* Section 2: dispatch quality vs quantum adaptivity                   *)
 (* ------------------------------------------------------------------ *)
 
-let fixed_quantum = us 20
+(* JSQ's full-information dispatch over fixed-quantum members vs p2c
+   over adaptive members.  Member adaptive controllers get a 1/n share
+   of the fleet-wide capacity reference (the scenario lowering's
+   default). *)
+let crossover_base =
+  Bench_util.spec_of_string
+    "workers=2; seed=17; src=a1; dur=30ms; warmup=8ms; window=1ms"
 
-let adaptive_policy ~max_load_per_s =
-  Preemptible.Policy.adaptive
-    (Preemptible.Quantum_controller.create
-       ~config:
-         {
-           Preemptible.Quantum_controller.default_config with
-           Preemptible.Quantum_controller.k1_ns = us 2;
-           k2_ns = us 10;
-           k3_ns = us 8;
-           l_high_fraction = 0.95;
-         }
-       ~max_load_per_s ~initial_quantum_ns:fixed_quantum ())
+let crossover_spec ~n ~load sys =
+  override crossover_base
+    (Printf.sprintf "arrival=poisson:%gx; %s; fleet={n=%d;lb=%s}" load
+       (match sys with
+       | "jsq+fixed" -> "quantum=20us"
+       | _ -> "quantum=adaptive:20us; ctl={k1=2us;k2=10us;k3=8us;lhigh=0.95}")
+       n
+       (match sys with "jsq+fixed" -> "jsq" | _ -> "p2c"))
 
 let crossover_section ~jobs =
-  let dist = Workload.Service_dist.workload_a1 in
-  let duration_ns = ms 30 and warmup_ns = ms 8 in
   let sizes = [ 2; 4; 8 ] and loads = [ 0.5; 0.75; 0.9 ] in
   let systems = [ "jsq+fixed"; "p2c+adaptive" ] in
   let specs =
@@ -154,32 +131,37 @@ let crossover_section ~jobs =
   let results =
     Bench_util.sweep ~label:"cluster.crossover" ~jobs
       (fun (n, load, sys) ->
-        let capacity = fleet_capacity dist ~n ~duration_ns in
-        let member_capacity = capacity /. float_of_int n in
-        let lb, member =
-          match sys with
-          | "jsq+fixed" ->
-            ( Cluster.Least_loaded,
-              member_cfg ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:fixed_quantum) () )
-          | _ ->
-            ( Cluster.Power_of_two,
-              member_cfg ~policy:(adaptive_policy ~max_load_per_s:member_capacity) () )
+        let spec = crossover_spec ~n ~load sys in
+        (* The hand-built version of this bench shared one controller
+           across all members (Cluster.uniform copies the member
+           config, closures included); the scenario lowering gives
+           each member its own.  Keep the shared-controller dynamics
+           so the figure is unchanged. *)
+        let cfg = Scenario.cluster_config spec in
+        let shared = cfg.Cluster.members.(0).Preemptible.Server.policy in
+        let cfg =
+          {
+            cfg with
+            Cluster.members =
+              Array.map
+                (fun m -> { m with Preemptible.Server.policy = shared })
+                cfg.Cluster.members;
+          }
         in
-        let member = { member with Preemptible.Server.stats_window_ns = ms 1 } in
         let r =
-          Cluster.run ~warmup_ns
-            (cluster_cfg ~n ~lb member)
-            ~arrival:(Workload.Arrival.poisson ~rate_per_sec:(load *. capacity))
-            ~source:(Bench_util.lc_source dist) ~duration_ns
+          Cluster.run ~warmup_ns:spec.Scenario.warmup_ns cfg
+            ~arrival:(Scenario.arrival_process spec)
+            ~source:(Scenario.source_sampler spec)
+            ~duration_ns:spec.Scenario.duration_ns
         in
         r.Cluster.fleet)
       specs
   in
   Bench_util.header
     (Printf.sprintf
-       "Cluster: JSQ over fixed q=%dus vs p2c over adaptive quanta (workload A1, %d \
+       "Cluster: JSQ over fixed q=20us vs p2c over adaptive quanta (workload A1, %d \
         workers/server)"
-       (fixed_quantum / 1000) workers);
+       workers);
   Format.printf "  %7s %6s %14s %10s %10s@." "servers" "load" "system" "mean_us" "p99_us";
   let rows = ref [] in
   List.iter2
@@ -230,38 +212,39 @@ let crossover_section ~jobs =
 (* Section 3: goodput under overload + work stealing                   *)
 (* ------------------------------------------------------------------ *)
 
-let patience_ns = us 200
+let patience_us = 200
 
-let guarded_member () =
-  {
-    (member_cfg ()) with
-    Preemptible.Server.guard =
-      Some
-        {
-          Guard.disabled with
-          Guard.timeout_ns = Some patience_ns;
-          drop_expired = true;
-          shed =
-            Some
-              { Guard.max_queue = 16; codel_target_ns = us 40; codel_interval_ns = us 200 };
-        };
-  }
+(* Guarded members pushed past capacity on a 4-server fleet. *)
+let goodput_base =
+  Bench_util.spec_of_string
+    "workers=2; quantum=5us; seed=17; src=b; dur=30ms; warmup=8ms; \
+     guard={timeout=200us;expire;shed={q=16;target=40us;interval=200us}}"
 
 (* Bursty overload, not sustained Poisson: under a flat 1.4x Poisson
    every server saturates and dispatch quality stops mattering (random
    even edges ahead by letting a lucky few through fast).  With spikes
    to 2x the mean, informed dispatch keeps the troughs' spare capacity
-   fed while random strands it behind transiently deep queues. *)
-let bursty_overload ~mean_rate =
+   fed while random strands it behind transiently deep queues.  The
+   spike/base split is derived from the fleet capacity, so it's
+   computed here and spliced into the spec as absolute rates. *)
+let bursty_overload spec ~load =
+  let mean_rate = load *. Scenario.capacity_rps spec in
   let spike = 2.0 *. mean_rate in
   let base = (mean_rate -. (0.3 *. spike)) /. 0.7 in
-  Workload.Arrival.bursty ~base_rate_per_sec:base ~spike_rate_per_sec:spike
-    ~period_ns:(ms 2) ~spike_fraction:0.3
+  {
+    spec with
+    Scenario.arrival =
+      Scenario.Bursty
+        {
+          base = Scenario.Abs base;
+          spike = Scenario.Abs spike;
+          period_ns = ms 2;
+          spike_fraction = 0.3;
+        };
+  }
 
 let goodput_section ~jobs =
-  let dist = Workload.Service_dist.workload_b in
   let n = 4 in
-  let duration_ns = ms 30 and warmup_ns = ms 8 in
   let loads = [ 1.0; 1.4 ] in
   let specs =
     List.concat_map (fun lb -> List.map (fun load -> (lb, load)) loads) Cluster.all_lbs
@@ -269,21 +252,18 @@ let goodput_section ~jobs =
   let results =
     Bench_util.sweep ~label:"cluster.goodput" ~jobs
       (fun (lb, load) ->
-        let capacity = fleet_capacity dist ~n ~duration_ns in
-        let r =
-          Cluster.run ~warmup_ns
-            (cluster_cfg ~n ~lb (guarded_member ()))
-            ~arrival:(bursty_overload ~mean_rate:(load *. capacity))
-            ~source:(Bench_util.lc_source dist) ~duration_ns
+        let spec =
+          override goodput_base
+            (Printf.sprintf "fleet={n=%d;lb=%s}" n (Cluster.lb_name lb))
         in
-        r.Cluster.fleet)
+        (Scenario.run_fleet (bursty_overload spec ~load)).Cluster.fleet)
       specs
   in
   Bench_util.header
     (Printf.sprintf
        "Cluster: guarded goodput under bursty overload (%d servers, 2x spikes, patience \
         %dus, bounded queues)"
-       n (patience_ns / 1000));
+       n patience_us);
   Format.printf "  %8s %6s %11s %11s %8s %10s@." "lb" "load" "offered/s" "goodput/s"
     "shed%" "p99_us";
   let rows = ref [] in
@@ -318,33 +298,19 @@ let goodput_section ~jobs =
 let steal_section () =
   (* round-robin over a lopsided heterogeneous fleet (1/4/4 workers):
      the balancer overloads the small member, stealing mops it up *)
-  let dist = Workload.Service_dist.workload_b in
-  let duration_ns = ms 30 and warmup_ns = ms 8 in
-  let members =
-    [|
-      { (member_cfg ()) with Preemptible.Server.n_workers = 1 };
-      { (member_cfg ()) with Preemptible.Server.n_workers = 4 };
-      { (member_cfg ()) with Preemptible.Server.n_workers = 4 };
-    |]
+  let base =
+    Bench_util.spec_of_string
+      "workers=2; quantum=5us; seed=17; src=b; arrival=poisson:0.75x; \
+       dur=30ms; warmup=8ms"
   in
-  let rate = 0.75 *. Bench_util.capacity_rps dist ~workers:9 ~duration_ns in
   let run steal =
-    let cfg =
-      {
-        Cluster.members;
-        lb = Cluster.Round_robin;
-        steal;
-        seed;
-        max_events = 400_000_000;
-        tick_ns = None;
-      }
-    in
-    (Cluster.run ~warmup_ns cfg
-       ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-       ~source:(Bench_util.lc_source dist) ~duration_ns)
+    (Scenario.run_fleet
+       (override base
+          (Printf.sprintf "fleet={n=3;lb=rr;workers=1/4/4%s}"
+             (if steal then ";steal" else ""))))
       .Cluster.fleet
   in
-  let off = run None and on_ = run (Some Cluster.default_steal) in
+  let off = run false and on_ = run true in
   Bench_util.header
     "Cluster: work stealing on a lopsided heterogeneous fleet (1/4/4 workers, round-robin)";
   let show name (f : Cluster.fleet) =

@@ -6,26 +6,19 @@
 let us = Bench_util.us
 let ms = Bench_util.ms
 
-let source () =
-  let mica = Workload.Mica.create () in
-  let zlib = Workload.Zlib_be.create () in
-  Workload.Source.mix
-    [ (0.98, Workload.Mica.source mica); (0.02, Workload.Zlib_be.source zlib) ]
+let base_spec =
+  Bench_util.spec_of_string
+    "workers=1; src=mix(0.98*mica,0.02*zlib); dur=300ms; warmup=20ms"
 
 (* quantum = 0 encodes the no-preemption baseline in sweep specs. *)
 let run_colocated ~quantum ~rate =
-  let policy =
-    if quantum = 0 then Preemptible.Policy.no_preempt
-    else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
-  in
-  let mechanism =
-    if quantum = 0 then Preemptible.Server.No_mechanism
-    else Preemptible.Server.Uintr_utimer Utimer.default_config
-  in
-  let cfg = Preemptible.Server.default_config ~n_workers:1 ~policy ~mechanism in
-  Preemptible.Server.run ~warmup_ns:(ms 20) cfg
-    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-    ~source:(source ()) ~duration_ns:(ms 300)
+  Scenario.run_server
+    {
+      base_spec with
+      Scenario.quantum =
+        (if quantum = 0 then Scenario.No_preempt else Scenario.Fixed quantum);
+      arrival = Scenario.Poisson (Scenario.Abs rate);
+    }
 
 let cls_p99 = function Some (r : Stat.Summary.report) -> r.Stat.Summary.p99 /. 1e3 | None -> nan
 let cls_p50 = function Some (r : Stat.Summary.report) -> r.Stat.Summary.p50 /. 1e3 | None -> nan

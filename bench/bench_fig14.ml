@@ -8,16 +8,14 @@ let ms = Bench_util.ms
 let duration = ms 2_000
 let window = ms 100
 
-(* QPS oscillates 40 -> 110 kRPS with periodic spikes. *)
-let arrival =
-  Workload.Arrival.bursty ~base_rate_per_sec:40_000.0 ~spike_rate_per_sec:110_000.0
-    ~period_ns:(ms 500) ~spike_fraction:0.3
-
-let source () =
-  let mica = Workload.Mica.create () in
-  let zlib = Workload.Zlib_be.create () in
-  Workload.Source.mix
-    [ (0.98, Workload.Mica.source mica); (0.02, Workload.Zlib_be.source zlib) ]
+(* QPS oscillates 40 -> 110 kRPS with periodic spikes; one worker over
+   the MICA/zlib colocation mix, 50ms stats windows. *)
+let spec_for quantum_us =
+  Bench_util.spec_of_string
+    (Printf.sprintf
+       "workers=1; quantum=%dus; src=mix(0.98*mica,0.02*zlib); \
+        arrival=bursty:40000:110000:500ms:0.3; dur=2s; window=50ms"
+       quantum_us)
 
 (* Policy #2: the QPS monitor interpolates the preemption interval
    between 50us at <=40 kRPS and 10us at >=110 kRPS, re-evaluated at
@@ -42,7 +40,7 @@ type trace = {
   be : Stat.Timeseries.t;
 }
 
-let run_one policy =
+let run_one (spec, policy_override) =
   let tr =
     {
       qps = Stat.Timeseries.create ~window_ns:window;
@@ -64,12 +62,19 @@ let run_one policy =
       on_tick = ignore;
     }
   in
+  (* The dynamic variant's QPS-tracking policy lives outside the DSL:
+     lower the spec to a config, then swap the policy in. *)
+  let cfg = Scenario.server_config spec in
   let cfg =
-    Preemptible.Server.default_config ~n_workers:1 ~policy
-      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
+    match policy_override with
+    | None -> cfg
+    | Some policy -> { cfg with Preemptible.Server.policy }
   in
-  let cfg = { cfg with Preemptible.Server.stats_window_ns = ms 50 } in
-  let r = Preemptible.Server.run ~probes cfg ~arrival ~source:(source ()) ~duration_ns:duration in
+  let r =
+    Preemptible.Server.run ~probes cfg
+      ~arrival:(Scenario.arrival_process spec)
+      ~source:(Scenario.source_sampler spec) ~duration_ns:duration
+  in
   (r, tr)
 
 let mean_of series t =
@@ -102,9 +107,9 @@ let print_trace name (r, tr) =
    inside the pool worker. *)
 let variants =
   [
-    ("constant 50us", fun () -> Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 50));
-    ("constant 10us", fun () -> Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 10));
-    ("dynamic 10..50us (policy #2)", fun () -> dynamic_policy ());
+    ("constant 50us", fun () -> (spec_for 50, None));
+    ("constant 10us", fun () -> (spec_for 10, None));
+    ("dynamic 10..50us (policy #2)", fun () -> (spec_for 50, Some (dynamic_policy ())));
   ]
 
 let run ~jobs () =

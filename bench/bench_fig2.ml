@@ -9,28 +9,25 @@ let ms = Bench_util.ms
 
 let workers = 16
 
+(* 16 workers at ~5 Mrps would saturate the default 250ns dispatcher
+   before the workers; the dispatch path is not the object of this
+   experiment, so make it cheap. *)
+let base_spec = Bench_util.spec_of_string "workers=16; dispatch=50ns; dur=60ms; warmup=10ms"
+
 let run_point ~dist ~quantum ~rate =
-  let policy =
-    if quantum = 0 then Preemptible.Policy.no_preempt
-    else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
-  in
-  let mechanism =
-    if quantum = 0 then Preemptible.Server.No_mechanism
-    else Preemptible.Server.Uintr_utimer Utimer.default_config
-  in
-  let cfg = Preemptible.Server.default_config ~n_workers:workers ~policy ~mechanism in
-  (* 16 workers at ~5 Mrps would saturate the default 250ns dispatcher
-     before the workers; the dispatch path is not the object of this
-     experiment, so make it cheap. *)
-  let cfg = { cfg with Preemptible.Server.dispatch_cost_ns = 50 } in
-  Preemptible.Server.run ~warmup_ns:(ms 10) cfg
-    ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-    ~source:(Bench_util.lc_source dist) ~duration_ns:(ms 60)
+  Scenario.run_server
+    {
+      base_spec with
+      Scenario.quantum =
+        (if quantum = 0 then Scenario.No_preempt else Scenario.Fixed quantum);
+      src = Scenario.Dist (dist, Scenario.Lc);
+      arrival = Scenario.Poisson (Scenario.Abs rate);
+    }
 
 let workloads =
   [
-    ("bimodal 99.5%x0.5us + 0.5%x500us (heavy)", Workload.Service_dist.workload_a1);
-    ("exponential mean 5us (light)", Workload.Service_dist.workload_b);
+    ("bimodal 99.5%x0.5us + 0.5%x500us (heavy)", Scenario.A1);
+    ("exponential mean 5us (light)", Scenario.B);
   ]
 
 let run ~jobs () =
@@ -41,7 +38,7 @@ let run ~jobs () =
   let specs =
     List.concat_map
       (fun (name, dist) ->
-        let cap = Bench_util.capacity_rps dist ~workers ~duration_ns:0 in
+        let cap = Bench_util.capacity ~dist ~workers ~duration_ns:0 in
         List.concat_map
           (fun load -> List.map (fun quantum -> (name, dist, cap, load, quantum)) quanta)
           loads)
@@ -59,7 +56,7 @@ let run ~jobs () =
   let rows = ref [] in
   List.iter
     (fun (name, dist) ->
-      let cap = Bench_util.capacity_rps dist ~workers ~duration_ns:0 in
+      let cap = Bench_util.capacity ~dist ~workers ~duration_ns:0 in
       Format.printf "@.workload %s (capacity ~%.2f Mrps)@." name (cap /. 1e6);
       Format.printf "%8s" "load";
       List.iter

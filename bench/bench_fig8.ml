@@ -27,7 +27,8 @@ let systems () =
    alone would accept throughput above physical capacity. *)
 let slo_for (sys : Bench_util.system) dist cap =
   let r =
-    sys.Bench_util.run ~rate:(0.1 *. cap) ~dist ~duration_ns:duration ~warmup_ns:warmup
+    Bench_util.run_system sys ~rate:(0.1 *. cap) ~dist ~duration_ns:duration
+      ~warmup_ns:warmup
   in
   200.0 *. r.Preemptible.Server.all.Stat.Summary.mean
 
@@ -36,12 +37,12 @@ let run ~jobs () =
   (* Sweep past nominal capacity: the systems differ exactly in how
      much of it their preemption overhead burns. *)
   let loads = [ 0.5; 0.7; 0.8; 0.85; 0.9; 0.95; 1.0; 1.05 ] in
-  let workloads = Bench_util.named_workloads ~duration_ns:duration in
+  let workloads = Bench_util.named_workloads in
   let sys_list = systems () in
   (* Capacity reference: 4 worker cores (LibPreemptible's budget); all
      systems sweep the same absolute rates so throughputs are
      comparable. *)
-  let cap_of dist = Bench_util.capacity_rps dist ~workers:4 ~duration_ns:duration in
+  let cap_of dist = Bench_util.capacity ~dist ~workers:4 ~duration_ns:duration in
   let slo_specs =
     List.concat_map
       (fun (wname, dist) -> List.map (fun sys -> (wname, dist, sys)) sys_list)
@@ -67,8 +68,8 @@ let run ~jobs () =
   let results =
     Bench_util.sweep ~label:"fig8" ~jobs
       (fun (_, dist, sys, load) ->
-        sys.Bench_util.run ~rate:(load *. cap_of dist) ~dist ~duration_ns:duration
-          ~warmup_ns:warmup)
+        Bench_util.run_system sys ~rate:(load *. cap_of dist) ~dist
+          ~duration_ns:duration ~warmup_ns:warmup)
       specs
   in
   let res_tbl = Hashtbl.create 128 in

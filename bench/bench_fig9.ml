@@ -9,17 +9,15 @@ let duration = ms 400
 let slo_ns = us 50
 let window = ms 40
 
-let arrival =
-  Workload.Arrival.piecewise
-    [
-      (duration / 2, Workload.Arrival.poisson ~rate_per_sec:900_000.0);
-      (duration, Workload.Arrival.poisson ~rate_per_sec:250_000.0);
-    ]
+(* The common scenario: workload C under a two-phase arrival (heavy at
+   900 kRPS for the first half, light at 250 kRPS after); each variant
+   only swaps the quantum fields in. *)
+let base_spec =
+  Bench_util.spec_of_string
+    "src=c; arrival=piecewise(200ms:poisson:900000,400ms:poisson:250000); \
+     dur=400ms; window=40ms"
 
-let source duration_ns =
-  Bench_util.lc_source (Workload.Service_dist.workload_c ~duration_ns)
-
-let run_one policy =
+let run_one spec =
   let violations = Stat.Timeseries.create ~window_ns:window in
   let totals = Stat.Timeseries.create ~window_ns:window in
   let quanta = ref [] in
@@ -35,12 +33,7 @@ let run_one policy =
       on_tick = ignore;
     }
   in
-  let cfg =
-    Preemptible.Server.default_config ~n_workers:4 ~policy
-      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-  in
-  let cfg = { cfg with Preemptible.Server.stats_window_ns = window } in
-  let r = Preemptible.Server.run ~probes cfg ~arrival ~source:(source duration) ~duration_ns:duration in
+  let r = Scenario.run_server ~probes spec in
   (r, Stat.Timeseries.points violations, Stat.Timeseries.points totals, List.rev !quanta)
 
 let print_run name (r, viol, totals, quanta) =
@@ -73,30 +66,25 @@ let print_run name (r, viol, totals, quanta) =
 
 let variants =
   [
-    ("static 40us", fun () -> Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 40));
+    ("static 40us", "quantum=40us");
     ( "adaptive (Algorithm 1)",
-      fun () ->
-        Preemptible.Policy.adaptive
-          (Preemptible.Quantum_controller.create
-             ~config:
-               {
-                 Preemptible.Quantum_controller.default_config with
-                 Preemptible.Quantum_controller.k1_ns = us 8;
-                 k2_ns = us 8;
-                 k3_ns = us 8;
-                 t_max_ns = us 60;
-                 l_high_fraction = 0.6;
-                 l_low_fraction = 0.25;
-               }
-             ~max_load_per_s:1_300_000.0 ~initial_quantum_ns:(us 40) ()) );
+      "quantum=adaptive:40us; maxload=1300000; \
+       ctl={k1=8us;k2=8us;k3=8us;tmax=60us;lhigh=0.6;llow=0.25}" );
   ]
+
+let variant_spec overrides =
+  match Scenario.override base_spec overrides with
+  | Ok s -> s
+  | Error e -> invalid_arg ("fig9: " ^ Scenario.error_to_string e)
 
 let run ~jobs () =
   Bench_util.header "Fig 9: SLO (50us) violations on workload C, static vs adaptive quanta";
-  (* The policy (and its controller state) is built inside the task so
+  (* The controller state is built inside the task (from the spec) so
      parallel variants never share a controller. *)
   let results =
-    Bench_util.sweep ~label:"fig9" ~jobs (fun (_, mk) -> run_one (mk ())) variants
+    Bench_util.sweep ~label:"fig9" ~jobs
+      (fun (_, overrides) -> run_one (variant_spec overrides))
+      variants
   in
   let rates =
     List.map2

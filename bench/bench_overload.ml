@@ -22,6 +22,11 @@
    - retry-budget: identical clients, but a token-bucket retry budget
                    (5% of capacity) caps the amplification.
 
+   Every case is a declarative scenario: a mode is [base_spec] plus a
+   guard override, a sweep point adds an [arrival=] override; the
+   capacity-relative rates ("1.4x", "budget=0.05x:50") resolve through
+   the scenario lowering.
+
    A second section drives a flash crowd (0.5x -> 3x capacity ramp)
    through naive and guard modes, with a scripted "guard.trip" fault
    episode in the guarded run; its resilience ledger lands in the
@@ -30,13 +35,18 @@
 let us = Engine.Units.us
 let ms = Engine.Units.ms
 
-let dist = Workload.Service_dist.workload_b
-let workers = 4
 let timeout_ns = us 200
 let duration_ns = ms 30
 let warmup_ns = ms 8
-let stats_window = ms 2
-let seed = 11L
+
+let base_spec =
+  Bench_util.spec_of_string
+    "workers=4; quantum=5us; src=b; dur=30ms; warmup=8ms; window=2ms; seed=11"
+
+let override spec text =
+  match Scenario.override spec text with
+  | Ok s -> s
+  | Error e -> invalid_arg ("bench_overload: " ^ Scenario.error_to_string e)
 
 type mode = Naive | Guarded | Retry_naive | Retry_budget
 
@@ -48,53 +58,19 @@ let mode_name = function
   | Retry_naive -> "retry-naive"
   | Retry_budget -> "retry-budget"
 
-let retry_clients budget =
-  {
-    Guard.max_attempts = 5;
-    backoff_ns = us 50;
-    max_backoff_ns = us 400;
-    jitter = 0.5;
-    budget;
-  }
-
-let guard_config mode ~capacity =
-  match mode with
-  | Naive -> None
+let mode_spec = function
+  | Naive -> base_spec
   | Guarded ->
-    Some
-      {
-        Guard.disabled with
-        Guard.timeout_ns = Some timeout_ns;
-        drop_expired = true;
-        shed =
-          Some { Guard.max_queue = 24; codel_target_ns = us 40; codel_interval_ns = us 200 };
-        brownout =
-          Some
-            {
-              Guard.default_brownout with
-              Guard.p99_trip_ns = us 300;
-              qlen_trip = 128;
-              trip_windows = 2;
-              recover_windows = 2;
-            };
-      }
+    override base_spec
+      "guard={timeout=200us;expire;shed={q=24;target=40us;interval=200us};\
+       brownout={p99=300us;qlen=128;trip=2;recover=2}}"
   | Retry_naive ->
-    Some
-      {
-        Guard.disabled with
-        Guard.timeout_ns = Some timeout_ns;
-        retry = Some (retry_clients None);
-      }
+    override base_spec
+      "guard={timeout=200us;retry={attempts=5;backoff=50us;max=400us;jitter=0.5}}"
   | Retry_budget ->
-    Some
-      {
-        Guard.disabled with
-        Guard.timeout_ns = Some timeout_ns;
-        retry =
-          Some
-            (retry_clients
-               (Some { Guard.rate_per_sec = 0.05 *. capacity; burst = 50.0 }));
-      }
+    override base_spec
+      "guard={timeout=200us;retry={attempts=5;backoff=50us;max=400us;jitter=0.5;\
+       budget=0.05x:50}}"
 
 type row = {
   offered_rps : float;
@@ -110,15 +86,7 @@ type row = {
    completions whose per-attempt latency beat the client patience —
    so guarded and unguarded rows are directly comparable even though
    only guarded runs have a Guard ledger. *)
-let run_case ~arrival ~guard ~faults () =
-  let cfg =
-    Preemptible.Server.default_config ~n_workers:workers
-      ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:(us 5))
-      ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-  in
-  let cfg =
-    { cfg with Preemptible.Server.seed; guard; faults; stats_window_ns = stats_window }
-  in
+let run_case spec =
   let goodput = ref 0 in
   let lat = Stat.Summary.create () in
   let probes =
@@ -133,10 +101,7 @@ let run_case ~arrival ~guard ~faults () =
           end);
     }
   in
-  let r =
-    Preemptible.Server.run ~probes ~warmup_ns cfg ~arrival
-      ~source:(Bench_util.lc_source dist) ~duration_ns
-  in
+  let r = Scenario.run_server ~probes spec in
   let measured_s = float_of_int (duration_ns - warmup_ns) /. 1e9 in
   let offered = r.Preemptible.Server.offered in
   let frac n = if offered = 0 then 0.0 else float_of_int n /. float_of_int offered in
@@ -158,7 +123,7 @@ let run_case ~arrival ~guard ~faults () =
   in
   (row, r)
 
-let load_sweep ~jobs ~capacity =
+let load_sweep ~jobs =
   let loads = [ 0.7; 1.0; 1.4; 2.0; 2.8 ] in
   let specs =
     List.concat_map (fun mode -> List.map (fun load -> (mode, load)) loads) all_modes
@@ -166,8 +131,9 @@ let load_sweep ~jobs ~capacity =
   let results =
     Bench_util.sweep ~label:"overload" ~jobs
       (fun (mode, load) ->
-        let arrival = Workload.Arrival.poisson ~rate_per_sec:(load *. capacity) in
-        fst (run_case ~arrival ~guard:(guard_config mode ~capacity) ~faults:None ()))
+        fst
+          (run_case
+             (override (mode_spec mode) (Printf.sprintf "arrival=poisson:%gx" load))))
       specs
   in
   Format.printf "  %-13s %6s %12s %12s %10s %7s %7s %8s@." "mode" "load" "offered/s"
@@ -203,21 +169,16 @@ let load_sweep ~jobs ~capacity =
 (* Flash crowd: 0.5x capacity base load spiking to 3x, with a scripted
    breaker trip in the guarded run so the fault ledger exercises the
    guard point end-to-end. *)
-let flash_episode ~capacity =
+let flash_arrival = "arrival=flash:0.5x:3x:10ms:3ms:7ms:5ms"
+
+let flash_episode () =
   Bench_util.header
     "Overload: flash crowd (0.5x -> 3x capacity, ramp 3ms / hold 7ms / decay 5ms)";
-  let arrival =
-    Workload.Arrival.flash_crowd ~base_rate_per_sec:(0.5 *. capacity)
-      ~peak_rate_per_sec:(3.0 *. capacity) ~start_ns:(ms 10) ~ramp_ns:(ms 3)
-      ~hold_ns:(ms 7) ~decay_ns:(ms 5)
-  in
-  let naive_row, _ = run_case ~arrival ~guard:None ~faults:None () in
-  let faults = Fault.create ~seed () in
-  (match Fault.parse faults "guard.trip=win:16000000-18000000:1" with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("bench_overload: bad fault spec: " ^ msg));
+  let naive_row, _ = run_case (override base_spec flash_arrival) in
   let guard_row, guard_result =
-    run_case ~arrival ~guard:(guard_config Guarded ~capacity) ~faults:(Some faults) ()
+    run_case
+      (override (mode_spec Guarded)
+         (flash_arrival ^ "; faults={guard.trip=win:16000000-18000000:1}"))
   in
   let show name (row : row) =
     Format.printf "  %-13s goodput=%10.0f/s p99=%10.1fus shed=%5.1f%% trips=%d@." name
@@ -248,14 +209,14 @@ let flash_episode ~capacity =
     [ ("naive", naive_row); ("guard", guard_row) ]
 
 let run ~jobs () =
-  let capacity = Bench_util.capacity_rps dist ~workers ~duration_ns in
+  let capacity = Scenario.capacity_rps base_spec in
   Bench_util.header
     (Printf.sprintf
        "Overload: goodput vs load past capacity (workload B, %d workers, capacity %.0f/s, \
         patience %dus)"
-       workers capacity (timeout_ns / 1000));
-  load_sweep ~jobs ~capacity;
-  flash_episode ~capacity;
+       base_spec.Scenario.workers capacity (timeout_ns / 1000));
+  load_sweep ~jobs;
+  flash_episode ();
   Format.printf
     "@.(expected: naive goodput collapses past 1x while guard holds near capacity with a\n\
     \ bounded admitted p99; unbudgeted retries amplify offered load and melt down around\n\

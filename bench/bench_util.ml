@@ -6,15 +6,11 @@ let ms = Engine.Units.ms
 let lc_source dist =
   Workload.Source.of_dist dist ~cls:Workload.Request.Latency_critical
 
-(* The paper's workload set (Sec V-A). Workload C needs the run length
-   to place its distribution shift. *)
-let named_workloads ~duration_ns =
-  [
-    ("A1", Workload.Service_dist.workload_a1);
-    ("A2", Workload.Service_dist.workload_a2);
-    ("B", Workload.Service_dist.workload_b);
-    ("C", Workload.Service_dist.workload_c ~duration_ns);
-  ]
+(* The paper's workload set (Sec V-A), as symbolic scenario
+   distributions; the run length (which places workload C's shift)
+   comes from each spec's [dur] field. *)
+let named_workloads =
+  [ ("A1", Scenario.A1); ("A2", Scenario.A2); ("B", Scenario.B); ("C", Scenario.C) ]
 
 (* Peak sustainable rate of [workers] cores for a distribution (ignores
    overheads; used to place load sweeps). For workload C use the
@@ -27,103 +23,113 @@ let capacity_rps dist ~workers ~duration_ns =
   let mean = Float.max mean_start mean_end in
   float_of_int workers *. 1e9 /. mean
 
+(* Symbolic capacity: the same number {!Scenario.capacity_rps} resolves
+   [x]-relative rates against. *)
+let capacity ~dist ~workers ~duration_ns =
+  Scenario.capacity_rps
+    { Scenario.default with Scenario.src = Scenario.Dist (dist, Scenario.Lc); workers; duration_ns }
+
+let spec_of_string text =
+  match Scenario.of_string text with
+  | Ok s -> s
+  | Error e -> invalid_arg ("bench: bad scenario: " ^ Scenario.error_to_string e)
+
 type system = {
   sys_name : string;
-  run :
+  spec :
     rate:float ->
-    dist:Workload.Service_dist.t ->
+    dist:Scenario.dist ->
     duration_ns:int ->
     warmup_ns:int ->
-    Preemptible.Server.result;
+    Scenario.t;
 }
 
-(* The four systems of Fig 8.  Worker budget follows Sec V-A: six
-   hyperthreads total — 1 network + 5 workers for Shinjuku/Libinger,
-   1 network + 4 workers + 1 timer core for LibPreemptible. *)
+let run_system sys ~rate ~dist ~duration_ns ~warmup_ns =
+  Scenario.run_server (sys.spec ~rate ~dist ~duration_ns ~warmup_ns)
+
+(* Fill in the per-point fields a sweep computes (absolute rate,
+   workload, run length) on a system's base scenario. *)
+let at_point base ~rate ~dist ~duration_ns ~warmup_ns =
+  {
+    base with
+    Scenario.src = Scenario.Dist (dist, Scenario.Lc);
+    arrival = Scenario.Poisson (Scenario.Abs rate);
+    duration_ns;
+    warmup_ns;
+  }
+
+(* The four systems of Fig 8, as scenario specs.  Worker budget follows
+   Sec V-A: six hyperthreads total — 1 network + 5 workers for
+   Shinjuku/Libinger, 1 network + 4 workers + 1 timer core for
+   LibPreemptible.  The adaptive hyperparameters follow the paper's
+   note (Sec III-F): the heavy-tail rule reacts fast (k2), the
+   high-load rule gently (k1), so light-tailed workloads keep a lax
+   quantum; maxload is left at "auto" so the controller's reference is
+   the spec's own worker capacity. *)
 let libpreemptible ?(quantum = us 5) ?(adaptive = false) () =
   {
     sys_name =
       (if adaptive then "LibPreemptible(adaptive)"
        else Printf.sprintf "LibPreemptible(q=%dus)" (quantum / 1000));
-    run =
+    spec =
       (fun ~rate ~dist ~duration_ns ~warmup_ns ->
-        let policy =
-          if adaptive then begin
-            let max_load = capacity_rps dist ~workers:4 ~duration_ns in
-            (* Hyperparameters per the paper's note (Sec III-F): the
-               heavy-tail rule reacts fast (k2), the high-load rule
-               gently (k1), so light-tailed workloads keep a lax
-               quantum. *)
-            Preemptible.Policy.adaptive
-              (Preemptible.Quantum_controller.create
-                 ~config:
-                   {
-                     Preemptible.Quantum_controller.default_config with
-                     Preemptible.Quantum_controller.k1_ns = us 2;
-                     k2_ns = us 10;
-                     k3_ns = us 8;
-                     l_high_fraction = 0.95;
-                   }
-                 ~max_load_per_s:max_load ~initial_quantum_ns:(us 20) ())
-          end
-          else Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum
+        let base =
+          if adaptive then
+            spec_of_string
+              "sys=lp; workers=4; window=10ms; quantum=adaptive:20us; \
+               ctl={k1=2us;k2=10us;k3=8us;lhigh=0.95}"
+          else
+            { (spec_of_string "sys=lp; workers=4; window=10ms") with
+              Scenario.quantum = Scenario.Fixed quantum
+            }
         in
-        let cfg =
-          Preemptible.Server.default_config ~n_workers:4 ~policy
-            ~mechanism:(Preemptible.Server.Uintr_utimer Utimer.default_config)
-        in
-        let cfg = { cfg with Preemptible.Server.stats_window_ns = ms 10 } in
-        Preemptible.Server.run ~warmup_ns cfg
-          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-          ~source:(lc_source dist) ~duration_ns);
+        at_point base ~rate ~dist ~duration_ns ~warmup_ns);
   }
 
 let libpreemptible_nouintr ?(quantum = us 5) () =
   {
     sys_name = "LibPreemptible(no-UINTR)";
-    run =
+    spec =
       (fun ~rate ~dist ~duration_ns ~warmup_ns ->
-        let cfg =
-          Preemptible.Server.default_config ~n_workers:4
-            ~policy:(Preemptible.Policy.fcfs_preempt ~quantum_ns:quantum)
-            ~mechanism:(Preemptible.Server.Signal_utimer { poll_ns = 500 })
-        in
-        Preemptible.Server.run ~warmup_ns cfg
-          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-          ~source:(lc_source dist) ~duration_ns);
+        at_point
+          { (spec_of_string "sys=lp-nouintr; workers=4") with
+            Scenario.quantum = Scenario.Fixed quantum
+          }
+          ~rate ~dist ~duration_ns ~warmup_ns);
   }
 
 let shinjuku ?(quantum = us 5) () =
   {
     sys_name = Printf.sprintf "Shinjuku(q=%dus)" (quantum / 1000);
-    run =
+    spec =
       (fun ~rate ~dist ~duration_ns ~warmup_ns ->
-        let cfg = Baselines.Shinjuku.default_config ~n_workers:5 ~quantum_ns:quantum in
-        Baselines.Shinjuku.run ~warmup_ns cfg
-          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-          ~source:(lc_source dist) ~duration_ns);
+        at_point
+          { (spec_of_string "sys=shinjuku; workers=5") with
+            Scenario.quantum = Scenario.Fixed quantum
+          }
+          ~rate ~dist ~duration_ns ~warmup_ns);
   }
 
 let libinger ?(quantum = us 20) () =
   {
     sys_name = Printf.sprintf "Libinger(q=%dus)" (quantum / 1000);
-    run =
+    spec =
       (fun ~rate ~dist ~duration_ns ~warmup_ns ->
-        let cfg = Baselines.Libinger.default_config ~n_workers:5 ~quantum_ns:quantum in
-        Baselines.Libinger.run ~warmup_ns cfg
-          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-          ~source:(lc_source dist) ~duration_ns);
+        at_point
+          { (spec_of_string "sys=libinger; workers=5") with
+            Scenario.quantum = Scenario.Fixed quantum
+          }
+          ~rate ~dist ~duration_ns ~warmup_ns);
   }
 
 let no_preempt () =
   {
     sys_name = "no-preemption";
-    run =
+    spec =
       (fun ~rate ~dist ~duration_ns ~warmup_ns ->
-        let cfg = Baselines.Nopreempt.default_config ~n_workers:5 in
-        Baselines.Nopreempt.run ~warmup_ns cfg
-          ~arrival:(Workload.Arrival.poisson ~rate_per_sec:rate)
-          ~source:(lc_source dist) ~duration_ns);
+        at_point
+          (spec_of_string "sys=nopreempt; workers=5; quantum=none")
+          ~rate ~dist ~duration_ns ~warmup_ns);
   }
 
 (* Environment knobs live in Exec.Env so bench and bin share one

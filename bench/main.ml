@@ -52,6 +52,9 @@ let elements =
     ( "--slo",
       "SLO telemetry: burn-rate vs static alerts through a flash crowd",
       Bench_slo.run );
+    ( "--adversarial",
+      "Adversarial pack: scenarios/*.scn attacks, defended vs fixed-quantum",
+      Bench_adversarial.run );
     ("--micro", "Bechamel micro-benchmarks", fun ~jobs:_ () -> Bench_micro.run ());
     ( "--perf",
       "Engine hot-path throughput + allocation budget (meta-only)",
@@ -67,7 +70,9 @@ let list_elements () =
   Format.printf "options:@.";
   Format.printf "  %-12s %s@." "--jobs N"
     "worker domains for sweeps (default: recommended domain count; 1 = sequential)";
-  Format.printf "  %-12s %s@." "--report FILE" "write a machine-readable JSON bench report"
+  Format.printf "  %-12s %s@." "--report FILE" "write a machine-readable JSON bench report";
+  Format.printf "  %-12s %s@." "--scenario FILE"
+    "parse, validate and run one scenario (.scn) file"
 
 let usage_error msg =
   Format.printf "%s@." msg;
@@ -76,6 +81,50 @@ let usage_error msg =
 
 let run_element ~jobs (flag, _, f) =
   Bench_report.timed (String.sub flag 2 (String.length flag - 2)) (fun () -> f ~jobs ())
+
+(* bench --scenario FILE: parse, validate, run, report. *)
+let run_scenario_file file =
+  let spec =
+    match Scenario.of_file file with
+    | Ok s -> s
+    | Error e ->
+      Format.printf "%s: %s@." file (Scenario.error_to_string e);
+      exit 1
+    | exception Sys_error msg ->
+      Format.printf "%s@." msg;
+      exit 1
+  in
+  (match Scenario.validate spec with
+  | Ok () -> ()
+  | Error msg ->
+    Format.printf "%s: %s@." file msg;
+    exit 1);
+  let name = match spec.Scenario.name with Some n -> n | None -> Filename.basename file in
+  Format.printf "scenario %s (%s):@.  %s@." name file
+    (String.concat "\n  " (String.split_on_char '\n' (Scenario.to_string spec)));
+  let outcome = Scenario.run spec in
+  Format.printf "%a@." Scenario.pp_outcome outcome;
+  let metrics =
+    match outcome with
+    | Scenario.Server r ->
+      [
+        ("p99_us", r.Preemptible.Server.all.Stat.Summary.p99 /. 1e3);
+        ("mean_us", r.Preemptible.Server.all.Stat.Summary.mean /. 1e3);
+        ("completed", float_of_int r.Preemptible.Server.completed);
+        ("offered", float_of_int r.Preemptible.Server.offered);
+        ("preemptions", float_of_int r.Preemptible.Server.preemptions);
+      ]
+    | Scenario.Fleet r ->
+      let f = r.Cluster.fleet in
+      [
+        ("p99_us", f.Cluster.p99_us);
+        ("mean_us", f.Cluster.mean_us);
+        ("completed", float_of_int f.Cluster.completed);
+        ("offered", float_of_int f.Cluster.offered);
+        ("goodput_rps", f.Cluster.goodput_rps);
+      ]
+  in
+  Bench_report.point ~fig:"scenario" ~labels:[ ("scenario", name) ] ~metrics
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -110,13 +159,17 @@ let () =
     Format.printf "@.done in %.1fs@." (Unix.gettimeofday () -. t0)
   | [ "--list" ] -> list_elements ()
   | flags ->
-    (* --trace optionally consumes a following FILE operand; every other
-       element is a bare flag. *)
+    (* --trace and --scenario consume a following FILE operand; every
+       other element is a bare flag. *)
     let rec go = function
       | [] -> ()
       | "--trace" :: file :: rest when String.length file > 0 && file.[0] <> '-' ->
         Bench_report.timed "trace" (fun () -> Bench_trace.run ~out:file ());
         go rest
+      | "--scenario" :: file :: rest when String.length file > 0 && file.[0] <> '-' ->
+        Bench_report.timed "scenario" (fun () -> run_scenario_file file);
+        go rest
+      | [ "--scenario" ] -> usage_error "--scenario expects a scenario file"
       | flag :: rest ->
         (match List.find_opt (fun (f, _, _) -> f = flag) elements with
         | Some el -> run_element ~jobs el

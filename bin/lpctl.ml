@@ -2,6 +2,7 @@
    from the command line.
 
      lpctl serve --system lp --workload a1 --rate 800000 --quantum 5
+     lpctl run scenarios/tail_attack.scn -s seed=7
      lpctl ipc --n 100000
      lpctl timer --strategy utimer --threads 32 *)
 
@@ -675,9 +676,9 @@ let timer_cmd =
   let strategy =
     Arg.(value & opt string "utimer" & info [ "strategy" ] ~doc:"creation|staggered|chained|utimer")
   in
-  let threads = Arg.(value & opt int 16 & info [ "threads" ]) in
-  let interval = Arg.(value & opt int 100 & info [ "interval" ] ~doc:"us") in
-  let rounds = Arg.(value & opt int 1000 & info [ "rounds" ]) in
+  let threads = Arg.(value & opt int 16 & info [ "threads" ] ~doc:"timer-armed threads") in
+  let interval = Arg.(value & opt int 100 & info [ "interval" ] ~doc:"timer interval, us") in
+  let rounds = Arg.(value & opt int 1000 & info [ "rounds" ] ~doc:"measured firings per thread") in
   Cmd.v
     (Cmd.info "timer" ~doc:"Fig 11: timer delivery overhead for one strategy")
     Term.(const timer $ strategy $ threads $ interval $ rounds)
@@ -741,9 +742,9 @@ let precision source_s threads target_us samples =
 
 let precision_cmd =
   let source = Arg.(value & opt string "utimer" & info [ "source" ] ~doc:"kernel|utimer") in
-  let threads = Arg.(value & opt int 26 & info [ "threads" ]) in
-  let target = Arg.(value & opt int 20 & info [ "target" ] ~doc:"us") in
-  let samples = Arg.(value & opt int 5000 & info [ "samples" ]) in
+  let threads = Arg.(value & opt int 26 & info [ "threads" ] ~doc:"concurrent timer users") in
+  let target = Arg.(value & opt int 20 & info [ "target" ] ~doc:"target interval, us") in
+  let samples = Arg.(value & opt int 5000 & info [ "samples" ] ~doc:"measured gaps") in
   Cmd.v
     (Cmd.info "precision" ~doc:"Fig 12: timer precision")
     Term.(const precision $ source $ threads $ target $ samples)
@@ -950,7 +951,7 @@ let trace_cmd =
   let out =
     Arg.(
       value & opt string ""
-      & info [ "out" ] ~doc:"Perfetto JSON output path (default \\$LP_TRACE_OUT or trace.json)")
+      & info [ "out" ] ~doc:"Perfetto JSON output path (default $(b,LP_TRACE_OUT) or trace.json)")
   in
   let categories =
     Arg.(
@@ -979,6 +980,76 @@ let trace_cmd =
     Term.(
       const trace $ out $ categories $ buffer_events $ breakdown $ workload $ rate $ quantum
       $ workers $ duration $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* run (declarative scenarios)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* lpctl run SCENARIO: SCENARIO is a .scn file when one exists at that
+   path, otherwise it is parsed as an inline spec string, so both
+
+     lpctl run scenarios/tail_attack.scn
+     lpctl run "workers=4; src=b; arrival=poisson:0.8x; dur=30ms"
+
+   work.  -s KEY=VALUE overrides apply on top in order. *)
+let run_scenario scenario sets print_only =
+  let parsed =
+    if Sys.file_exists scenario then Scenario.of_file scenario
+    else Scenario.of_string scenario
+  in
+  let spec =
+    match parsed with
+    | Ok spec -> spec
+    | Error e ->
+      prerr_endline (Scenario.error_to_string e);
+      exit 1
+  in
+  let spec =
+    List.fold_left
+      (fun spec text ->
+        match Scenario.override spec text with
+        | Ok spec -> spec
+        | Error e ->
+          prerr_endline ("-s " ^ text ^ ": " ^ Scenario.error_to_string e);
+          exit 1)
+      spec sets
+  in
+  (match Scenario.validate spec with
+  | Ok () -> ()
+  | Error m ->
+    prerr_endline m;
+    exit 1);
+  if print_only then print_string (Scenario.to_string spec)
+  else begin
+    Format.printf "# %s@." (Scenario.to_string spec);
+    match Scenario.run spec with
+    | Scenario.Server r -> pp_result r
+    | Scenario.Fleet r -> pp_fleet_result r
+  end
+
+let run_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"a scenario (.scn) file path, or an inline spec string when no such file exists")
+  in
+  let sets =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "set" ] ~docv:"KEY=VALUE"
+          ~doc:"override a scenario field (repeatable, applied in order), e.g. -s seed=7 -s \
+                \"arrival=poisson:1.2x\"")
+  in
+  let print_only =
+    Arg.(
+      value & flag
+      & info [ "print" ] ~doc:"print the normalized spec instead of running it")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"parse, validate and run a declarative scenario")
+    Term.(const run_scenario $ scenario $ sets $ print_only)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -1016,6 +1087,7 @@ let () =
        (Cmd.group (Cmd.info "lpctl" ~doc)
           [
             serve_cmd;
+            run_cmd;
             top_cmd;
             ipc_cmd;
             timer_cmd;
