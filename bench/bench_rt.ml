@@ -1,0 +1,114 @@
+(* bench --rt: real-core fiber runtime micro-benchmarks.
+
+   Three job shapes pushed through a 2-domain {!Fiber_rt.Pool}:
+
+   - fib:   CPU-bound recursion with periodic checkpoints — measures
+            raw fiber throughput under preemption pressure.
+   - chain: each job submits the next — measures the submit/wakeup
+            dispatch path (inbox, condvar, deque) end to end.
+   - hash:  MD5 over a 4 KiB payload with a checkpoint per block —
+            a memory-touching service loop like a KV-store hot path.
+
+   Everything here is wall-clock on real domains, so results land under
+   [meta.perf] (host-dependent), never under "figures": the simulator's
+   deterministic figures stay byte-identical.  Per-domain throughput is
+   reported so a scheduling regression that starves one domain (broken
+   stealing, lost wakeups) shows up even when the total survives. *)
+
+module Pool = Fiber_rt.Pool
+
+let workers = 2
+
+type outcome = {
+  jobs : int;
+  wall_s : float;
+  per_worker : int array;
+  steals : int;
+  preemptions : int;
+}
+
+let run_case ?quantum_ns ~jobs submit_all =
+  let pool = Pool.create ?quantum_ns ~workers () in
+  let t0 = Unix.gettimeofday () in
+  submit_all pool;
+  Pool.drain pool;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let st = Pool.stats pool in
+  Pool.shutdown pool;
+  assert (st.Pool.failed = 0);
+  {
+    jobs;
+    wall_s;
+    per_worker = st.Pool.executed;
+    steals = Array.fold_left ( + ) 0 st.Pool.stolen;
+    preemptions = st.Pool.preemptions;
+  }
+
+(* fib: ~22k calls per job, checkpoint every 256 calls so a 200 us
+   quantum actually lands. *)
+let fib_jobs = 200
+
+let fib_job () =
+  let calls = ref 0 in
+  let rec fib n =
+    incr calls;
+    if !calls land 255 = 0 then Pool.checkpoint ();
+    if n < 2 then n else fib (n - 1) + fib (n - 2)
+  in
+  ignore (fib 20 : int)
+
+(* chain: sequential dependency — link i submits link i+1 from inside
+   the pool, so every hop pays the full dispatch path. *)
+let chain_links = 2_000
+
+let chain_root pool =
+  let rec link i () = if i < chain_links then Pool.submit pool (link (i + 1)) in
+  Pool.submit pool (link 1)
+
+(* hash: 32 MD5 blocks of 4 KiB per job, checkpoint between blocks. *)
+let hash_jobs = 200
+let hash_payload = String.make 4096 'x'
+
+let hash_job () =
+  for _ = 1 to 32 do
+    ignore (Digest.string hash_payload : string);
+    Pool.checkpoint ()
+  done
+
+let report name (o : outcome) =
+  let rate = float_of_int o.jobs /. o.wall_s in
+  Format.printf "  %-6s %7d jobs  %8.0f jobs/s  per-domain [%s]  steals %d  preempts %d@."
+    name o.jobs rate
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun n -> Printf.sprintf "%.0f/s" (float_of_int n /. o.wall_s)) o.per_worker)))
+    o.steals o.preemptions;
+  Bench_report.perf (Printf.sprintf "rt_%s_jobs_per_s" name) rate;
+  Array.iteri
+    (fun i n ->
+      Bench_report.perf
+        (Printf.sprintf "rt_%s_w%d_jobs_per_s" name i)
+        (float_of_int n /. o.wall_s))
+    o.per_worker;
+  Bench_report.perf (Printf.sprintf "rt_%s_steals" name) (float_of_int o.steals)
+
+let run () =
+  Bench_util.header
+    (Printf.sprintf "bench --rt: fiber runtime micro-benchmarks (%d real domains)" workers);
+  let fib =
+    run_case ~quantum_ns:200_000 ~jobs:fib_jobs (fun pool ->
+        for _ = 1 to fib_jobs do
+          Pool.submit pool fib_job
+        done)
+  in
+  report "fib" fib;
+  let chain = run_case ~jobs:chain_links chain_root in
+  report "chain" chain;
+  let hash =
+    run_case ~quantum_ns:200_000 ~jobs:hash_jobs (fun pool ->
+        for _ = 1 to hash_jobs do
+          Pool.submit pool hash_job
+        done)
+  in
+  report "hash" hash;
+  Format.printf "  (wall-clock facts: recorded under meta.perf, not figures)@."

@@ -55,6 +55,12 @@ let elements =
     ( "--adversarial",
       "Adversarial pack: scenarios/*.scn attacks, defended vs fixed-quantum",
       Bench_adversarial.run );
+    ( "--crossval",
+      "Cross-validation: sim vs real fiber runtime on matched specs",
+      fun ~jobs:_ () -> Bench_crossval.run () );
+    ( "--rt",
+      "Real-core fiber runtime micro-benchmarks (meta-only)",
+      fun ~jobs:_ () -> Bench_rt.run () );
     ("--micro", "Bechamel micro-benchmarks", fun ~jobs:_ () -> Bench_micro.run ());
     ( "--perf",
       "Engine hot-path throughput + allocation budget (meta-only)",

@@ -991,8 +991,9 @@ let trace_cmd =
      lpctl run scenarios/tail_attack.scn
      lpctl run "workers=4; src=b; arrival=poisson:0.8x; dur=30ms"
 
-   work.  -s KEY=VALUE overrides apply on top in order. *)
-let run_scenario scenario sets print_only =
+   work.  -s KEY=VALUE overrides apply on top in order.  --rt executes
+   the spec on real domains (Fiber_rt) instead of the simulator. *)
+let run_scenario scenario sets print_only rt =
   let parsed =
     if Sys.file_exists scenario then Scenario.of_file scenario
     else Scenario.of_string scenario
@@ -1020,6 +1021,17 @@ let run_scenario scenario sets print_only =
     prerr_endline m;
     exit 1);
   if print_only then print_string (Scenario.to_string spec)
+  else if rt then begin
+    (match Scenario.validate_rt spec with
+    | Ok () -> ()
+    | Error m ->
+      prerr_endline ("--rt: " ^ m);
+      exit 1);
+    Format.printf "# %s@." (Scenario.to_string spec);
+    Format.printf "# executing on %d real domain(s) + 1 timer domain (wall clock)@."
+      spec.Scenario.workers;
+    Format.printf "%a@." Fiber_rt.Sched.pp_result (Scenario.run_rt spec)
+  end
   else begin
     Format.printf "# %s@." (Scenario.to_string spec);
     match Scenario.run spec with
@@ -1047,9 +1059,18 @@ let run_cmd =
       value & flag
       & info [ "print" ] ~doc:"print the normalized spec instead of running it")
   in
+  let rt =
+    Arg.(
+      value & flag
+      & info [ "rt" ]
+          ~doc:
+            "execute on real domains (work-stealing fiber runtime) instead of the \
+             simulator; supports the single-server lp subset of the language (no fleet, \
+             guard, faults, watchdog or adaptive quantum)")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"parse, validate and run a declarative scenario")
-    Term.(const run_scenario $ scenario $ sets $ print_only)
+    Term.(const run_scenario $ scenario $ sets $ print_only $ rt)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)

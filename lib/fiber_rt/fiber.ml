@@ -1,6 +1,6 @@
-type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Yield : unit Effect.t | Sleep_until : int -> unit Effect.t
 
-type timer_mode = Inline | Timer_domain
+type timer_mode = Inline | Timer_domain | External
 
 type t = {
   clk : Deadline_clock.t;
@@ -23,21 +23,36 @@ type 'a state =
   | Failed of exn
 
 type 'a fn = {
-  rt : t;
+  mutable rt : t;
   mutable st : 'a state;
   mutable preempts : int;
+  mutable blocked_until : int option;
   fn_quantum : int option;
 }
+
+(* The dedicated timer domain dozes when disarmed and sleeps toward a
+   far deadline (capped so shutdown stays prompt), spinning only inside
+   the last stretch for precision — a pure busy loop would starve the
+   worker on small machines. *)
+let doze_s = 50e-6
+let max_sleep_s = 200e-6
+let spin_window_ns = 100_000
 
 let timer_loop t () =
   while Atomic.get t.alive do
     let d = Atomic.get t.deadline in
-    if d <> 0 && Deadline_clock.now_ns t.clk >= d then begin
-      (* One store into the worker's flag — the SENDUIPI analogue. *)
-      Atomic.set t.deadline 0;
-      Atomic.set t.flag true
-    end;
-    Domain.cpu_relax ()
+    if d = 0 then Unix.sleepf doze_s
+    else begin
+      let now = Deadline_clock.now_ns t.clk in
+      if now >= d then begin
+        (* One store into the worker's flag — the SENDUIPI analogue. *)
+        Atomic.set t.deadline 0;
+        Atomic.set t.flag true
+      end
+      else if d - now > spin_window_ns then
+        Unix.sleepf (Float.min max_sleep_s (float_of_int (d - now - spin_window_ns) *. 1e-9))
+      else Domain.cpu_relax ()
+    end
   done
 
 let create ?(quantum_ns = 1_000_000) ?(timer = Inline) ?trace ~clock () =
@@ -72,6 +87,7 @@ let shutdown t =
     | None -> ()
   end
 
+let alive t = Atomic.get t.alive
 let clock t = t.clk
 let quantum_ns t = t.quantum
 
@@ -93,6 +109,17 @@ let disarm t =
   Atomic.set t.deadline 0;
   Atomic.set t.flag false
 
+let deadline_ns t = Atomic.get t.deadline
+
+let poll_slot t ~now_ns =
+  let d = Atomic.get t.deadline in
+  if d <> 0 && now_ns >= d then begin
+    Atomic.set t.deadline 0;
+    Atomic.set t.flag true;
+    true
+  end
+  else false
+
 (* Run a slice of [fn] (either its first activation or a continuation)
    with the deadline armed.  Restores runtime state even if the fiber
    body raises. *)
@@ -101,6 +128,7 @@ let exec fn slice =
   if t.in_fn then invalid_arg "Fiber: a function is already running on this runtime";
   t.in_fn <- true;
   t.on_preempt <- (fun () -> fn.preempts <- fn.preempts + 1);
+  fn.blocked_until <- None;
   arm t (match fn.fn_quantum with Some q -> q | None -> t.quantum);
   Fun.protect
     ~finally:(fun () ->
@@ -119,6 +147,11 @@ let handler (fn : _ fn) =
         | Yield ->
           Some
             (fun (k : (b, unit) Effect.Deep.continuation) -> fn.st <- Suspended k)
+        | Sleep_until wake ->
+          Some
+            (fun (k : (b, unit) Effect.Deep.continuation) ->
+              fn.st <- Suspended k;
+              fn.blocked_until <- Some wake)
         | _ -> None);
   }
 
@@ -126,7 +159,9 @@ let fn_launch t ?quantum_ns f =
   (match quantum_ns with
   | Some q when q <= 0 -> invalid_arg "Fiber.fn_launch: quantum must be positive"
   | Some _ | None -> ());
-  let fn = { rt = t; st = Running_state; preempts = 0; fn_quantum = quantum_ns } in
+  let fn =
+    { rt = t; st = Running_state; preempts = 0; blocked_until = None; fn_quantum = quantum_ns }
+  in
   let body () = fn.st <- Completed (f ()) in
   exec fn (fun () -> Effect.Deep.match_with body () (handler fn));
   fn
@@ -139,11 +174,20 @@ let fn_resume fn =
   | Running_state -> invalid_arg "Fiber.fn_resume: function is running"
   | Completed _ | Failed _ -> invalid_arg "Fiber.fn_resume: function already completed"
 
+let fn_resume_on t fn =
+  (* Rebind the continuation to another runtime (work stealing): the
+     thief's deadline slot is armed for the next slice.  The body must
+     locate its runtime dynamically (e.g. Pool.checkpoint via DLS), not
+     capture the launch-time one. *)
+  fn.rt <- t;
+  fn_resume fn
+
 let fn_completed fn =
   match fn.st with Completed _ | Failed _ -> true | Running_state | Suspended _ -> false
 
 let result fn = match fn.st with Completed r -> Some r | _ -> None
 let preempt_count fn = fn.preempts
+let blocked_until fn = fn.blocked_until
 
 let checkpoint t =
   if t.in_fn then begin
@@ -152,7 +196,7 @@ let checkpoint t =
       | Inline ->
         let d = Atomic.get t.deadline in
         d <> 0 && Deadline_clock.now_ns t.clk >= d
-      | Timer_domain -> Atomic.get t.flag
+      | Timer_domain | External -> Atomic.get t.flag
     in
     if fire then begin
       disarm t;
@@ -167,5 +211,10 @@ let yield t =
   if not t.in_fn then invalid_arg "Fiber.yield: no function is running";
   tr t ~name:"fiber.yield" ~arg:0;
   Effect.perform Yield
+
+let sleep_until t ~wake_ns =
+  if not t.in_fn then invalid_arg "Fiber.sleep_until: no function is running";
+  tr t ~name:"fiber.sleep" ~arg:wake_ns;
+  Effect.perform (Sleep_until wake_ns)
 
 let preemptions t = t.total_preemptions

@@ -33,6 +33,11 @@ type timer_mode =
   | Timer_domain
       (** a dedicated domain polls the deadline slot and raises the
           flag — the LibUtimer split; requires a wall clock *)
+  | External
+      (** some other party (a pool's shared timer domain, or a test)
+        watches the slot via {!poll_slot}; checkpoints only read the
+        flag.  This is the multi-runtime LibUtimer shape: one timer
+        core arming N deadline slots. *)
 
 val create :
   ?quantum_ns:int ->
@@ -53,7 +58,14 @@ val create :
     domain never touches the ring. *)
 
 val shutdown : t -> unit
-(** Stop the timer domain if any. Idempotent. *)
+(** Stop the timer domain if any. Idempotent — a second call (or a
+    call racing the first) is a no-op.  Functions suspended at shutdown
+    time may still be resumed; with no timer left to raise the flag a
+    [Timer_domain]/[External] runtime simply never preempts them again,
+    so they run to completion. *)
+
+val alive : t -> bool
+(** [false] once {!shutdown} ran. *)
 
 val clock : t -> Deadline_clock.t
 
@@ -74,6 +86,14 @@ val fn_resume : 'a fn -> unit
 (** Continue a preempted function. Raises [Invalid_argument] if it
     already completed or is currently running. *)
 
+val fn_resume_on : t -> 'a fn -> unit
+(** Continue a preempted function on a {e different} runtime — the
+    work-stealing path: the thief domain resumes the continuation under
+    its own deadline slot and quantum accounting.  The function body
+    must resolve its runtime dynamically (e.g. [Pool.checkpoint], which
+    reads domain-local state) rather than capturing the launch-time
+    runtime.  Same preconditions as {!fn_resume}. *)
+
 val fn_completed : 'a fn -> bool
 
 val result : 'a fn -> 'a option
@@ -85,9 +105,32 @@ val checkpoint : t -> unit
 (** Safepoint: fiber code calls this at loop boundaries; yields if the
     current slice expired. No-op outside a running function. *)
 
+val poll_slot : t -> now_ns:int -> bool
+(** Fire the deadline slot if armed and expired at [now_ns]: disarm it
+    and raise the preempt flag, returning [true].  This is what an
+    [External] watcher calls — one shared timer domain sweeping N
+    runtimes' slots.  Also usable against [Inline]/[Timer_domain]
+    runtimes in tests. *)
+
+val deadline_ns : t -> int
+(** Current armed absolute deadline, 0 when disarmed — lets an external
+    timer sleep until the nearest slot. *)
+
 val yield : t -> unit
 (** Unconditional cooperative yield (counts as a voluntary switch, not
     a preemption). Must be called from inside a running function. *)
+
+val sleep_until : t -> wake_ns:int -> unit
+(** Blocking yield: suspend the function and record an absolute wake
+    time, so a blocking-aware scheduler can park it (freeing the domain
+    for other work) instead of requeueing it hot.  The scheduler reads
+    the wake time with {!blocked_until}.  Must be called from inside a
+    running function. *)
+
+val blocked_until : 'a fn -> int option
+(** [Some wake_ns] when the last suspension was a {!sleep_until} (and
+    the fiber has not been resumed since); [None] for preemptions and
+    plain yields. *)
 
 val preemptions : t -> int
 (** Total involuntary preemptions across the runtime's lifetime. *)

@@ -1,0 +1,97 @@
+(* Chase-Lev work-stealing deque: single owner pushes/pops at the
+   bottom (LIFO), any number of thieves steal from the top (FIFO) with
+   a CAS on [top].  Growable: when the circular buffer fills, the owner
+   copies the live window into a buffer twice the size and publishes it
+   through an [Atomic].
+
+   Safety under the OCaml memory model rests on two facts:
+
+   - a slot at logical index [i] is overwritten only by a push at
+     [i + size], which the grow check permits only once [top > i];
+     any thief still racing for [i] then fails its CAS, so a stolen
+     value is always the element that was pushed for that index;
+   - element writes are published by the SC store to [bottom] (push)
+     or [buf] (grow), and thieves read [top]/[bottom] before the slot,
+     so the publication idiom makes the plain array read well-defined.
+
+   Thieves distinguish nothing between "empty" and "lost a race": both
+   return [None], and the caller moves on to the next victim. *)
+
+type 'a buf = { mask : int; data : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;  (* next index a thief takes *)
+  bottom : int Atomic.t;  (* next index the owner pushes *)
+  buf : 'a buf Atomic.t;
+}
+
+let buf_make size = { mask = size - 1; data = Array.make size None }
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (buf_make 16) }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+let is_empty t = size t = 0
+let capacity t = (Atomic.get t.buf).mask + 1
+
+(* Owner only. *)
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - tp > buf.mask then begin
+      (* Full: publish a doubled buffer holding the live window.  Old
+         slots stay intact for thieves that already read the old [buf]. *)
+      let nbuf = buf_make (2 * (buf.mask + 1)) in
+      for i = tp to b - 1 do
+        nbuf.data.(i land nbuf.mask) <- buf.data.(i land buf.mask)
+      done;
+      Atomic.set t.buf nbuf;
+      nbuf
+    end
+    else buf
+  in
+  buf.data.(b land buf.mask) <- Some x;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only: LIFO. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.data.(b land buf.mask) in
+    if b > tp then begin
+      (* More than one element: no thief can reach index [b]. *)
+      buf.data.(b land buf.mask) <- None;
+      x
+    end
+    else begin
+      (* Last element: race the thieves for it. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        buf.data.(b land buf.mask) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+(* Any domain: FIFO. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.data.(tp land buf.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end

@@ -1,0 +1,36 @@
+(** Lock-free growable Chase-Lev work-stealing deque.
+
+    Single-owner, multi-thief: exactly one domain (the owner) may call
+    {!push} and {!pop}; any domain may call {!steal}.  The owner works
+    LIFO at the bottom (cache-warm continuations first); thieves take
+    FIFO from the top (oldest work, the classic work-stealing split).
+
+    The buffer grows geometrically when full, so pushes never block and
+    never drop.  [steal] returning [None] means "empty or lost a race";
+    victims are cheap to retry or skip. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Initial capacity 16 slots. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom.  Grows (amortised O(1)) when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: remove the most recently pushed element (LIFO), or
+    [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: remove the oldest element (FIFO).  [None] means empty
+    {e or} a concurrent pop/steal won the race — callers treat both as
+    "try elsewhere". *)
+
+val size : 'a t -> int
+(** Snapshot of the element count — racy, advisory only. *)
+
+val is_empty : 'a t -> bool
+(** [size t = 0] — racy, advisory only. *)
+
+val capacity : 'a t -> int
+(** Current buffer capacity (for tests of the grow path). *)

@@ -1363,3 +1363,87 @@ let validate s =
 let pp_outcome fmt = function
   | Server r -> Preemptible.Server.pp_result fmt r
   | Fleet r -> Cluster.pp_fleet fmt r.Cluster.fleet
+
+(* ------------------------------------------------------------------ *)
+(* Real-time (fiber_rt) lowering: the same spec, replayed on actual
+   domains under wall time.  The schedule is pre-generated from the
+   very samplers the simulator lowers to, so both backends draw from
+   identical workload definitions; only the execution substrate (and
+   hence the clock domain) differs.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rt_quantum s =
+  match s.quantum with
+  | No_preempt -> None
+  | Fixed q -> Some q
+  | Adaptive _ ->
+    invalid_arg
+      "scenario: the rt backend has no adaptive quantum controller; set \
+       quantum=T or quantum=none (e.g. -s quantum=20us)"
+
+let rt_reject s =
+  let no what cond =
+    if cond then
+      invalid_arg (Printf.sprintf "scenario: the rt backend does not support %s" what)
+  in
+  (match s.system with
+  | Lp -> ()
+  | sys ->
+    invalid_arg
+      (Printf.sprintf "scenario: the rt backend only runs sys=lp (got %s)"
+         (system_name sys)));
+  no "fleets (fleet={...})" (s.fleet <> None);
+  no "the guard front door (guard={...})" (s.guard <> None);
+  no "fault injection (faults=...)" (s.faults <> None);
+  no "the watchdog" s.watchdog;
+  no "disciplines (discipline=...)" (s.discipline <> None);
+  no "cancellation (cancel=...)" (s.cancel_ns <> None);
+  ignore (rt_quantum s)
+
+let rt_max_requests = 2_000_000
+
+let rt_schedule s =
+  rt_reject s;
+  let arrival = arrival_process s in
+  let source = source_sampler s in
+  let rng = Engine.Rng.create s.seed in
+  let items = ref [] in
+  let n = ref 0 in
+  let now = ref 0 in
+  (try
+     while true do
+       let gap = Workload.Arrival.next_gap arrival rng ~now:!now in
+       now := !now + gap;
+       if !now >= s.duration_ns then raise Exit;
+       let service_ns, cls = Workload.Source.draw source rng ~now:!now in
+       incr n;
+       if !n > rt_max_requests then
+         invalid_arg
+           (Printf.sprintf
+              "scenario: rt schedule exceeds %d requests; shorten dur or lower \
+               the arrival rate"
+              rt_max_requests);
+       items :=
+         {
+           Fiber_rt.Sched.at_ns = !now;
+           service_ns;
+           lc = cls = Workload.Request.Latency_critical;
+         }
+         :: !items
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !items)
+
+let run_rt s =
+  let schedule = rt_schedule s in
+  Fiber_rt.Sched.run ~workers:s.workers ?quantum_ns:(rt_quantum s)
+    ~warmup_ns:s.warmup_ns schedule
+
+let validate_rt s =
+  match
+    rt_reject s;
+    ignore (arrival_process s);
+    ignore (source_sampler s)
+  with
+  | () -> Ok ()
+  | exception Invalid_argument m -> Error m

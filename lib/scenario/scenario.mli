@@ -248,3 +248,29 @@ val run : t -> outcome
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val system_name : system -> string
+
+(** {1 Real-time (fiber_rt) lowering}
+
+    The same spec replayed on actual domains under wall time: the
+    request schedule is pre-generated from the identical arrival/source
+    samplers the simulator lowers to, then executed by
+    {!Fiber_rt.Sched} on a work-stealing pool of [workers] domains.
+    Only a subset of the language is executable for real: [sys=lp],
+    no fleet, no guard, no faults/watchdog, no discipline/cancel, and a
+    concrete quantum ([quantum=T] or [none] — the rt backend has no
+    adaptive controller).  Unsupported specs raise [Invalid_argument]
+    with a pointed message; {!validate_rt} returns it as [Error]. *)
+
+val rt_schedule : t -> Fiber_rt.Sched.item array
+(** Pre-generate the open-loop request schedule (arrival offset,
+    service ns, class) for the spec, deterministically from its seed.
+    Raises [Invalid_argument] for specs the rt backend cannot run, or
+    if the schedule would exceed 2e6 requests. *)
+
+val run_rt : t -> Fiber_rt.Sched.result
+(** Generate the schedule and replay it on a fresh pool ([workers]
+    domains, the spec's quantum and warmup).  This runs for the spec's
+    [dur] in {e wall-clock} time. *)
+
+val validate_rt : t -> (unit, string) result
+(** Like {!validate} but for the rt backend's supported subset. *)

@@ -1,0 +1,15 @@
+(* Scale-aware agreement predicates for cross-validating two latency
+   distributions that live in different clock domains (simulated ns vs
+   wall ns): multiplicative bands on matched quantiles and on tail
+   ratios, i.e. symmetric bounds in log space. *)
+
+let within_factor ~factor a b =
+  if factor < 1.0 then invalid_arg "Agreement.within_factor: factor must be >= 1";
+  a > 0.0 && b > 0.0 && Float.abs (log (a /. b)) <= log factor +. 1e-12
+
+let tail_ratio ~p50 ~p99 =
+  if p50 <= 0.0 || p99 <= 0.0 then nan else p99 /. p50
+
+let tails_within_factor ~factor ~a_p50 ~a_p99 ~b_p50 ~b_p99 =
+  within_factor ~factor (tail_ratio ~p50:a_p50 ~p99:a_p99)
+    (tail_ratio ~p50:b_p50 ~p99:b_p99)

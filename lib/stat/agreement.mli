@@ -1,0 +1,20 @@
+(** Scale-aware agreement predicates for comparing latency
+    distributions across clock domains (simulated time vs wall time).
+
+    All bands are multiplicative and symmetric: [within_factor ~factor
+    a b] holds iff [a/factor <= b <= a*factor] (equivalently
+    [|log(a/b)| <= log factor]), so "within 3x" means the same thing
+    whichever side is larger.  The sim-vs-real cross-validation gates
+    on these plus {!Rank.spearman} over a load sweep. *)
+
+val within_factor : factor:float -> float -> float -> bool
+(** Both values positive and within a multiplicative [factor] of each
+    other.  Raises [Invalid_argument] if [factor < 1]. *)
+
+val tail_ratio : p50:float -> p99:float -> float
+(** [p99 /. p50]; [nan] unless both are positive.  A scale-free shape
+    statistic: constant offsets between clock domains cancel. *)
+
+val tails_within_factor :
+  factor:float -> a_p50:float -> a_p99:float -> b_p50:float -> b_p99:float -> bool
+(** The two distributions' tail ratios agree within [factor]. *)

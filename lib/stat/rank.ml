@@ -1,0 +1,43 @@
+(* Rank statistics: Spearman correlation between two samples, used by
+   the sim-vs-real cross-validation to check that two latency sweeps
+   order their points the same way even when absolute scales differ. *)
+
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  (* Average ranks over ties so exact-tie inputs correlate as expected. *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n = 0 || n <> Array.length ys then
+    invalid_arg "Rank.pearson: need two equal non-empty samples";
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+let spearman xs ys =
+  if Array.length xs <> Array.length ys || Array.length xs < 2 then
+    invalid_arg "Rank.spearman: need two equal samples of at least 2 points";
+  pearson (ranks xs) (ranks ys)

@@ -1,0 +1,17 @@
+(** Rank statistics.
+
+    {!spearman} is the agreement metric the sim-vs-real
+    cross-validation sweeps gate on: it asks whether two latency curves
+    {e order} their sweep points the same way, which is meaningful even
+    when the clock domains put them on different absolute scales. *)
+
+val ranks : float array -> float array
+(** 1-based ranks, ties averaged (fractional ranks). *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either sample is constant.
+    Raises [Invalid_argument] on empty or mismatched samples. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation = Pearson over {!ranks}.  Raises
+    [Invalid_argument] unless both samples have the same length >= 2. *)

@@ -1,0 +1,99 @@
+(* Cross-validation plumbing: the agreement predicates and rank
+   statistics the sim-vs-real gate is built from (deterministic), plus
+   one small end-to-end sim-vs-rt run checked against a deliberately
+   loose band — the tight documented bands live in bench --crossval
+   where the environment is controlled; here the point is that the two
+   backends execute the same spec and land in the same ballpark even on
+   a noisy test host. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Agreement predicates (deterministic)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_within_factor () =
+  check_bool "equal" true (Stat.Agreement.within_factor ~factor:1.0 5.0 5.0);
+  check_bool "2x inside 3x" true (Stat.Agreement.within_factor ~factor:3.0 10.0 20.0);
+  check_bool "symmetric" true (Stat.Agreement.within_factor ~factor:3.0 20.0 10.0);
+  check_bool "exactly 3x counts" true (Stat.Agreement.within_factor ~factor:3.0 1.0 3.0);
+  check_bool "4x outside 3x" false (Stat.Agreement.within_factor ~factor:3.0 10.0 40.0);
+  check_bool "zero never agrees" false (Stat.Agreement.within_factor ~factor:3.0 0.0 1.0);
+  check_bool "factor < 1 rejected" true
+    (match Stat.Agreement.within_factor ~factor:0.5 1.0 1.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_tail_ratio () =
+  check_float "ratio" 3.0 (Stat.Agreement.tail_ratio ~p50:10.0 ~p99:30.0);
+  check_bool "tails agree" true
+    (Stat.Agreement.tails_within_factor ~factor:2.0 ~a_p50:10.0 ~a_p99:30.0
+       ~b_p50:1000.0 ~b_p99:5000.0);
+  (* 3.0 vs 12.0 tail ratio is 4x apart: outside a 2x band. *)
+  check_bool "tails disagree" false
+    (Stat.Agreement.tails_within_factor ~factor:2.0 ~a_p50:10.0 ~a_p99:30.0
+       ~b_p50:1000.0 ~b_p99:12_000.0)
+
+let test_spearman () =
+  check_float "perfect monotone" 1.0
+    (Stat.Rank.spearman [| 1.0; 2.0; 3.0; 4.0 |] [| 10.0; 20.0; 40.0; 80.0 |]);
+  check_float "perfect inverse" (-1.0)
+    (Stat.Rank.spearman [| 1.0; 2.0; 3.0; 4.0 |] [| 8.0; 6.0; 4.0; 2.0 |]);
+  check_float "scale invariant" 1.0
+    (Stat.Rank.spearman [| 1.0; 2.0; 3.0 |] [| 1e9; 2e9; 3e9 |]);
+  check_bool "one swap still positive" true
+    (Stat.Rank.spearman [| 1.0; 2.0; 3.0; 4.0; 5.0 |] [| 1.0; 3.0; 2.0; 4.0; 5.0 |]
+    > 0.5);
+  check_float "constant side is 0" 0.0
+    (Stat.Rank.spearman [| 1.0; 2.0; 3.0 |] [| 7.0; 7.0; 7.0 |])
+
+let test_ranks_ties () =
+  let r = Stat.Rank.ranks [| 5.0; 1.0; 5.0; 2.0 |] in
+  check_float "tie low" 3.5 r.(0);
+  check_float "min" 1.0 r.(1);
+  check_float "tie high" 3.5 r.(2);
+  check_float "middle" 2.0 r.(3)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: one spec, both backends, very loose band               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_vs_rt_ballpark () =
+  let spec =
+    match
+      Scenario.of_string
+        "workers=1;quantum=none;src=const:50us;arrival=uniform:4000;dur=60ms;warmup=10ms"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %s" (Scenario.error_to_string e)
+  in
+  let sim = Scenario.run_server spec in
+  let rt = Scenario.run_rt spec in
+  let sim_p50 = sim.Preemptible.Server.all.Stat.Summary.p50 in
+  let rt_p50 = rt.Fiber_rt.Sched.all.Stat.Summary.p50 in
+  check_bool "sim produced samples" true (sim.Preemptible.Server.completed > 0);
+  check_bool "rt completed everything" true
+    (rt.Fiber_rt.Sched.completed = rt.Fiber_rt.Sched.offered);
+  (* At 0.2x load the sim's p50 is ~the 50 us service time; the rt side
+     adds dispatch and scheduling overhead but must stay in the same
+     ballpark even on a noisy CI host — 20x is a smoke band, the real
+     documented bands are gated in bench --crossval. *)
+  check_bool
+    (Printf.sprintf "p50 within 20x (sim %.1f us, rt %.1f us)" (sim_p50 /. 1e3)
+       (rt_p50 /. 1e3))
+    true
+    (Stat.Agreement.within_factor ~factor:20.0 sim_p50 rt_p50)
+
+let suites =
+  [
+    ( "crossval",
+      [
+        Alcotest.test_case "within_factor band semantics" `Quick test_within_factor;
+        Alcotest.test_case "tail-ratio agreement" `Quick test_tail_ratio;
+        Alcotest.test_case "spearman rank correlation" `Quick test_spearman;
+        Alcotest.test_case "ranks average ties" `Quick test_ranks_ties;
+        Alcotest.test_case "sim vs rt ballpark on one spec" `Quick
+          test_sim_vs_rt_ballpark;
+      ] );
+  ]

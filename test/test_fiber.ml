@@ -153,6 +153,134 @@ let test_timer_domain_preempts_wall_clock () =
     (stats.Fiber_rt.Round_robin.preemptions > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Edge cases: sub-checkpoint quanta, teardown mid-preempt, cross-     *)
+(* domain flag visibility, lifecycle stress                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_while_running_rejected () =
+  (* A fiber that (on its second slice) tries to resume itself while
+     running: fn_resume must reject a Running_state fn. *)
+  let _, rt = make () in
+  let self = ref None in
+  let caught = ref false in
+  let g =
+    F.fn_launch rt (fun () ->
+        F.yield rt;
+        match !self with
+        | Some s -> ( try F.fn_resume s with Invalid_argument _ -> caught := true)
+        | None -> ())
+  in
+  self := Some g;
+  F.fn_resume g;
+  check_bool "completed" true (F.fn_completed g);
+  check_bool "resuming a running fn raises" true !caught
+
+let test_quantum_smaller_than_checkpoint_interval () =
+  (* Quantum 50 ns but every checkpoint interval advances 300 ns: the
+     slice expires before the first safepoint, so every checkpoint
+     preempts and progress is exactly one step per slice. *)
+  let clock, rt = make ~quantum:50 () in
+  let units = 5 in
+  let fn = F.fn_launch rt (worker clock rt ~units ~step:300) in
+  let resumes = ref 0 in
+  while not (F.fn_completed fn) do
+    incr resumes;
+    F.fn_resume fn
+  done;
+  Alcotest.(check (option int)) "correct result" (Some 1500) (F.result fn);
+  check_bool "one preemption per step" true (F.preempt_count fn >= units);
+  check_int "one resume per step" units !resumes
+
+let test_timer_domain_teardown_mid_preempt () =
+  (* Shut the timer domain down while a preempted fiber is suspended
+     mid-flight; the continuation must still be resumable and, with no
+     timer left, runs to completion unpreempted. *)
+  let rt = F.create ~quantum_ns:200_000 ~timer:F.Timer_domain ~clock:(Clock.wall ()) () in
+  let fn =
+    F.fn_launch rt (fun () ->
+        (* Spin (checkpointing) until the timer preempts this slice, or
+           a 2 s safety deadline expires on a pathologically loaded
+           host. *)
+        let deadline = Unix.gettimeofday () +. 2.0 in
+        let preempts0 = F.preemptions rt in
+        while F.preemptions rt = preempts0 && Unix.gettimeofday () < deadline do
+          F.checkpoint rt
+        done)
+  in
+  if not (F.fn_completed fn) then begin
+    (* Suspended mid-preempt: tear the timer down NOW. *)
+    F.shutdown rt;
+    F.shutdown rt;
+    check_bool "dead after shutdown" false (F.alive rt);
+    F.fn_resume fn;
+    check_bool "completed after teardown" true (F.fn_completed fn)
+  end
+  else
+    (* The 2 s safety deadline expired without a preemption (massively
+       loaded host) — still exercise double shutdown. *)
+    F.shutdown rt;
+  F.shutdown rt
+
+let test_external_flag_visible_across_domains () =
+  (* Atomic fence correctness: domain B raises the preempt flag via
+     poll_slot; the fiber spinning on domain A must observe it at a
+     checkpoint and suspend. *)
+  let rt = F.create ~quantum_ns:1_000_000_000 ~timer:F.External ~clock:(Clock.wall ()) () in
+  let progress = Atomic.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        let fn =
+          F.fn_launch rt (fun () ->
+              while true do
+                Atomic.incr progress;
+                F.checkpoint rt
+              done)
+        in
+        (* fn_launch returns when the fiber suspends. *)
+        (F.fn_completed fn, F.preempt_count fn))
+  in
+  while Atomic.get progress = 0 do
+    Domain.cpu_relax ()
+  done;
+  (* Fire the slot from this domain (now >= any armed deadline). *)
+  while not (F.poll_slot rt ~now_ns:max_int) do
+    Domain.cpu_relax ()
+  done;
+  let completed, preempts = Domain.join d in
+  F.shutdown rt;
+  check_bool "fiber suspended, not completed" false completed;
+  check_int "exactly one preemption observed" 1 preempts
+
+let test_external_poll_slot_disarmed () =
+  let _, rt = make () in
+  check_bool "disarmed slot does not fire" false (F.poll_slot rt ~now_ns:max_int)
+
+let test_sleep_until_blocked_until () =
+  let clock, rt = make ~quantum:1_000_000 () in
+  ignore clock;
+  let fn = F.fn_launch rt (fun () -> F.sleep_until rt ~wake_ns:12_345) in
+  check_bool "suspended" false (F.fn_completed fn);
+  Alcotest.(check (option int)) "wake time recorded" (Some 12_345) (F.blocked_until fn);
+  F.fn_resume fn;
+  check_bool "completed" true (F.fn_completed fn);
+  Alcotest.(check (option int)) "cleared on resume" None (F.blocked_until fn);
+  Alcotest.check_raises "sleep outside fn"
+    (Invalid_argument "Fiber.sleep_until: no function is running") (fun () ->
+      F.sleep_until rt ~wake_ns:1)
+
+let test_lifecycle_stress_100_runtimes () =
+  (* create/shutdown must be leak-free and idempotent under repetition:
+     100 timer-domain runtimes, each runs one fiber, double-shutdown. *)
+  for i = 1 to 100 do
+    let rt = F.create ~quantum_ns:1_000_000 ~timer:F.Timer_domain ~clock:(Clock.wall ()) () in
+    let fn = F.fn_launch rt (fun () -> i * 2) in
+    Alcotest.(check (option int)) "fiber ran" (Some (i * 2)) (F.result fn);
+    F.shutdown rt;
+    F.shutdown rt;
+    check_bool "dead" false (F.alive rt)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Request_sched: the FCFS-with-preemption policy over real fibers     *)
 (* ------------------------------------------------------------------ *)
 
@@ -231,6 +359,20 @@ let suites =
         Alcotest.test_case "per-fn quantum" `Quick test_per_fn_quantum;
         Alcotest.test_case "clock rules" `Quick test_virtual_clock_rules;
         Alcotest.test_case "timer domain (wall)" `Slow test_timer_domain_preempts_wall_clock;
+        Alcotest.test_case "resume while running rejected" `Quick
+          test_resume_while_running_rejected;
+        Alcotest.test_case "quantum below checkpoint interval" `Quick
+          test_quantum_smaller_than_checkpoint_interval;
+        Alcotest.test_case "timer teardown mid-preempt" `Slow
+          test_timer_domain_teardown_mid_preempt;
+        Alcotest.test_case "preempt flag visible across domains" `Slow
+          test_external_flag_visible_across_domains;
+        Alcotest.test_case "poll_slot on a disarmed slot" `Quick
+          test_external_poll_slot_disarmed;
+        Alcotest.test_case "sleep_until records wake time" `Quick
+          test_sleep_until_blocked_until;
+        Alcotest.test_case "100-runtime create/shutdown stress" `Slow
+          test_lifecycle_stress_100_runtimes;
         Alcotest.test_case "request_sched HoL removal" `Quick test_request_sched_hol_removal;
         Alcotest.test_case "request_sched nested submit" `Quick test_request_sched_nested_submit;
         Alcotest.test_case "request_sched per-request quantum" `Quick

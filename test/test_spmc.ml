@@ -1,0 +1,153 @@
+(* Tests for the Chase-Lev SPMC work-stealing deque: sequential
+   LIFO/FIFO oracles, the grow path, and qcheck model tests that run
+   real concurrent interleavings over 2-4 domains and check the union
+   of everything popped/stolen against the pushed multiset (no element
+   lost, none duplicated). *)
+
+module D = Fiber_rt.Spmc_deque
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential oracles                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_owner_lifo () =
+  let q = D.create () in
+  for i = 1 to 5 do
+    D.push q i
+  done;
+  for i = 5 downto 1 do
+    check_int "lifo pop" i (Option.get (D.pop q))
+  done;
+  check_bool "empty" true (D.pop q = None)
+
+let test_steal_fifo () =
+  let q = D.create () in
+  for i = 1 to 5 do
+    D.push q i
+  done;
+  for i = 1 to 5 do
+    check_int "fifo steal" i (Option.get (D.steal q))
+  done;
+  check_bool "empty" true (D.steal q = None)
+
+let test_grow () =
+  let q = D.create () in
+  let n = 1000 in
+  check_int "initial capacity" 16 (D.capacity q);
+  for i = 1 to n do
+    D.push q i
+  done;
+  check_bool "grew" true (D.capacity q >= n);
+  check_int "size" n (D.size q);
+  (* Pop half (LIFO), steal the rest (FIFO): both ends stay coherent
+     across the grow. *)
+  for i = n downto (n / 2) + 1 do
+    check_int "pop after grow" i (Option.get (D.pop q))
+  done;
+  for i = 1 to n / 2 do
+    check_int "steal after grow" i (Option.get (D.steal q))
+  done;
+  check_bool "empty" true (D.is_empty q)
+
+(* Interleaved push/pop against a list model (single domain). *)
+let test_sequential_model =
+  QCheck.Test.make ~name:"spmc: sequential push/pop matches list model" ~count:200
+    QCheck.(list (option small_nat))
+    (fun ops ->
+      let q = D.create () in
+      let model = ref [] in
+      List.iter
+        (function
+          | Some x ->
+            D.push q x;
+            model := x :: !model
+          | None -> (
+            let got = D.pop q in
+            match !model with
+            | [] -> if got <> None then QCheck.Test.fail_report "pop on empty returned"
+            | x :: rest ->
+              model := rest;
+              if got <> Some x then QCheck.Test.fail_report "pop broke LIFO order"))
+        ops;
+      List.length !model = D.size q)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent multiset oracle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sorted l = List.sort compare l
+
+(* Owner pushes [n] items interleaved with [pops] pops; [thieves]
+   domains steal until the owner signals done and the deque drains.
+   Every element must surface exactly once across pops + steals +
+   leftovers. *)
+let concurrent_run ~n ~pops ~thieves =
+  let q = D.create () in
+  let done_ = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    let rec loop misses =
+      match D.steal q with
+      | Some x ->
+        got := x :: !got;
+        loop 0
+      | None ->
+        if Atomic.get done_ && D.is_empty q && misses > 100 then !got
+        else begin
+          Domain.cpu_relax ();
+          loop (misses + 1)
+        end
+    in
+    loop 0
+  in
+  let doms = List.init thieves (fun _ -> Domain.spawn thief) in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    D.push q i;
+    if i mod 3 = 2 && !popped |> List.length < pops then
+      match D.pop q with Some x -> popped := x :: !popped | None -> ()
+  done;
+  Atomic.set done_ true;
+  let stolen = List.concat_map Domain.join doms in
+  (* Drain what neither side took. *)
+  let rec drain acc = match D.pop q with Some x -> drain (x :: acc) | None -> acc in
+  let leftover = drain [] in
+  sorted (!popped @ stolen @ leftover)
+
+let test_concurrent_multiset =
+  QCheck.Test.make ~name:"spmc: concurrent push/pop/steal loses and duplicates nothing"
+    ~count:30
+    QCheck.(pair (int_range 50 400) (int_range 1 3))
+    (fun (n, thieves) ->
+      let all = concurrent_run ~n ~pops:(n / 4) ~thieves in
+      all = List.init n Fun.id)
+
+let test_concurrent_last_element_race () =
+  (* Hammer the pop-vs-steal race on the last element: 1 item, 3
+     thieves, repeated.  Exactly one side must win each round. *)
+  for _ = 1 to 200 do
+    let q = D.create () in
+    D.push q 42;
+    let doms = List.init 3 (fun _ -> Domain.spawn (fun () -> D.steal q)) in
+    let mine = D.pop q in
+    let theirs = List.filter_map Fun.id (List.map Domain.join doms) in
+    let total = (if mine = None then 0 else 1) + List.length theirs in
+    check_int "exactly one winner" 1 total
+  done
+
+let suites =
+  [
+    ( "spmc_deque",
+      [
+        Alcotest.test_case "owner pop is LIFO" `Quick test_owner_lifo;
+        Alcotest.test_case "steal is FIFO" `Quick test_steal_fifo;
+        Alcotest.test_case "grow preserves both ends" `Quick test_grow;
+        QCheck_alcotest.to_alcotest test_sequential_model;
+        QCheck_alcotest.to_alcotest test_concurrent_multiset;
+        Alcotest.test_case "last-element pop/steal race" `Quick
+          test_concurrent_last_element_race;
+      ] );
+  ]
